@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared helpers for the figure/table benches: the paper's kernel
+ * set, per-variant execution, and geometric means.
+ */
+
+#ifndef PIPESTITCH_BENCH_COMMON_HH
+#define PIPESTITCH_BENCH_COMMON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/table.hh"
+#include "core/system.hh"
+#include "workloads/kernels.hh"
+
+namespace pipestitch::bench {
+
+/** Deterministic seed shared by every bench. */
+constexpr uint64_t kSeed = 1;
+
+/** The six kernels at Table 1 parameters; threaded = last four. */
+inline std::vector<workloads::KernelInstance>
+kernels()
+{
+    setQuiet(true);
+    return workloads::paperKernels(kSeed);
+}
+
+inline bool
+isThreadedKernel(size_t index)
+{
+    return index >= 2; // Dither, SpSlice, SpMSpVd, SpMSpMd
+}
+
+inline FabricRun
+run(const workloads::KernelInstance &kernel,
+    compiler::ArchVariant variant, int bufferDepth = 4)
+{
+    RunConfig cfg;
+    cfg.variant = variant;
+    cfg.bufferDepth = bufferDepth;
+    return runOnFabric(kernel, cfg);
+}
+
+inline double
+geomean(const std::vector<double> &values)
+{
+    ps_assert(!values.empty(), "geomean of nothing");
+    double logSum = 0;
+    for (double v : values)
+        logSum += std::log(v);
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+} // namespace pipestitch::bench
+
+#endif // PIPESTITCH_BENCH_COMMON_HH

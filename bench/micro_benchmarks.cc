@@ -1,0 +1,94 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the toolchain itself:
+ * compilation, mapping, and simulator throughput (simulated cycles
+ * per wall-clock second).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hh"
+#include "compiler/compile.hh"
+#include "mapper/mapper.hh"
+#include "sim/simulator.hh"
+
+using namespace pipestitch;
+using compiler::ArchVariant;
+
+namespace {
+
+const workloads::KernelInstance &
+spmspvd()
+{
+    static auto kernel = [] {
+        setQuiet(true);
+        return workloads::makeSpMSpVd(64, 0.9, 7);
+    }();
+    return kernel;
+}
+
+void
+BM_Compile(benchmark::State &state)
+{
+    const auto &k = spmspvd();
+    compiler::CompileOptions opts;
+    opts.variant = ArchVariant::Pipestitch;
+    for (auto _ : state) {
+        auto res = compiler::compileProgram(k.prog, k.liveIns, opts);
+        benchmark::DoNotOptimize(res.graph.size());
+    }
+}
+BENCHMARK(BM_Compile);
+
+void
+BM_Map(benchmark::State &state)
+{
+    const auto &k = spmspvd();
+    compiler::CompileOptions opts;
+    opts.variant = ArchVariant::Pipestitch;
+    auto res = compiler::compileProgram(k.prog, k.liveIns, opts);
+    fabric::Fabric fab;
+    for (auto _ : state) {
+        auto mapping = mapper::mapGraph(res.graph, fab);
+        benchmark::DoNotOptimize(mapping.success);
+    }
+}
+BENCHMARK(BM_Map);
+
+void
+BM_Simulate(benchmark::State &state)
+{
+    const auto &k = spmspvd();
+    compiler::CompileOptions opts;
+    opts.variant = state.range(0) == 0 ? ArchVariant::RipTide
+                                       : ArchVariant::Pipestitch;
+    auto res = compiler::compileProgram(k.prog, k.liveIns, opts);
+    int64_t cycles = 0;
+    for (auto _ : state) {
+        auto mem = k.memory;
+        mem.resize(static_cast<size_t>(k.prog.memWords));
+        auto r = sim::simulate(res.graph, mem, res.simConfig);
+        cycles += r.stats.cycles;
+        benchmark::DoNotOptimize(r.stats.cycles);
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Simulate)->Arg(0)->Arg(1);
+
+void
+BM_ScalarInterp(benchmark::State &state)
+{
+    const auto &k = spmspvd();
+    for (auto _ : state) {
+        auto mem = k.memory;
+        mem.resize(static_cast<size_t>(k.prog.memWords));
+        auto r = scalar::interpret(k.prog, mem, k.liveIns);
+        benchmark::DoNotOptimize(r.counts.total());
+    }
+}
+BENCHMARK(BM_ScalarInterp);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * End-to-end application demo: the paper's 4-layer sparse DNN
+ * running on a Cortex-M33, on RipTide, and on Pipestitch, with the
+ * resulting energy-harvesting duty cycles (the Fig. 1 scenario).
+ *
+ *   ./build/examples/sparse_dnn
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "harvest/harvest.hh"
+#include "scalar/profile.hh"
+#include "workloads/dnn.hh"
+
+using namespace pipestitch;
+
+int
+main()
+{
+    setQuiet(true);
+
+    workloads::DnnConfig cfg; // paper-scale: 784-512-256-128-10
+    auto model = workloads::buildDnn(cfg);
+    std::printf("4-layer sparse DNN, %.0f kB on-device footprint, "
+                "input sparsity %.2f\n\n",
+                static_cast<double>(model.footprintBytes()) / 1024,
+                cfg.inputSparsity);
+
+    auto m33 = workloads::runDnnOnScalar(
+        model, scalar::cortexM33Profile());
+    auto rv = workloads::runDnnOnScalar(
+        model, scalar::riptideScalarProfile());
+    auto rip = workloads::runDnnOnFabric(
+        model, compiler::ArchVariant::RipTide);
+    auto pipe = workloads::runDnnOnFabric(
+        model, compiler::ArchVariant::Pipestitch);
+
+    Table t({"System", "Time/inf", "Energy/inf", "Peak rate"});
+    for (const auto *inf : {&m33, &rv, &rip, &pipe}) {
+        t.addRow({inf->system,
+                  csprintf("%.2f ms", inf->seconds * 1e3),
+                  csprintf("%.1f uJ", inf->energy.totalUj()),
+                  csprintf("%.1f Hz", 1.0 / inf->seconds)});
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    // Sanity: all four systems agree on the classification result.
+    bool agree = m33.logits == rv.logits && rv.logits == rip.logits &&
+                 rip.logits == pipe.logits;
+    std::printf("logits agree across all systems: %s\n\n",
+                agree ? "yes" : "NO (bug!)");
+
+    // What the harvested-power budget buys on each platform.
+    harvest::Platform platforms[] = {
+        {"Cortex-M33", m33.seconds, m33.energy.totalPj() * 1e-12},
+        {"RipTide", rip.seconds, rip.energy.totalPj() * 1e-12},
+        {"Pipestitch", pipe.seconds,
+         pipe.energy.totalPj() * 1e-12},
+    };
+    std::printf("Frames per second by harvested power:\n");
+    for (double mw : {0.1, 0.5, 1.0, 2.0}) {
+        std::printf("  %4.1f mW:", mw);
+        for (const auto &p : platforms) {
+            std::printf("  %s %6.1f Hz", p.name,
+                        harvest::endToEndRate(p, mw * 1e-3));
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

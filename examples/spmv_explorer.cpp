@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Design-space exploration demo: sweep matrix sparsity for SpMV
+ * (unthreaded, II = 1) and SpMSpVd (threaded, II > 1), comparing
+ * RipTide and Pipestitch. Shows where threading pays off and how
+ * the gain scales with row imbalance.
+ *
+ *   ./build/examples/spmv_explorer
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "core/system.hh"
+
+using namespace pipestitch;
+using compiler::ArchVariant;
+
+namespace {
+
+void
+sweep(const char *title,
+      workloads::KernelInstance (*make)(int, double, uint64_t))
+{
+    Table t({"Sparsity", "nnz-ish", "RipTide cyc", "Pipestitch cyc",
+             "Speedup", "Threaded"});
+    const int n = 64;
+    for (double sparsity : {0.50, 0.75, 0.90, 0.97}) {
+        auto kernel = make(n, sparsity, /*seed=*/11);
+        RunConfig rip;
+        rip.variant = ArchVariant::RipTide;
+        RunConfig pipe;
+        pipe.variant = ArchVariant::Pipestitch;
+        auto r = runOnFabric(kernel, rip);
+        auto p = runOnFabric(kernel, pipe);
+        t.addRow({Table::fmt(sparsity, 2),
+                  csprintf("%.0f", n * n * (1.0 - sparsity)),
+                  csprintf("%lld", (long long)r.cycles()),
+                  csprintf("%lld", (long long)p.cycles()),
+                  Table::fmt(static_cast<double>(r.cycles()) /
+                                 static_cast<double>(p.cycles()),
+                             2) +
+                      "x",
+                  p.compiled.threaded ? "yes" : "no"});
+    }
+    std::printf("%s\n\n%s\n", title, t.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    sweep("SpMV (64x64 CSR x dense vector): II = 1, runs "
+          "unthreaded on both",
+          workloads::makeSpmv);
+    sweep("SpMSpVd (64x64 CSR x sparse vector): irregular "
+          "intersection loop, threads on Pipestitch",
+          workloads::makeSpMSpVd);
+    std::printf(
+        "Takeaway: the II heuristic keeps regular kernels on the\n"
+        "cheap unthreaded path and reserves dispatch threading for\n"
+        "irregular loops, where pipelining independent rows covers\n"
+        "the long carried-dependence latency.\n");
+    return 0;
+}

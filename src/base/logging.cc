@@ -1,0 +1,93 @@
+#include "base/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace pipestitch {
+
+namespace {
+
+bool quietMode = false;
+
+std::string
+vformat(const char *fmt, va_list args)
+{
+    va_list copy;
+    va_copy(copy, args);
+    int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (n < 0)
+        return "<format error>";
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+} // namespace
+
+std::string
+csprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string s = vformat(fmt, args);
+    va_end(args);
+    return s;
+}
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file,
+                 line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file,
+                 line);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (quietMode)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (quietMode)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietMode = quiet;
+}
+
+} // namespace pipestitch

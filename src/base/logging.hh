@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (simulator bugs), fatal() is for user errors (bad
+ * configuration, malformed input), warn()/inform() report conditions
+ * without stopping the run.
+ */
+
+#ifndef PIPESTITCH_BASE_LOGGING_HH
+#define PIPESTITCH_BASE_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace pipestitch {
+
+/** Format a printf-style message into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Abort with a message; use for internal invariant violations. */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+
+/** Exit(1) with a message; use for user/configuration errors. */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+
+/** Print a warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by benches for clean tables). */
+void setQuiet(bool quiet);
+
+} // namespace pipestitch
+
+#define panic(...) \
+    ::pipestitch::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define fatal(...) \
+    ::pipestitch::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Assert-with-message that stays enabled in release builds. */
+#define ps_assert(cond, ...)                                            \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::pipestitch::panicImpl(__FILE__, __LINE__, __VA_ARGS__);   \
+        }                                                               \
+    } while (0)
+
+#endif // PIPESTITCH_BASE_LOGGING_HH

@@ -1,0 +1,57 @@
+#include "base/table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace pipestitch {
+
+Table::Table(std::vector<std::string> header)
+{
+    rows.push_back(std::move(header));
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    ps_assert(cells.size() == rows[0].size(),
+              "row has %zu cells, header has %zu", cells.size(),
+              rows[0].size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::fmt(double value, int digits)
+{
+    return csprintf("%.*f", digits, value);
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> width(rows[0].size(), 0);
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); c++)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream out;
+    for (size_t r = 0; r < rows.size(); r++) {
+        for (size_t c = 0; c < rows[r].size(); c++) {
+            out << rows[r][c];
+            if (c + 1 < rows[r].size()) {
+                out << std::string(width[c] - rows[r][c].size() + 2, ' ');
+            }
+        }
+        out << '\n';
+        if (r == 0) {
+            size_t total = 0;
+            for (size_t c = 0; c < width.size(); c++)
+                total += width[c] + (c + 1 < width.size() ? 2 : 0);
+            out << std::string(total, '-') << '\n';
+        }
+    }
+    return out.str();
+}
+
+} // namespace pipestitch

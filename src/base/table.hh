@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Plain-text table formatter used by the benchmark harnesses to print
+ * paper-style rows and series.
+ */
+
+#ifndef PIPESTITCH_BASE_TABLE_HH
+#define PIPESTITCH_BASE_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace pipestitch {
+
+/**
+ * Accumulates rows of cells and renders them with aligned columns.
+ *
+ * Usage:
+ * @code
+ *   Table t({"Benchmark", "Speedup"});
+ *   t.addRow({"DMM", "1.02"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a data row; must have as many cells as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p digits decimals. */
+    static std::string fmt(double value, int digits = 2);
+
+    /** Render with aligned columns and a separator under the header. */
+    std::string render() const;
+
+  private:
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace pipestitch
+
+#endif // PIPESTITCH_BASE_TABLE_HH

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Control-flow placement (Sec. 4.8, Figs. 19/21).
+ *
+ * RipTide reuses NoC routers to execute control-flow operators
+ * "for free" (no PE, no pipeline stage). Pipestitch keeps that
+ * option but adds rules: dispatch needs an output buffer and must
+ * map to a PE; CF directly downstream of a bypassing memory op must
+ * map to a PE to avoid a combinational loop between the bypass mux
+ * and CF-in-NoC; and no cycle may consist purely of in-NoC
+ * operators.
+ */
+
+#include "compiler/compile.hh"
+
+#include <map>
+
+#include "base/logging.hh"
+
+namespace pipestitch::compiler {
+
+using dfg::Graph;
+using dfg::Node;
+using dfg::NodeId;
+using dfg::NodeKind;
+
+namespace {
+
+/** Demote one node per all-NoC cycle until none remain. */
+void
+breakNocCycles(Graph &graph)
+{
+    for (;;) {
+        // DFS over cfInNoc subgraph looking for a cycle.
+        const int n = graph.size();
+        std::vector<int> state(static_cast<size_t>(n), 0);
+        NodeId offender = dfg::NoNode;
+
+        std::vector<std::pair<NodeId, int>> dfs;
+        for (NodeId start = 0; start < n && offender == dfg::NoNode;
+             start++) {
+            if (!graph.at(start).cfInNoc ||
+                state[static_cast<size_t>(start)] != 0) {
+                continue;
+            }
+            dfs.clear();
+            dfs.emplace_back(start, 0);
+            state[static_cast<size_t>(start)] = 1;
+            while (!dfs.empty() && offender == dfg::NoNode) {
+                NodeId id = dfs.back().first;
+                int edge = dfs.back().second;
+                const Node &node = graph.at(id);
+                bool descended = false;
+                while (edge < node.numInputs()) {
+                    const auto &in =
+                        node.inputs[static_cast<size_t>(edge)];
+                    edge++;
+                    if (!in.isWire() ||
+                        !graph.at(in.port.node).cfInNoc) {
+                        continue;
+                    }
+                    int s = state[static_cast<size_t>(in.port.node)];
+                    if (s == 1) {
+                        offender = id;
+                        break;
+                    }
+                    if (s == 0) {
+                        dfs.back().second = edge;
+                        state[static_cast<size_t>(in.port.node)] = 1;
+                        dfs.emplace_back(in.port.node, 0);
+                        descended = true;
+                        break;
+                    }
+                }
+                if (offender != dfg::NoNode)
+                    break;
+                if (!descended) {
+                    state[static_cast<size_t>(id)] = 2;
+                    dfs.pop_back();
+                }
+            }
+        }
+        if (offender == dfg::NoNode)
+            return;
+        graph.at(offender).cfInNoc = false;
+    }
+}
+
+} // namespace
+
+int
+eliminateCommonSubexpressions(Graph &graph)
+{
+    int removedTotal = 0;
+    for (;;) {
+        graph.finalize();
+        // Key: kind/op/polarity/imm plus the exact operand list.
+        std::map<std::string, NodeId> seen;
+        std::vector<NodeId> replacement(
+            static_cast<size_t>(graph.size()), dfg::NoNode);
+        bool changed = false;
+        for (NodeId id = 0; id < graph.size(); id++) {
+            const Node &node = graph.at(id);
+            switch (node.kind) {
+              case NodeKind::Const:
+              case NodeKind::Arith:
+              case NodeKind::Steer:
+              case NodeKind::Merge:
+                break;
+              default:
+                continue; // stateful or side-effecting
+            }
+            std::string key;
+            key += static_cast<char>('A' + static_cast<int>(
+                node.kind));
+            key += csprintf("|%d|%d|%d", static_cast<int>(node.op),
+                            node.steerIfTrue ? 1 : 0, node.imm);
+            for (const auto &in : node.inputs) {
+                if (in.isWire()) {
+                    key += csprintf("|w%d.%d", in.port.node,
+                                    in.port.index);
+                } else if (in.isImm()) {
+                    key += csprintf("|i%d", in.imm);
+                } else {
+                    key += "|n";
+                }
+            }
+            auto [it, inserted] = seen.emplace(key, id);
+            if (!inserted) {
+                replacement[static_cast<size_t>(id)] = it->second;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+        for (auto &node : graph.nodes) {
+            for (auto &in : node.inputs) {
+                if (!in.isWire())
+                    continue;
+                NodeId r =
+                    replacement[static_cast<size_t>(in.port.node)];
+                if (r != dfg::NoNode)
+                    in.port.node = r;
+            }
+        }
+        removedTotal += graph.eliminateDeadNodes();
+    }
+    graph.finalize();
+    return removedTotal;
+}
+
+void
+placeControlFlow(Graph &graph, bool placeInNoc, bool memBypass)
+{
+    for (NodeId id = 0; id < graph.size(); id++) {
+        Node &node = graph.at(id);
+        if (!node.isControlFlow()) {
+            node.cfInNoc = false;
+            continue;
+        }
+        bool noc = placeInNoc;
+        // Dispatch reasons about its own output buffer (Sec. 4.7);
+        // it must live on a PE.
+        if (node.kind == NodeKind::Dispatch)
+            noc = false;
+        // CF fed by a bypassing memory unit would close a
+        // combinational loop through the bypass mux (Sec. 4.8).
+        if (noc && memBypass) {
+            for (const auto &in : node.inputs) {
+                if (in.isWire() &&
+                    graph.at(in.port.node).isMemory()) {
+                    noc = false;
+                }
+            }
+        }
+        node.cfInNoc = noc;
+    }
+    if (placeInNoc)
+        breakNocCycles(graph);
+}
+
+} // namespace pipestitch::compiler

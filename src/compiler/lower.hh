@@ -1,0 +1,62 @@
+/**
+ * @file
+ * SIR → DFG lowering: RipTide-style dataflow control-flow conversion
+ * plus Pipestitch's dispatch insertion (Sec. 4.8).
+ *
+ * The lowering walks the structured program maintaining a mapping
+ * from registers to the DFG ports currently producing their values:
+ *
+ *  - `if` becomes steers (conditional discard) on entry to each
+ *    branch plus merges (φ) for registers either branch assigns;
+ *  - loops become carry gates for loop-carried values, invariant
+ *    gates for loop-invariant values, steers gating the body, and
+ *    false-steers extracting live-out values on exit;
+ *  - unthreaded counted loops fuse their induction into affine
+ *    stream generators;
+ *  - loops selected for threading get `dispatch` gates instead of
+ *    carries, with invariants converted to carried values
+ *    (dispatch + steer backedge, Fig. 7);
+ *  - memory ordering: arrays that are both loaded and stored are
+ *    serialized through order tokens that thread through the same
+ *    carry/merge machinery as registers; write-only and read-only
+ *    arrays need no ordering (the foreach contract makes
+ *    cross-thread conflicts the programmer's responsibility).
+ */
+
+#ifndef PIPESTITCH_COMPILER_LOWER_HH
+#define PIPESTITCH_COMPILER_LOWER_HH
+
+#include <set>
+#include <vector>
+
+#include "dfg/graph.hh"
+#include "sir/program.hh"
+
+namespace pipestitch::compiler {
+
+/** Options controlling one lowering run. */
+struct LowerOptions
+{
+    /** One value per program live-in, in declaration order. The
+     *  scalar control core configures these into the fabric as
+     *  immediates when it launches the kernel. */
+    std::vector<sir::Word> liveInValues;
+
+    /** Loop ids (pre-order walk numbering) to compile as threaded
+     *  dispatch loops. */
+    std::set<int> threadLoops;
+
+    /** Fuse unthreaded counted loops into stream generators. */
+    bool useStreams = true;
+};
+
+/**
+ * Lower @p prog to a finalized, dead-code-eliminated DFG.
+ * Loop ids in the result are assigned in pre-order walk order and
+ * are stable across runs with different options.
+ */
+dfg::Graph lower(const sir::Program &prog, const LowerOptions &opts);
+
+} // namespace pipestitch::compiler
+
+#endif // PIPESTITCH_COMPILER_LOWER_HH

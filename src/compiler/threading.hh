@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The threading decision (Sec. 4.8): candidate loops are those
+ * directly nested in a `foreach` loop; a candidate is threaded iff
+ * its inner-loop initiation interval exceeds 1 on the unthreaded
+ * lowering (control flow in routers contributes no II).
+ */
+
+#ifndef PIPESTITCH_COMPILER_THREADING_HH
+#define PIPESTITCH_COMPILER_THREADING_HH
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "sir/program.hh"
+
+namespace pipestitch::compiler {
+
+/**
+ * Stable pre-order numbering of every loop statement. Both the
+ * lowering and the threading heuristic use this map so loop ids
+ * agree even when constant folding elides branches.
+ */
+std::unordered_map<const sir::Stmt *, int>
+numberLoops(const sir::Program &prog);
+
+/** Total number of loops in @p prog. */
+int countLoops(const sir::Program &prog);
+
+/** See compile.hh; ids follow the lowering's pre-order numbering. */
+std::set<int> findThreadingCandidates(const sir::Program &prog);
+
+/**
+ * Apply the II > 1 heuristic: lower @p prog unthreaded, measure each
+ * candidate's II, and return the loops to thread. @p outII receives
+ * the per-loop baseline II.
+ */
+std::set<int> decideThreading(const sir::Program &prog,
+                              const std::vector<sir::Word> &liveIns,
+                              bool useStreams,
+                              std::vector<int> &outII);
+
+} // namespace pipestitch::compiler
+
+#endif // PIPESTITCH_COMPILER_THREADING_HH

@@ -1,0 +1,113 @@
+#include "core/system.hh"
+
+#include "base/logging.hh"
+#include "compiler/timemux.hh"
+#include "scalar/interpreter.hh"
+
+namespace pipestitch {
+
+FabricRun
+runOnFabric(const workloads::KernelInstance &kernel,
+            const RunConfig &config)
+{
+    FabricRun run;
+
+    compiler::CompileOptions copts;
+    copts.variant = config.variant;
+    copts.threading = config.threading;
+    copts.useStreams = config.useStreams;
+    copts.bufferDepth = config.bufferDepth;
+    copts.unrollFactor = config.unrollFactor;
+    run.compiled =
+        compiler::compileProgram(kernel.prog, kernel.liveIns, copts);
+
+    fabric::Fabric fab(config.fabric);
+    compiler::ShareGroups shareGroups;
+    if (config.allowTimeMultiplex) {
+        shareGroups = compiler::planTimeMultiplexing(
+            run.compiled.graph, config.fabric);
+    }
+    double avgHops = 2.0; // fallback when mapping is skipped
+    if (config.map) {
+        mapper::MapperOptions mopts;
+        mopts.seed = config.mapperSeed;
+        mopts.shareGroups = shareGroups;
+        run.mapping = mapper::mapGraph(run.compiled.graph, fab, mopts);
+        if (!run.mapping.success) {
+            fatal("kernel %s does not map onto the fabric (%s): %s",
+                  kernel.name.c_str(),
+                  compiler::archVariantName(config.variant),
+                  run.mapping.error.c_str());
+        }
+        avgHops = run.mapping.avgHops;
+    }
+
+    run.memory = kernel.memory;
+    run.memory.resize(std::max(
+        run.memory.size(),
+        static_cast<size_t>(kernel.prog.memWords)));
+
+    auto simCfg = run.compiled.simConfig;
+    simCfg.bufferDepth = config.bufferDepth;
+    simCfg.memBanks = config.fabric.memBanks;
+    simCfg.checkThreadOrder = config.checkThreadOrder;
+    for (const auto &group : shareGroups) {
+        simCfg.shareGroups.emplace_back(group.begin(), group.end());
+    }
+    run.sim = sim::simulate(run.compiled.graph, run.memory, simCfg);
+    if (run.sim.deadlocked) {
+        fatal("kernel %s deadlocked on %s:\n%s", kernel.name.c_str(),
+              compiler::archVariantName(config.variant),
+              run.sim.diagnostic.c_str());
+    }
+
+    if (config.verifyAgainstGolden) {
+        scalar::MemImage golden = kernel.memory;
+        golden.resize(run.memory.size());
+        scalar::interpret(kernel.prog, golden, kernel.liveIns);
+        if (golden != run.memory) {
+            fatal("kernel %s on %s diverged from the golden model",
+                  kernel.name.c_str(),
+                  compiler::archVariantName(config.variant));
+        }
+    }
+
+    auto areaVariant =
+        config.variant == compiler::ArchVariant::RipTide
+            ? fabric::AreaVariant::RipTide
+            : fabric::AreaVariant::Pipestitch;
+    run.area = fabric::computeArea(fab, areaVariant,
+                                   config.bufferDepth);
+    run.energy =
+        config.map
+            ? energy::fabricEnergyMapped(run.sim.stats, run.area,
+                                         run.mapping,
+                                         run.compiled.graph.size())
+            : energy::fabricEnergy(run.sim.stats, run.area, avgHops,
+                                   run.compiled.graph.size());
+    run.seconds = energy::secondsFor(run.sim.stats.cycles,
+                                     config.fabric.clockMHz);
+    run.edp = energy::edp(run.energy, run.seconds);
+    return run;
+}
+
+ScalarRun
+runOnScalar(const workloads::KernelInstance &kernel,
+            const scalar::ScalarProfile &profile)
+{
+    ScalarRun run;
+    run.memory = kernel.memory;
+    run.memory.resize(std::max(
+        run.memory.size(),
+        static_cast<size_t>(kernel.prog.memWords)));
+    auto result =
+        scalar::interpret(kernel.prog, run.memory, kernel.liveIns);
+    run.counts = result.counts;
+    run.cycles = profile.cycles(run.counts);
+    run.seconds = profile.seconds(run.counts);
+    run.energy = energy::scalarEnergy(run.counts, profile);
+    run.edp = energy::edp(run.energy, run.seconds);
+    return run;
+}
+
+} // namespace pipestitch

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Public one-call API: compile a kernel for an architecture
+ * variant, map it onto the fabric, simulate it cycle-by-cycle, and
+ * account energy — or run the same kernel on a scalar-core model.
+ *
+ * This is the entry point examples and benches use:
+ *
+ * @code
+ *   auto kernel = workloads::makeSpmv(64, 0.9, seed);
+ *   RunConfig cfg;
+ *   cfg.variant = compiler::ArchVariant::Pipestitch;
+ *   FabricRun run = runOnFabric(kernel, cfg);
+ *   // run.sim.stats.cycles, run.energy.totalPj(), run.memory...
+ * @endcode
+ */
+
+#ifndef PIPESTITCH_CORE_SYSTEM_HH
+#define PIPESTITCH_CORE_SYSTEM_HH
+
+#include <string>
+
+#include "compiler/compile.hh"
+#include "energy/model.hh"
+#include "fabric/area.hh"
+#include "fabric/fabric.hh"
+#include "mapper/mapper.hh"
+#include "scalar/profile.hh"
+#include "sim/simulator.hh"
+#include "workloads/kernels.hh"
+
+namespace pipestitch {
+
+/** Configuration of one fabric execution. */
+struct RunConfig
+{
+    compiler::ArchVariant variant =
+        compiler::ArchVariant::Pipestitch;
+    int bufferDepth = 4;
+    fabric::FabricConfig fabric;
+    compiler::CompileOptions::Threading threading =
+        compiler::CompileOptions::Threading::Heuristic;
+    bool useStreams = true;
+
+    /** Spatial unrolling factor (see CompileOptions). */
+    int unrollFactor = 1;
+
+    /**
+     * Allow time-multiplexing (Sec. 6 extension): when the kernel's
+     * PE demand exceeds the fabric, fold cold (non-inner-loop)
+     * operators onto shared PEs instead of failing to map.
+     */
+    bool allowTimeMultiplex = false;
+
+    /** Map onto the fabric (adds placement/routing + real hop
+     *  counts). Disable for quick functional runs. */
+    bool map = true;
+
+    /** Verify the thread-ordering invariant with debug tags. */
+    bool checkThreadOrder = true;
+
+    /** Require the final memory image to match the golden scalar
+     *  interpreter (cheap insurance; on by default). */
+    bool verifyAgainstGolden = true;
+
+    uint64_t mapperSeed = 1;
+};
+
+/** Everything produced by one fabric execution. */
+struct FabricRun
+{
+    compiler::CompileResult compiled;
+    mapper::Mapping mapping;
+    sim::SimResult sim;
+    fabric::AreaBreakdown area;
+    energy::EnergyBreakdown energy;
+    scalar::MemImage memory; ///< final memory image
+
+    double seconds = 0;
+    double edp = 0; ///< pJ·s
+
+    int64_t cycles() const { return sim.stats.cycles; }
+};
+
+/** One scalar-core execution (golden model + baseline numbers). */
+struct ScalarRun
+{
+    scalar::EventCounts counts;
+    energy::EnergyBreakdown energy;
+    scalar::MemImage memory;
+    double cycles = 0;
+    double seconds = 0;
+    double edp = 0;
+};
+
+/** Compile+map+simulate @p kernel under @p config. fatal()s on
+ *  deadlock or golden-model mismatch — these are bugs, not data. */
+FabricRun runOnFabric(const workloads::KernelInstance &kernel,
+                      const RunConfig &config);
+
+/** Interpret @p kernel under @p profile (default: the RISC-V
+ *  control core the paper's "Scalar" bars use). */
+ScalarRun runOnScalar(
+    const workloads::KernelInstance &kernel,
+    const scalar::ScalarProfile &profile =
+        scalar::riptideScalarProfile());
+
+} // namespace pipestitch
+
+#endif // PIPESTITCH_CORE_SYSTEM_HH

@@ -1,0 +1,195 @@
+#include "dfg/analysis.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace pipestitch::dfg {
+
+namespace {
+
+/** 1 for operators that occupy a pipeline stage, 0 for CF. */
+int
+nodeWeight(const Node &node)
+{
+    return node.isControlFlow() ? 0 : 1;
+}
+
+/**
+ * Is @p id part of loop @p loopId or of a loop nested inside it?
+ * (Backedge cycles of an outer loop may pass through inner-loop
+ * exit logic, so the loop "region" includes descendants.)
+ */
+bool
+inLoopRegion(const Graph &graph, NodeId id, int loopId)
+{
+    int l = graph.at(id).loopId;
+    while (l >= 0) {
+        if (l == loopId)
+            return true;
+        l = graph.loopParent[static_cast<size_t>(l)];
+    }
+    return false;
+}
+
+} // namespace
+
+int
+computeLoopII(const Graph &graph, int loopId)
+{
+    // Collect the loop region and index it.
+    std::vector<NodeId> region;
+    std::vector<int> indexOf(static_cast<size_t>(graph.size()), -1);
+    for (NodeId id = 0; id < graph.size(); id++) {
+        if (inLoopRegion(graph, id, loopId)) {
+            indexOf[static_cast<size_t>(id)] =
+                static_cast<int>(region.size());
+            region.push_back(id);
+        }
+    }
+    const int n = static_cast<int>(region.size());
+    if (n == 0)
+        return 0;
+
+    // DAG edges: wire inputs between region nodes, except backedges.
+    // Record backedges (srcIdx -> dstIdx) separately.
+    std::vector<std::vector<int>> preds(static_cast<size_t>(n));
+    std::vector<std::pair<int, int>> backedges;
+    for (int i = 0; i < n; i++) {
+        const Node &node = graph.at(region[static_cast<size_t>(i)]);
+        for (int p = 0; p < node.numInputs(); p++) {
+            const Operand &in = node.inputs[static_cast<size_t>(p)];
+            if (!in.isWire())
+                continue;
+            int src = indexOf[static_cast<size_t>(in.port.node)];
+            if (src < 0)
+                continue; // value from outside the loop
+            if (Graph::isBackedgeInput(node, p)) {
+                // Only this loop's own backedges define its II;
+                // nested loops' backedges are excluded from the DAG
+                // but analyzed by their own computeLoopII call.
+                if (node.loopId == loopId)
+                    backedges.emplace_back(src, i);
+            } else {
+                preds[static_cast<size_t>(i)].push_back(src);
+            }
+        }
+    }
+
+    // Topological order of the region DAG (Kahn). Inner-loop
+    // backedges are already excluded via isBackedgeInput.
+    std::vector<int> indeg(static_cast<size_t>(n), 0);
+    std::vector<std::vector<int>> succs(static_cast<size_t>(n));
+    for (int i = 0; i < n; i++) {
+        for (int p : preds[static_cast<size_t>(i)]) {
+            succs[static_cast<size_t>(p)].push_back(i);
+            indeg[static_cast<size_t>(i)]++;
+        }
+    }
+    std::vector<int> topo;
+    topo.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; i++) {
+        if (indeg[static_cast<size_t>(i)] == 0)
+            topo.push_back(i);
+    }
+    for (size_t head = 0; head < topo.size(); head++) {
+        for (int s : succs[static_cast<size_t>(topo[head])]) {
+            if (--indeg[static_cast<size_t>(s)] == 0)
+                topo.push_back(s);
+        }
+    }
+    ps_assert(topo.size() == static_cast<size_t>(n),
+              "loop %d region is not a DAG after removing backedges",
+              loopId);
+
+    // For each backedge (src -> dst): heaviest path dst..src plus
+    // both endpoints' weights, i.e. total weight around the cycle.
+    int ii = 0;
+    for (auto [beSrc, beDst] : backedges) {
+        constexpr int kUnreach = -1000000;
+        std::vector<int> dist(static_cast<size_t>(n), kUnreach);
+        dist[static_cast<size_t>(beDst)] = nodeWeight(
+            graph.at(region[static_cast<size_t>(beDst)]));
+        for (int v : topo) {
+            if (dist[static_cast<size_t>(v)] == kUnreach)
+                continue;
+            int dv = dist[static_cast<size_t>(v)];
+            for (int s : succs[static_cast<size_t>(v)]) {
+                int w = nodeWeight(
+                    graph.at(region[static_cast<size_t>(s)]));
+                dist[static_cast<size_t>(s)] =
+                    std::max(dist[static_cast<size_t>(s)], dv + w);
+            }
+        }
+        if (dist[static_cast<size_t>(beSrc)] != kUnreach)
+            ii = std::max(ii, dist[static_cast<size_t>(beSrc)]);
+    }
+    return ii;
+}
+
+std::vector<NodeId>
+nocCfTopoOrder(const Graph &graph)
+{
+    std::vector<NodeId> nocNodes;
+    std::vector<int> indexOf(static_cast<size_t>(graph.size()), -1);
+    for (NodeId id = 0; id < graph.size(); id++) {
+        if (graph.at(id).cfInNoc) {
+            indexOf[static_cast<size_t>(id)] =
+                static_cast<int>(nocNodes.size());
+            nocNodes.push_back(id);
+        }
+    }
+    const int n = static_cast<int>(nocNodes.size());
+    std::vector<int> indeg(static_cast<size_t>(n), 0);
+    std::vector<std::vector<int>> succs(static_cast<size_t>(n));
+    for (int i = 0; i < n; i++) {
+        const Node &node = graph.at(nocNodes[static_cast<size_t>(i)]);
+        for (const auto &in : node.inputs) {
+            if (!in.isWire())
+                continue;
+            int src = indexOf[static_cast<size_t>(in.port.node)];
+            if (src < 0)
+                continue;
+            succs[static_cast<size_t>(src)].push_back(i);
+            indeg[static_cast<size_t>(i)]++;
+        }
+    }
+    std::vector<int> topo;
+    for (int i = 0; i < n; i++) {
+        if (indeg[static_cast<size_t>(i)] == 0)
+            topo.push_back(i);
+    }
+    for (size_t head = 0; head < topo.size(); head++) {
+        for (int s : succs[static_cast<size_t>(topo[head])]) {
+            if (--indeg[static_cast<size_t>(s)] == 0)
+                topo.push_back(s);
+        }
+    }
+    ps_assert(topo.size() == static_cast<size_t>(n),
+              "combinational cycle among CF-in-NoC nodes");
+    std::vector<NodeId> out;
+    out.reserve(static_cast<size_t>(n));
+    for (int i : topo)
+        out.push_back(nocNodes[static_cast<size_t>(i)]);
+    return out;
+}
+
+std::vector<int>
+innermostLoops(const Graph &graph)
+{
+    std::vector<bool> hasChild(static_cast<size_t>(graph.numLoops),
+                               false);
+    for (int l = 0; l < graph.numLoops; l++) {
+        int parent = graph.loopParent[static_cast<size_t>(l)];
+        if (parent >= 0)
+            hasChild[static_cast<size_t>(parent)] = true;
+    }
+    std::vector<int> out;
+    for (int l = 0; l < graph.numLoops; l++) {
+        if (!hasChild[static_cast<size_t>(l)])
+            out.push_back(l);
+    }
+    return out;
+}
+
+} // namespace pipestitch::dfg

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * DFG analyses: initiation-interval computation (the threading
+ * heuristic of Sec. 4.8) and evaluation order for combinational
+ * CF-in-NoC operators.
+ */
+
+#ifndef PIPESTITCH_DFG_ANALYSIS_HH
+#define PIPESTITCH_DFG_ANALYSIS_HH
+
+#include <vector>
+
+#include "dfg/graph.hh"
+
+namespace pipestitch::dfg {
+
+/**
+ * Initiation interval of loop @p loopId: the number of
+ * non-control-flow operators in the heaviest dependence cycle
+ * through the loop's backedges (control flow is assumed
+ * combinational in routers and contributes 0; Sec. 4.8).
+ *
+ * Returns 0 for a loop with no backedge cycle (e.g. fully
+ * stream-fused loops, which pipeline with II = 1 or better).
+ */
+int computeLoopII(const Graph &graph, int loopId);
+
+/**
+ * Topological order of the CF-in-NoC nodes by their wire
+ * dependencies on each other. Requires the graph to be free of
+ * combinational CF-in-NoC cycles (see dfg::verify).
+ */
+std::vector<NodeId> nocCfTopoOrder(const Graph &graph);
+
+/** Ids of innermost loops (loops that are no other loop's parent). */
+std::vector<int> innermostLoops(const Graph &graph);
+
+} // namespace pipestitch::dfg
+
+#endif // PIPESTITCH_DFG_ANALYSIS_HH

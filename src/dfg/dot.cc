@@ -1,0 +1,66 @@
+#include "dfg/dot.hh"
+
+#include <sstream>
+
+namespace pipestitch::dfg {
+
+namespace {
+
+const char *
+kindColor(const Node &node)
+{
+    switch (node.kind) {
+      case NodeKind::Dispatch: return "gold";
+      case NodeKind::Carry:
+      case NodeKind::Invariant:
+      case NodeKind::Merge:
+      case NodeKind::Steer: return "lightblue";
+      case NodeKind::Load:
+      case NodeKind::Store: return "palegreen";
+      case NodeKind::Stream: return "plum";
+      default: return "white";
+    }
+}
+
+} // namespace
+
+std::string
+toDot(const Graph &graph)
+{
+    std::ostringstream out;
+    out << "digraph \"" << graph.name << "\" {\n"
+        << "  node [shape=box, style=filled];\n";
+    for (NodeId id = 0; id < graph.size(); id++) {
+        const Node &n = graph.at(id);
+        out << "  n" << id << " [label=\"" << id << ": "
+            << nodeKindName(n.kind);
+        if (n.kind == NodeKind::Arith)
+            out << "." << sir::opcodeName(n.op);
+        if (n.kind == NodeKind::Steer)
+            out << (n.steerIfTrue ? ".T" : ".F");
+        if (!n.name.empty())
+            out << "\\n" << n.name;
+        if (n.loopId >= 0)
+            out << "\\nL" << n.loopId;
+        if (n.cfInNoc)
+            out << " (noc)";
+        out << "\", fillcolor=" << kindColor(n) << "];\n";
+    }
+    for (NodeId id = 0; id < graph.size(); id++) {
+        const Node &n = graph.at(id);
+        for (int i = 0; i < n.numInputs(); i++) {
+            const Operand &in = n.inputs[static_cast<size_t>(i)];
+            if (!in.isWire())
+                continue;
+            out << "  n" << in.port.node << " -> n" << id
+                << " [label=\"" << in.port.index << "->" << i << "\"";
+            if (Graph::isBackedgeInput(n, i))
+                out << ", style=dashed, color=red";
+            out << "];\n";
+        }
+    }
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace pipestitch::dfg

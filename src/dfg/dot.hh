@@ -1,0 +1,20 @@
+/**
+ * @file
+ * GraphViz export of dataflow graphs (debugging / documentation).
+ */
+
+#ifndef PIPESTITCH_DFG_DOT_HH
+#define PIPESTITCH_DFG_DOT_HH
+
+#include <string>
+
+#include "dfg/graph.hh"
+
+namespace pipestitch::dfg {
+
+/** Render @p graph in GraphViz dot syntax. */
+std::string toDot(const Graph &graph);
+
+} // namespace pipestitch::dfg
+
+#endif // PIPESTITCH_DFG_DOT_HH

@@ -1,0 +1,188 @@
+#include "dfg/graph.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace pipestitch::dfg {
+
+NodeId
+Graph::add(Node node)
+{
+    NodeId id = static_cast<NodeId>(nodes.size());
+    nodes.push_back(std::move(node));
+    finalized = false;
+    return id;
+}
+
+Node &
+Graph::at(NodeId id)
+{
+    ps_assert(id >= 0 && id < size(), "node id %d out of range", id);
+    return nodes[static_cast<size_t>(id)];
+}
+
+const Node &
+Graph::at(NodeId id) const
+{
+    ps_assert(id >= 0 && id < size(), "node id %d out of range", id);
+    return nodes[static_cast<size_t>(id)];
+}
+
+void
+Graph::connect(Port from, NodeId to, int inputIndex)
+{
+    Node &dst = at(to);
+    if (inputIndex >= dst.numInputs())
+        dst.inputs.resize(static_cast<size_t>(inputIndex) + 1);
+    dst.inputs[static_cast<size_t>(inputIndex)] = Operand::wire(from);
+    finalized = false;
+}
+
+bool
+Graph::isBackedgeInput(const Node &node, int inputIndex)
+{
+    switch (node.kind) {
+      case NodeKind::Carry:
+        return inputIndex == port_idx::CarryCont ||
+               inputIndex == port_idx::CarryDecider;
+      case NodeKind::Invariant:
+        return inputIndex == port_idx::InvDecider;
+      case NodeKind::Dispatch:
+        return inputIndex == port_idx::DispatchCont;
+      default:
+        return false;
+    }
+}
+
+void
+Graph::finalize()
+{
+    consumers.assign(nodes.size(), {});
+    for (size_t n = 0; n < nodes.size(); n++) {
+        consumers[n].assign(
+            static_cast<size_t>(nodes[n].numOutputs()), {});
+    }
+    for (size_t n = 0; n < nodes.size(); n++) {
+        const Node &node = nodes[n];
+        for (int i = 0; i < node.numInputs(); i++) {
+            const Operand &in = node.inputs[static_cast<size_t>(i)];
+            if (!in.isWire())
+                continue;
+            ps_assert(in.port.node >= 0 && in.port.node < size(),
+                      "node %zu input %d wired to bad node %d", n, i,
+                      in.port.node);
+            auto &outs = consumers[static_cast<size_t>(in.port.node)];
+            ps_assert(in.port.index >= 0 &&
+                          static_cast<size_t>(in.port.index) <
+                              outs.size(),
+                      "node %zu input %d wired to bad port %d", n, i,
+                      in.port.index);
+            outs[static_cast<size_t>(in.port.index)].push_back(
+                {static_cast<NodeId>(n), i});
+        }
+    }
+    finalized = true;
+}
+
+const std::vector<Consumer> &
+Graph::consumersOf(Port port) const
+{
+    ps_assert(finalized, "graph not finalized");
+    return consumers[static_cast<size_t>(port.node)]
+                    [static_cast<size_t>(port.index)];
+}
+
+int
+Graph::fanout(NodeId id) const
+{
+    ps_assert(finalized, "graph not finalized");
+    int total = 0;
+    for (const auto &outs : consumers[static_cast<size_t>(id)])
+        total += static_cast<int>(outs.size());
+    return total;
+}
+
+int
+Graph::eliminateDeadNodes()
+{
+    finalize();
+    // A node is live if it is a Store or transitively feeds one.
+    // Tokens simply stop being multicast to removed consumers, which
+    // is always safe in ordered dataflow.
+    std::vector<bool> live(nodes.size(), false);
+    std::vector<NodeId> work;
+    for (size_t n = 0; n < nodes.size(); n++) {
+        if (nodes[n].kind == NodeKind::Store) {
+            live[n] = true;
+            work.push_back(static_cast<NodeId>(n));
+        }
+    }
+    while (!work.empty()) {
+        NodeId id = work.back();
+        work.pop_back();
+        for (const auto &in : at(id).inputs) {
+            if (in.isWire() &&
+                !live[static_cast<size_t>(in.port.node)]) {
+                live[static_cast<size_t>(in.port.node)] = true;
+                work.push_back(in.port.node);
+            }
+        }
+    }
+
+    int removed = 0;
+    for (bool l : live) {
+        if (!l)
+            removed++;
+    }
+    if (removed == 0)
+        return 0;
+
+    std::vector<NodeId> remap(nodes.size(), NoNode);
+    std::vector<Node> kept;
+    kept.reserve(nodes.size() - static_cast<size_t>(removed));
+    for (size_t n = 0; n < nodes.size(); n++) {
+        if (live[n]) {
+            remap[n] = static_cast<NodeId>(kept.size());
+            kept.push_back(std::move(nodes[n]));
+        }
+    }
+    for (auto &node : kept) {
+        for (auto &in : node.inputs) {
+            if (in.isWire()) {
+                in.port.node =
+                    remap[static_cast<size_t>(in.port.node)];
+                ps_assert(in.port.node != NoNode,
+                          "live node consumes dead producer");
+            }
+        }
+    }
+    nodes = std::move(kept);
+    finalize();
+    return removed;
+}
+
+std::vector<int>
+Graph::peClassCounts() const
+{
+    std::vector<int> counts(5, 0);
+    for (const auto &node : nodes) {
+        if (node.cfInNoc)
+            continue;
+        counts[static_cast<size_t>(node.peClass())]++;
+    }
+    return counts;
+}
+
+std::vector<NodeId>
+Graph::nodesInLoop(int loopId) const
+{
+    std::vector<NodeId> out;
+    for (size_t n = 0; n < nodes.size(); n++) {
+        if (nodes[n].loopId == loopId)
+            out.push_back(static_cast<NodeId>(n));
+    }
+    return out;
+}
+
+} // namespace pipestitch::dfg

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The dataflow graph container and its construction helpers.
+ */
+
+#ifndef PIPESTITCH_DFG_GRAPH_HH
+#define PIPESTITCH_DFG_GRAPH_HH
+
+#include <string>
+#include <vector>
+
+#include "dfg/node.hh"
+
+namespace pipestitch::dfg {
+
+/** A consumer endpoint of an output port: (node, input index). */
+struct Consumer
+{
+    NodeId node;
+    int inputIndex;
+};
+
+/**
+ * A complete dataflow program: node list plus derived connectivity.
+ *
+ * Backedges (loop-carried wires into Carry::cont, Carry::decider,
+ * Invariant::decider, Dispatch::cont and the deciders of steers that
+ * feed them) make the graph cyclic; `isBackedgeInput()` identifies
+ * the canonical cycle-breaking ports so analyses can treat the rest
+ * as a DAG.
+ */
+class Graph
+{
+  public:
+    Graph() = default;
+    explicit Graph(std::string name) : name(std::move(name)) {}
+
+    std::string name;
+    std::vector<Node> nodes;
+
+    /** Number of loops (loop ids are 0..numLoops-1). */
+    int numLoops = 0;
+
+    /** Parent loop id per loop (-1 = top level). */
+    std::vector<int> loopParent;
+
+    /** True per loop if it was compiled as a threaded (dispatch) loop. */
+    std::vector<bool> loopThreaded;
+
+    /** Add a node; returns its id. */
+    NodeId add(Node node);
+
+    Node &at(NodeId id);
+    const Node &at(NodeId id) const;
+
+    int size() const { return static_cast<int>(nodes.size()); }
+
+    /** Connect @p from output port to input @p inputIndex of @p to. */
+    void connect(Port from, NodeId to, int inputIndex);
+
+    /**
+     * Ports whose incoming wire is a loop backedge (cycle breaker):
+     * Carry cont/decider, Invariant decider, Dispatch cont.
+     */
+    static bool isBackedgeInput(const Node &node, int inputIndex);
+
+    /** Recompute consumer lists; call after construction/mutation. */
+    void finalize();
+
+    /** Consumers of output @p port (valid after finalize()). */
+    const std::vector<Consumer> &consumersOf(Port port) const;
+
+    bool isFinalized() const { return finalized; }
+
+    /** Total consumer endpoints of node @p id across all outputs. */
+    int fanout(NodeId id) const;
+
+    /**
+     * Remove nodes that do not transitively feed any Store (the only
+     * externally observable effect). Dropping a consumer is always
+     * safe in ordered dataflow: producers simply multicast to fewer
+     * endpoints. Re-finalizes. @return number of removed nodes.
+     */
+    int eliminateDeadNodes();
+
+    /** Count nodes per PE class, excluding CF-in-NoC nodes. */
+    std::vector<int> peClassCounts() const;
+
+    /** Nodes (ids) belonging to loop @p loopId (innermost match). */
+    std::vector<NodeId> nodesInLoop(int loopId) const;
+
+  private:
+    // consumers[node][outPort] = list of (consumer, input index)
+    std::vector<std::vector<std::vector<Consumer>>> consumers;
+    bool finalized = false;
+};
+
+} // namespace pipestitch::dfg
+
+#endif // PIPESTITCH_DFG_GRAPH_HH

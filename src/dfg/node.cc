@@ -1,0 +1,104 @@
+#include "dfg/node.hh"
+
+#include "base/logging.hh"
+
+namespace pipestitch::dfg {
+
+const char *
+nodeKindName(NodeKind kind)
+{
+    switch (kind) {
+      case NodeKind::Trigger: return "trigger";
+      case NodeKind::Const: return "const";
+      case NodeKind::Arith: return "arith";
+      case NodeKind::Steer: return "steer";
+      case NodeKind::Carry: return "carry";
+      case NodeKind::Invariant: return "invariant";
+      case NodeKind::Merge: return "merge";
+      case NodeKind::Dispatch: return "dispatch";
+      case NodeKind::Load: return "load";
+      case NodeKind::Store: return "store";
+      case NodeKind::Stream: return "stream";
+    }
+    return "?";
+}
+
+const char *
+peClassName(PeClass c)
+{
+    switch (c) {
+      case PeClass::Arith: return "arith";
+      case PeClass::Multiplier: return "multiplier";
+      case PeClass::ControlFlow: return "control-flow";
+      case PeClass::Memory: return "memory";
+      case PeClass::Stream: return "stream";
+    }
+    return "?";
+}
+
+PeClass
+peClassFor(NodeKind kind, sir::Opcode op)
+{
+    switch (kind) {
+      case NodeKind::Trigger:
+        return PeClass::Arith; // placeholder; triggers use no PE
+      case NodeKind::Const:
+        // Constant replay is a gate (latched immediate released per
+        // region token) and maps to control-flow PEs or routers.
+        return PeClass::ControlFlow;
+      case NodeKind::Arith:
+        return sir::isMultiplierOp(op) ? PeClass::Multiplier
+                                       : PeClass::Arith;
+      case NodeKind::Steer:
+      case NodeKind::Carry:
+      case NodeKind::Invariant:
+      case NodeKind::Merge:
+      case NodeKind::Dispatch:
+        return PeClass::ControlFlow;
+      case NodeKind::Load:
+      case NodeKind::Store:
+        return PeClass::Memory;
+      case NodeKind::Stream:
+        return PeClass::Stream;
+    }
+    panic("unknown node kind");
+}
+
+int
+Node::numOutputs() const
+{
+    switch (kind) {
+      case NodeKind::Store:
+        return 1; // done token
+      case NodeKind::Load:
+        return 2; // data, done
+      case NodeKind::Stream:
+        return 2; // index, continue flag
+      default:
+        return 1;
+    }
+}
+
+bool
+Node::isControlFlow() const
+{
+    return peClass() == PeClass::ControlFlow;
+}
+
+bool
+Node::isMemory() const
+{
+    return kind == NodeKind::Load || kind == NodeKind::Store;
+}
+
+bool
+Node::hasWireInput() const
+{
+    for (const auto &in : inputs) {
+        if (in.isWire())
+            return true;
+    }
+    return false;
+}
+
+} // namespace pipestitch::dfg

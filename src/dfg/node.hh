@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Dataflow-graph node definitions.
+ *
+ * The DFG is the compiler's output and the simulator's input. It
+ * implements the Pipestitch ISA of Fig. 6: RipTide's ordered-dataflow
+ * operators (arith, steer, carry, invariant, merge, load/store,
+ * stream) plus the new `dispatch` operator.
+ */
+
+#ifndef PIPESTITCH_DFG_NODE_HH
+#define PIPESTITCH_DFG_NODE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sir/program.hh"
+
+namespace pipestitch::dfg {
+
+using Word = sir::Word;
+
+/** Node index within a Graph. */
+using NodeId = int32_t;
+constexpr NodeId NoNode = -1;
+
+/** Operator kinds (the ISA of Fig. 6, plus plumbing). */
+enum class NodeKind {
+    /** Emits a single token at cycle 0 (kernel start signal). */
+    Trigger,
+    /** Emits its immediate once per region token on its input. */
+    Const,
+    /** Two/three-input ALU op (sir::Opcode). */
+    Arith,
+    /** Forward input when decider matches polarity, else drop both. */
+    Steer,
+    /** Loop-carried value: init from A, then B while D (Fig. 6). */
+    Carry,
+    /** Loop invariant: latch A, replay while D. */
+    Invariant,
+    /** φ: select the true-side or false-side token by decider. */
+    Merge,
+    /** Pipestitch thread gate: select spawn vs. continuation set. */
+    Dispatch,
+    /** Memory read: addr (+optional order token) → data (+done). */
+    Load,
+    /** Memory write: addr, data (+optional order token) → (done). */
+    Store,
+    /** Affine sequence generator: begin/end → index + continue flag. */
+    Stream,
+};
+
+const char *nodeKindName(NodeKind kind);
+
+/** Hardware resource class a node occupies (paper's PE mix). */
+enum class PeClass { Arith, Multiplier, ControlFlow, Memory, Stream };
+
+const char *peClassName(PeClass c);
+
+/** Resource class for @p kind (Arith splits by opcode). */
+PeClass peClassFor(NodeKind kind, sir::Opcode op);
+
+/** Reference to a node's output port. */
+struct Port
+{
+    NodeId node = NoNode;
+    int index = 0;
+
+    bool valid() const { return node != NoNode; }
+    bool operator==(const Port &other) const = default;
+};
+
+/** An input operand: either a port connection or an immediate. */
+struct Operand
+{
+    enum class Kind { None, Wire, Imm };
+
+    Kind kind = Kind::None;
+    Port port;   // when Wire
+    Word imm = 0; // when Imm
+
+    static Operand none() { return {}; }
+
+    static Operand
+    wire(Port p)
+    {
+        Operand o;
+        o.kind = Kind::Wire;
+        o.port = p;
+        return o;
+    }
+
+    static Operand
+    imm_(Word v)
+    {
+        Operand o;
+        o.kind = Kind::Imm;
+        o.imm = v;
+        return o;
+    }
+
+    bool isWire() const { return kind == Kind::Wire; }
+    bool isImm() const { return kind == Kind::Imm; }
+    bool isNone() const { return kind == Kind::None; }
+};
+
+/** Canonical input-port indices per node kind. */
+namespace port_idx {
+// Arith: 0=a, 1=b, 2=c (Select only)
+// Steer: 0=decider, 1=value
+constexpr int SteerDecider = 0;
+constexpr int SteerValue = 1;
+// Carry: 0=init(A), 1=cont(B), 2=decider(D)
+constexpr int CarryInit = 0;
+constexpr int CarryCont = 1;
+constexpr int CarryDecider = 2;
+// Invariant: 0=value(A), 1=decider(D)
+constexpr int InvValue = 0;
+constexpr int InvDecider = 1;
+// Merge: 0=decider, 1=true-side, 2=false-side
+constexpr int MergeDecider = 0;
+constexpr int MergeTrue = 1;
+constexpr int MergeFalse = 2;
+// Dispatch: 0=spawn(S), 1=cont(C)
+constexpr int DispatchSpawn = 0;
+constexpr int DispatchCont = 1;
+// Load: 0=addr, 1=order (optional)
+constexpr int LoadAddr = 0;
+constexpr int LoadOrder = 1;
+// Store: 0=addr, 1=data, 2=order (optional)
+constexpr int StoreAddr = 0;
+constexpr int StoreData = 1;
+constexpr int StoreOrder = 2;
+// Stream: 0=begin, 1=end, 2=trigger (optional)
+constexpr int StreamBegin = 0;
+constexpr int StreamEnd = 1;
+constexpr int StreamTrigger = 2;
+// Stream outputs: 0=index, 1=continue flag
+constexpr int StreamIdxOut = 0;
+constexpr int StreamCondOut = 1;
+// Load outputs: 0=data, 1=done;  Store outputs: 0=done
+constexpr int LoadDataOut = 0;
+constexpr int LoadDoneOut = 1;
+constexpr int StoreDoneOut = 0;
+} // namespace port_idx
+
+/** One dataflow operator. */
+struct Node
+{
+    NodeKind kind = NodeKind::Arith;
+    sir::Opcode op = sir::Opcode::Add; // Arith only
+    bool steerIfTrue = true;           // Steer polarity
+    Word imm = 0;                      // Const value
+    Word streamStep = 1;               // Stream step
+
+    std::vector<Operand> inputs;
+
+    /**
+     * Innermost enclosing loop id (-1 = top level). Dispatch nodes
+     * with the same loopId form one SyncPlane group.
+     */
+    int loopId = -1;
+    /** Loop nesting depth (0 = top level). */
+    int loopDepth = 0;
+    /** True for nodes belonging to an innermost loop (Fig. 18). */
+    bool innerLoop = false;
+
+    /** Mapped into a NoC router instead of a PE (CF-in-NoC). */
+    bool cfInNoc = false;
+
+    /** sir::ArrayId accessed (Load/Store; AnyArray if unknown). */
+    sir::ArrayId array = sir::AnyArray;
+
+    std::string name;
+
+    int numOutputs() const;
+    int numInputs() const { return static_cast<int>(inputs.size()); }
+    bool isControlFlow() const;
+    bool isMemory() const;
+    PeClass peClass() const { return peClassFor(kind, op); }
+
+    /** True if the node has at least one wire input. */
+    bool hasWireInput() const;
+};
+
+} // namespace pipestitch::dfg
+
+#endif // PIPESTITCH_DFG_NODE_HH

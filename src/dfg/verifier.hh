@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Structural validity checks for dataflow graphs.
+ */
+
+#ifndef PIPESTITCH_DFG_VERIFIER_HH
+#define PIPESTITCH_DFG_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hh"
+
+namespace pipestitch::dfg {
+
+/**
+ * Check @p graph: input arity per node kind, required wire inputs
+ * (token-producing nodes must be driven by at least one wire; carry
+ * init and dispatch spawn must be wires), dispatch groups share a
+ * threaded loop, and no combinational cycle exists through CF-in-NoC
+ * nodes (which the mapper must forbid, Sec. 4.8).
+ *
+ * @return list of problems; empty when valid.
+ */
+std::vector<std::string> verify(const Graph &graph);
+
+/** Verify and fatal() on the first problem. */
+void verifyOrDie(const Graph &graph);
+
+} // namespace pipestitch::dfg
+
+#endif // PIPESTITCH_DFG_VERIFIER_HH

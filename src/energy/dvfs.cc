@@ -1,0 +1,27 @@
+#include "energy/dvfs.hh"
+
+#include <algorithm>
+
+namespace pipestitch::energy {
+
+DvfsPoint
+scaleToRate(int64_t cycles, double dynamicPj, double leakagePw,
+            double nominalMHz, double targetRate,
+            double vminFraction)
+{
+    DvfsPoint out;
+    // Required frequency for the target rate.
+    double needed =
+        targetRate * static_cast<double>(cycles) / 1e6; // MHz
+    double f = std::max(needed, nominalMHz * vminFraction);
+    double scale = f / nominalMHz; // V ∝ f ⇒ E_dyn ∝ f²
+    double runSeconds = static_cast<double>(cycles) / (f * 1e6);
+    // Leakage power scales ∝ V (first order).
+    double leak = leakagePw * scale * runSeconds;
+    out.freqMHz = f;
+    out.rate = 1.0 / runSeconds;
+    out.energyPj = dynamicPj * scale * scale + leak;
+    return out;
+}
+
+} // namespace pipestitch::energy

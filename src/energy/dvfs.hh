@@ -1,0 +1,41 @@
+/**
+ * @file
+ * First-order DVFS model (Sec. 2.2, Fig. 4): with V ∝ f, dynamic
+ * energy per operation scales as V² ∝ f², while leakage energy per
+ * second is constant (so leakage per run scales as 1/f). Pipestitch
+ * finishes the same work in fewer cycles, so at iso-throughput it
+ * can run at a lower frequency and voltage than RipTide.
+ */
+
+#ifndef PIPESTITCH_ENERGY_DVFS_HH
+#define PIPESTITCH_ENERGY_DVFS_HH
+
+#include "energy/model.hh"
+
+namespace pipestitch::energy {
+
+struct DvfsPoint
+{
+    double freqMHz = 0;
+    double rate = 0;     ///< kernels per second at this frequency
+    double energyPj = 0; ///< energy per kernel execution
+};
+
+/**
+ * Scale an execution measured at @p params.clockMHz to the frequency
+ * that achieves @p targetRate (kernel executions per second).
+ *
+ * @param cycles    cycles per kernel execution (frequency-invariant)
+ * @param dynamicPj dynamic energy per execution at nominal V/f
+ * @param leakagePw leakage power at nominal voltage, in pJ/s
+ * @param nominalMHz nominal frequency (V scales linearly with f)
+ * @param vminFraction lowest usable V/f fraction (technology limit)
+ */
+DvfsPoint scaleToRate(int64_t cycles, double dynamicPj,
+                      double leakagePw, double nominalMHz,
+                      double targetRate,
+                      double vminFraction = 0.4);
+
+} // namespace pipestitch::energy
+
+#endif // PIPESTITCH_ENERGY_DVFS_HH

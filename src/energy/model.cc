@@ -1,0 +1,123 @@
+#include "energy/model.hh"
+
+namespace pipestitch::energy {
+
+namespace {
+
+/** Core accounting shared by the averaged and mapped variants;
+ *  @p nocDynOverride replaces the traversal term when >= 0. */
+EnergyBreakdown
+fabricEnergyImpl(const sim::SimStats &stats,
+                 const fabric::AreaBreakdown &area, double avgHops,
+                 int nodes, const EnergyParams &params,
+                 double nocTraversalPjOverride)
+{
+    EnergyBreakdown out;
+
+    double peDyn = 0;
+    for (size_t c = 0; c < 5; c++) {
+        peDyn += static_cast<double>(stats.classFires[c]) *
+                 params.peFirePj[c];
+    }
+    double bufDyn =
+        static_cast<double>(stats.bufferWrites) *
+            params.bufferWritePj +
+        static_cast<double>(stats.bufferReads) * params.bufferReadPj;
+    double traversalPj =
+        nocTraversalPjOverride >= 0
+            ? nocTraversalPjOverride
+            : static_cast<double>(stats.nocTraversals) *
+                  (params.nocBasePj +
+                   avgHops * params.nocPerHopPj);
+    double nocDyn =
+        traversalPj +
+        static_cast<double>(stats.nocCfFires) * params.nocCfFirePj;
+    double syncDyn = static_cast<double>(stats.syncPlaneCycles) *
+                     params.syncPlanePj;
+    double muxDyn = static_cast<double>(stats.muxSwitches) *
+                    params.muxSwitchPj;
+
+    double cycles = static_cast<double>(stats.cycles);
+    double fabricLeak = (area.peUm2 + area.nocUm2) *
+                        params.leakagePjPerUm2PerCycle * cycles;
+    out.cgraPj = peDyn + bufDyn + nocDyn + syncDyn + muxDyn +
+                 fabricLeak;
+
+    double memDyn =
+        static_cast<double>(stats.memLoads + stats.memStores) *
+        params.bankAccessPj;
+    double memLeak =
+        area.memUm2 * params.leakagePjPerUm2PerCycle * cycles;
+    out.memPj = memDyn + memLeak;
+
+    // The scalar core configures the fabric, then sleeps (leakage).
+    out.scalarPj =
+        params.configPjPerNode * static_cast<double>(nodes) +
+        area.scalarUm2 * params.leakagePjPerUm2PerCycle * cycles;
+
+    out.otherPj =
+        (peDyn + bufDyn + nocDyn + memDyn) * params.otherFraction +
+        area.otherUm2 * params.leakagePjPerUm2PerCycle * cycles;
+    return out;
+}
+
+} // namespace
+
+EnergyBreakdown
+fabricEnergy(const sim::SimStats &stats,
+             const fabric::AreaBreakdown &area, double avgHops,
+             int nodes, const EnergyParams &params)
+{
+    return fabricEnergyImpl(stats, area, avgHops, nodes, params,
+                            -1.0);
+}
+
+EnergyBreakdown
+fabricEnergyMapped(const sim::SimStats &stats,
+                   const fabric::AreaBreakdown &area,
+                   const mapper::Mapping &mapping, int nodes,
+                   const EnergyParams &params)
+{
+    double traversalPj = 0;
+    for (size_t n = 0; n < stats.portReads.size(); n++) {
+        for (size_t i = 0; i < stats.portReads[n].size(); i++) {
+            int64_t reads = stats.portReads[n][i];
+            if (reads == 0)
+                continue;
+            int hops = mapping.hopsOf[n][i];
+            traversalPj +=
+                static_cast<double>(reads) *
+                (params.nocBasePj + hops * params.nocPerHopPj);
+        }
+    }
+    return fabricEnergyImpl(stats, area, mapping.avgHops, nodes,
+                            params, traversalPj);
+}
+
+EnergyBreakdown
+scalarEnergy(const scalar::EventCounts &counts,
+             const scalar::ScalarProfile &profile)
+{
+    EnergyBreakdown out;
+    double memDyn =
+        static_cast<double>(counts.load + counts.store) *
+        profile.pjPerMemAccess;
+    double total = profile.energyPj(counts);
+    out.memPj = memDyn;
+    out.scalarPj = total - memDyn;
+    return out;
+}
+
+double
+secondsFor(int64_t cycles, double clockMHz)
+{
+    return static_cast<double>(cycles) / (clockMHz * 1e6);
+}
+
+double
+edp(const EnergyBreakdown &energy, double seconds)
+{
+    return energy.totalPj() * seconds;
+}
+
+} // namespace pipestitch::energy

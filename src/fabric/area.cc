@@ -1,0 +1,100 @@
+#include "fabric/area.hh"
+
+#include "base/logging.hh"
+#include "base/table.hh"
+
+namespace pipestitch::fabric {
+
+namespace {
+
+// Per-class FU + local control area (µm², sub-28nm-class, from
+// synthesis-magnitude estimates calibrated to Fig. 16's breakdown).
+constexpr double kPeBase[] = {
+    2600.0, // Arith
+    7000.0, // Multiplier
+    1800.0, // ControlFlow
+    3200.0, // Memory
+    3600.0, // Stream
+};
+
+// Input ports per PE class (token buffer count in destination mode).
+constexpr int kInPorts[] = {2, 2, 3, 3, 3};
+
+/** One 32-bit token buffer slot (latch + valid/credit control). */
+constexpr double kSlotUm2 = 60.0;
+
+/** One NoC router (crossbar, static route table, CF-in-NoC logic). */
+constexpr double kRouterUm2 = 6230.0;
+
+/** SyncPlane: per-CF-PE taps plus the central reduction tree. */
+constexpr double kSyncPlanePerCfPe = 150.0;
+constexpr double kSyncPlaneTree = 2200.0;
+
+/** Scratchpad SRAM (compiled macros). */
+constexpr double kMemUm2PerByte = 1.27;
+
+/** RISC-V control core + boot/config logic. */
+constexpr double kScalarUm2 = 16000.0;
+
+/** Clocking, config network, top-level glue ("Other"). */
+constexpr double kOtherUm2 = 23000.0;
+
+} // namespace
+
+AreaBreakdown
+computeArea(const Fabric &fabric, AreaVariant variant,
+            int bufferDepth)
+{
+    const auto &cfg = fabric.config();
+    AreaBreakdown out;
+
+    for (int pe = 0; pe < fabric.numPes(); pe++) {
+        auto cls = fabric.classAt(pe);
+        size_t ci = static_cast<size_t>(cls);
+        double area = kPeBase[ci];
+        if (variant == AreaVariant::RipTide) {
+            // Source buffering: one output FIFO per PE.
+            area += bufferDepth * kSlotUm2;
+        } else {
+            // Destination buffering: a FIFO per input port...
+            area += kInPorts[ci] * bufferDepth * kSlotUm2;
+            // ...plus output buffers on CF and memory PEs (4.7).
+            if (cls == PeClass::ControlFlow ||
+                cls == PeClass::Memory) {
+                area += bufferDepth * kSlotUm2;
+            }
+            if (cls == PeClass::ControlFlow)
+                area += kSyncPlanePerCfPe;
+        }
+        out.peUm2 += area;
+    }
+
+    out.nocUm2 = fabric.numPes() * kRouterUm2;
+    if (variant == AreaVariant::Pipestitch)
+        out.nocUm2 += kSyncPlaneTree;
+
+    out.memUm2 = static_cast<double>(cfg.memBytes) * kMemUm2PerByte;
+    out.scalarUm2 = kScalarUm2;
+    out.otherUm2 = kOtherUm2;
+    return out;
+}
+
+std::string
+AreaBreakdown::table() const
+{
+    Table t({"Component", "Area (mm^2)", "Share"});
+    double total = totalUm2();
+    auto row = [&](const char *name, double um2) {
+        t.addRow({name, Table::fmt(um2 / 1e6, 3),
+                  Table::fmt(100.0 * um2 / total, 1) + "%"});
+    };
+    row("PE", peUm2);
+    row("NoC", nocUm2);
+    row("Mem", memUm2);
+    row("Scalar", scalarUm2);
+    row("Other", otherUm2);
+    t.addRow({"Total", Table::fmt(total / 1e6, 3), "100.0%"});
+    return t.render();
+}
+
+} // namespace pipestitch::fabric

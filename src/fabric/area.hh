@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Area model (Fig. 16): per-component areas in a sub-28nm-class
+ * process, calibrated so the full Pipestitch system lands near the
+ * paper's ~1.0 mm² with its reported breakdown (PE 23.0 %,
+ * NoC 39.9 %, memory 33.2 %, other 2.3 %), and so Pipestitch's
+ * fabric is ~1.10× RipTide's (extra buffering + SyncPlane,
+ * Sec. 5.6).
+ */
+
+#ifndef PIPESTITCH_FABRIC_AREA_HH
+#define PIPESTITCH_FABRIC_AREA_HH
+
+#include <string>
+
+#include "fabric/fabric.hh"
+
+namespace pipestitch::fabric {
+
+/** Which design's buffers/SyncPlane to account for. */
+enum class AreaVariant { RipTide, Pipestitch };
+
+struct AreaBreakdown
+{
+    double peUm2 = 0;
+    double nocUm2 = 0;
+    double memUm2 = 0;
+    double scalarUm2 = 0;
+    double otherUm2 = 0;
+
+    double totalUm2() const
+    {
+        return peUm2 + nocUm2 + memUm2 + scalarUm2 + otherUm2;
+    }
+
+    double totalMm2() const { return totalUm2() / 1e6; }
+
+    std::string table() const;
+};
+
+/**
+ * Compute the system area for @p fabric.
+ *
+ * @param variant     RipTide (source buffers, no SyncPlane) or
+ *                    Pipestitch (input + CF/mem output buffers,
+ *                    SyncPlane reduction tree).
+ * @param bufferDepth token-buffer depth (Fig. 20's sweep trades
+ *                    buffer area for performance).
+ */
+AreaBreakdown computeArea(const Fabric &fabric, AreaVariant variant,
+                          int bufferDepth = 4);
+
+} // namespace pipestitch::fabric
+
+#endif // PIPESTITCH_FABRIC_AREA_HH

@@ -1,0 +1,139 @@
+#include "fabric/fabric.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace pipestitch::fabric {
+
+int
+manhattan(Coord a, Coord b)
+{
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+Fabric::Fabric(const FabricConfig &config) : cfg(config)
+{
+    int total = 0;
+    for (int c : cfg.peMix)
+        total += c;
+    ps_assert(total == cfg.numPes(),
+              "PE mix sums to %d but the grid has %d positions",
+              total, cfg.numPes());
+
+    // Lay out the fabric: memory PEs fill the left columns (adjacent
+    // to the SRAM banks), stream PEs take the top-right corner, the
+    // two multipliers sit centrally, and arith/CF interleave over
+    // the remainder.
+    classes.assign(static_cast<size_t>(cfg.numPes()),
+                   PeClass::Arith);
+    std::vector<bool> used(static_cast<size_t>(cfg.numPes()), false);
+
+    auto place = [&](PeClass c, int pe) {
+        classes[static_cast<size_t>(pe)] = c;
+        used[static_cast<size_t>(pe)] = true;
+    };
+
+    int remainingMem = cfg.peMix[static_cast<size_t>(PeClass::Memory)];
+    for (int x = 0; x < cfg.width && remainingMem > 0; x++) {
+        for (int y = 0; y < cfg.height && remainingMem > 0; y++) {
+            place(PeClass::Memory, peAt({x, y}));
+            remainingMem--;
+        }
+    }
+    int remainingStream =
+        cfg.peMix[static_cast<size_t>(PeClass::Stream)];
+    for (int y = 0; y < cfg.height && remainingStream > 0; y++) {
+        int pe = peAt({cfg.width - 1, y});
+        if (!used[static_cast<size_t>(pe)]) {
+            place(PeClass::Stream, pe);
+            remainingStream--;
+        }
+    }
+    int remainingMul =
+        cfg.peMix[static_cast<size_t>(PeClass::Multiplier)];
+    for (int y = cfg.height / 2;
+         y < cfg.height && remainingMul > 0; y++) {
+        int pe = peAt({cfg.width / 2, y});
+        if (!used[static_cast<size_t>(pe)]) {
+            place(PeClass::Multiplier, pe);
+            remainingMul--;
+        }
+    }
+    // Interleave CF and arith over what is left, CF first (they are
+    // the most numerous and benefit from even spread).
+    int remainingCf =
+        cfg.peMix[static_cast<size_t>(PeClass::ControlFlow)];
+    int remainingArith =
+        cfg.peMix[static_cast<size_t>(PeClass::Arith)];
+    bool takeCf = true;
+    for (int pe = 0; pe < cfg.numPes(); pe++) {
+        if (used[static_cast<size_t>(pe)])
+            continue;
+        if ((takeCf && remainingCf > 0) || remainingArith == 0) {
+            place(PeClass::ControlFlow, pe);
+            remainingCf--;
+        } else {
+            place(PeClass::Arith, pe);
+            remainingArith--;
+        }
+        takeCf = !takeCf;
+    }
+    ps_assert(remainingCf == 0 && remainingArith == 0 &&
+                  remainingMem == 0 && remainingStream == 0 &&
+                  remainingMul == 0,
+              "fabric layout failed to place all PEs");
+
+    byClass.assign(5, {});
+    for (int pe = 0; pe < cfg.numPes(); pe++) {
+        byClass[static_cast<size_t>(classes[static_cast<size_t>(pe)])]
+            .push_back(pe);
+    }
+}
+
+PeClass
+Fabric::classAt(int pe) const
+{
+    return classes[static_cast<size_t>(pe)];
+}
+
+Coord
+Fabric::coordOf(int pe) const
+{
+    return {pe % cfg.width, pe / cfg.width};
+}
+
+int
+Fabric::peAt(Coord c) const
+{
+    return c.y * cfg.width + c.x;
+}
+
+const std::vector<int> &
+Fabric::pesOfClass(PeClass c) const
+{
+    return byClass[static_cast<size_t>(c)];
+}
+
+std::string
+Fabric::describe() const
+{
+    std::ostringstream out;
+    for (int y = cfg.height - 1; y >= 0; y--) {
+        for (int x = 0; x < cfg.width; x++) {
+            switch (classAt(peAt({x, y}))) {
+              case PeClass::Arith: out << 'A'; break;
+              case PeClass::Multiplier: out << 'X'; break;
+              case PeClass::ControlFlow: out << 'C'; break;
+              case PeClass::Memory: out << 'M'; break;
+              case PeClass::Stream: out << 'S'; break;
+            }
+            out << ' ';
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+} // namespace pipestitch::fabric

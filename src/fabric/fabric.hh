@@ -1,0 +1,93 @@
+/**
+ * @file
+ * CGRA fabric description: the 8×8 grid of heterogeneous PEs with
+ * the paper's PE mix (16 arith, 2 multiply, 28 control-flow,
+ * 14 memory, 4 stream — Sec. 5.1), plus the NoC topology used by
+ * the mapper.
+ */
+
+#ifndef PIPESTITCH_FABRIC_FABRIC_HH
+#define PIPESTITCH_FABRIC_FABRIC_HH
+
+#include <string>
+#include <vector>
+
+#include "dfg/node.hh"
+
+namespace pipestitch::fabric {
+
+using dfg::PeClass;
+
+/** Grid coordinates. */
+struct Coord
+{
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const Coord &other) const = default;
+};
+
+/** Manhattan distance (the NoC is a 2-D mesh). */
+int manhattan(Coord a, Coord b);
+
+struct FabricConfig
+{
+    int width = 8;
+    int height = 8;
+
+    /** PE count per dfg::PeClass (Arith, Mult, CF, Mem, Stream). */
+    std::vector<int> peMix = {16, 2, 28, 14, 4};
+
+    /** Control-flow ops one router can absorb (CF-in-NoC). */
+    int routerCfCapacity = 2;
+
+    /** Wires per mesh link direction (routing capacity). The
+     *  statically-routed NoC must fit all circuit-switched routes;
+     *  8 channels absorb the CF-in-NoC hotspots of the largest
+     *  kernels (SpMSpMd). */
+    int linkCapacity = 8;
+
+    /** Scratchpad size (bytes) and banking. */
+    int64_t memBytes = 256 * 1024;
+    int memBanks = 16;
+
+    double clockMHz = 50.0;
+
+    int numPes() const { return width * height; }
+};
+
+/**
+ * A concrete fabric: PE classes assigned to grid positions.
+ *
+ * Memory PEs sit on the left columns (near the SRAM macros), stream
+ * and multiply PEs are distributed, and the rest of the grid
+ * alternates arith and control-flow PEs — mirroring the floorplan
+ * style of RipTide-class fabrics.
+ */
+class Fabric
+{
+  public:
+    explicit Fabric(const FabricConfig &config = FabricConfig{});
+
+    const FabricConfig &config() const { return cfg; }
+
+    int numPes() const { return cfg.numPes(); }
+
+    PeClass classAt(int pe) const;
+    Coord coordOf(int pe) const;
+    int peAt(Coord c) const;
+
+    /** All PE indices of one class. */
+    const std::vector<int> &pesOfClass(PeClass c) const;
+
+    std::string describe() const;
+
+  private:
+    FabricConfig cfg;
+    std::vector<PeClass> classes;               // per PE
+    std::vector<std::vector<int>> byClass;      // per PeClass
+};
+
+} // namespace pipestitch::fabric
+
+#endif // PIPESTITCH_FABRIC_FABRIC_HH

@@ -1,0 +1,31 @@
+#include "harvest/harvest.hh"
+
+#include <algorithm>
+
+namespace pipestitch::harvest {
+
+double
+endToEndRate(const Platform &platform, double powerW,
+             const HarvesterConfig &cfg)
+{
+    double usable = powerW * cfg.harvestEfficiency - cfg.sleepPowerW;
+    if (usable <= 0)
+        return 0;
+    double energyLimited = usable / platform.inferenceJoules;
+    double perfLimited = 1.0 / platform.inferenceSeconds;
+    return std::min(energyLimited, perfLimited);
+}
+
+std::optional<double>
+lifetimeYears(const Platform &platform, double rateHz,
+              const BatteryConfig &cfg)
+{
+    if (rateHz > 1.0 / platform.inferenceSeconds)
+        return std::nullopt; // beyond the performance wall
+    double draw =
+        rateHz * platform.inferenceJoules + cfg.sleepPowerW;
+    double seconds = cfg.energyJoules / draw;
+    return seconds / (365.25 * 24 * 3600);
+}
+
+} // namespace pipestitch::harvest

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Extreme-edge system models for the end-to-end figures:
+ *
+ *  - Fig. 1: end-to-end inference rate vs. harvested input power.
+ *    The device banks harvested energy and duty-cycles: if the
+ *    harvester cannot sustain continuous compute, rate is
+ *    energy-limited (P/E); otherwise it is performance-limited
+ *    (1/T). Pipestitch's higher peak performance raises the plateau
+ *    and keeps harvested energy from being stranded.
+ *
+ *  - Fig. 3: device lifetime on a primary D-cell battery vs. target
+ *    inference rate, including sleep power. A system cannot serve
+ *    rates beyond its performance wall at 1/T.
+ */
+
+#ifndef PIPESTITCH_HARVEST_HARVEST_HH
+#define PIPESTITCH_HARVEST_HARVEST_HH
+
+#include <optional>
+#include <vector>
+
+namespace pipestitch::harvest {
+
+/** One compute platform's per-inference cost. */
+struct Platform
+{
+    const char *name;
+    double inferenceSeconds;
+    double inferenceJoules;
+};
+
+struct HarvesterConfig
+{
+    /** Fraction of harvested power surviving conversion/storage. */
+    double harvestEfficiency = 0.8;
+    /** Always-on sleep/standby power (W). */
+    double sleepPowerW = 2e-6;
+};
+
+/**
+ * Achievable end-to-end rate (Hz) at harvested power @p powerW
+ * (Fig. 1): min(energy-limited, performance-limited), zero when the
+ * harvester cannot even cover sleep power.
+ */
+double endToEndRate(const Platform &platform, double powerW,
+                    const HarvesterConfig &cfg = HarvesterConfig{});
+
+struct BatteryConfig
+{
+    /** Primary D-cell: ~1.5 V × 12 Ah ≈ 65 kJ usable. */
+    double energyJoules = 65e3;
+    double sleepPowerW = 2e-6;
+};
+
+/**
+ * Lifetime in years at a sustained @p rateHz (Fig. 3); empty when
+ * the platform cannot reach that rate (its performance wall).
+ */
+std::optional<double> lifetimeYears(
+    const Platform &platform, double rateHz,
+    const BatteryConfig &cfg = BatteryConfig{});
+
+} // namespace pipestitch::harvest
+
+#endif // PIPESTITCH_HARVEST_HARVEST_HH

@@ -1,0 +1,380 @@
+#include "mapper/mapper.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace pipestitch::mapper {
+
+using dfg::Graph;
+using dfg::Node;
+using dfg::NodeId;
+using dfg::NodeKind;
+using dfg::PeClass;
+using fabric::Coord;
+using fabric::Fabric;
+
+namespace {
+
+/** Edges as (producer node, consumer node, consumer input). */
+struct FlatEdge
+{
+    NodeId from;
+    NodeId to;
+    int input;
+};
+
+class MapperRun
+{
+  public:
+    MapperRun(const Graph &graph, const Fabric &fab,
+              const MapperOptions &opts)
+        : graph(graph), fab(fab), opts(opts), rng(opts.seed)
+    {}
+
+    Mapping run();
+
+  private:
+    bool place(Mapping &m);
+    void applyAliases(Mapping &m);
+    void anneal(Mapping &m);
+    void placeNocNodes(Mapping &m);
+    bool route(Mapping &m);
+    Coord posOf(const Mapping &m, NodeId id) const;
+
+    const Graph &graph;
+    const Fabric &fab;
+    const MapperOptions &opts;
+    Rng rng;
+    std::vector<FlatEdge> edges;
+    std::vector<std::vector<NodeId>> adjacent; // node → neighbors
+};
+
+Coord
+MapperRun::posOf(const Mapping &m, NodeId id) const
+{
+    int pe = m.peOf[static_cast<size_t>(id)];
+    if (pe < 0)
+        pe = m.routerOf[static_cast<size_t>(id)];
+    if (pe < 0)
+        return {0, 0}; // trigger: injected from the scalar core corner
+    return fab.coordOf(pe);
+}
+
+bool
+MapperRun::place(Mapping &m)
+{
+    m.peOf.assign(static_cast<size_t>(graph.size()), -1);
+    m.routerOf.assign(static_cast<size_t>(graph.size()), -1);
+
+    // Time-multiplexed members alias their group representative.
+    std::vector<NodeId> aliasOf(
+        static_cast<size_t>(graph.size()), dfg::NoNode);
+    for (const auto &group : opts.shareGroups) {
+        for (size_t i = 1; i < group.size(); i++)
+            aliasOf[static_cast<size_t>(group[i])] = group[0];
+    }
+
+    // Group nodes needing PEs by class.
+    std::vector<std::vector<NodeId>> demand(5);
+    for (NodeId id = 0; id < graph.size(); id++) {
+        const Node &node = graph.at(id);
+        if (node.kind == NodeKind::Trigger || node.cfInNoc)
+            continue;
+        if (aliasOf[static_cast<size_t>(id)] != dfg::NoNode)
+            continue; // placed with its representative
+        demand[static_cast<size_t>(node.peClass())].push_back(id);
+    }
+    for (int c = 0; c < 5; c++) {
+        auto cls = static_cast<PeClass>(c);
+        const auto &supply = fab.pesOfClass(cls);
+        if (demand[static_cast<size_t>(c)].size() > supply.size()) {
+            m.error = csprintf(
+                "kernel needs %zu %s PEs but the fabric has %zu",
+                demand[static_cast<size_t>(c)].size(),
+                dfg::peClassName(cls), supply.size());
+            return false;
+        }
+        // Initial assignment: in order.
+        for (size_t i = 0; i < demand[static_cast<size_t>(c)].size();
+             i++) {
+            m.peOf[static_cast<size_t>(
+                demand[static_cast<size_t>(c)][i])] = supply[i];
+        }
+    }
+    return true;
+}
+
+void
+MapperRun::applyAliases(Mapping &m)
+{
+    for (const auto &group : opts.shareGroups) {
+        for (size_t i = 1; i < group.size(); i++) {
+            m.peOf[static_cast<size_t>(group[i])] =
+                m.peOf[static_cast<size_t>(group[0])];
+        }
+    }
+}
+
+void
+MapperRun::anneal(Mapping &m)
+{
+    // Collect swappable nodes per class.
+    std::vector<std::vector<NodeId>> byClass(5);
+    for (NodeId id = 0; id < graph.size(); id++) {
+        if (m.peOf[static_cast<size_t>(id)] >= 0) {
+            byClass[static_cast<size_t>(graph.at(id).peClass())]
+                .push_back(id);
+        }
+    }
+    std::vector<int> classesInUse;
+    for (int c = 0; c < 5; c++) {
+        // A class participates if it has at least one placed node
+        // and either a free PE or a second node to swap with.
+        size_t nodes = byClass[static_cast<size_t>(c)].size();
+        size_t pes =
+            fab.pesOfClass(static_cast<PeClass>(c)).size();
+        if (nodes >= 1 && (pes > nodes || nodes >= 2))
+            classesInUse.push_back(c);
+    }
+    if (classesInUse.empty())
+        return;
+
+    // Occupancy per PE for fast free-slot moves.
+    std::vector<NodeId> occupant(static_cast<size_t>(fab.numPes()),
+                                 dfg::NoNode);
+    for (NodeId id = 0; id < graph.size(); id++) {
+        if (m.peOf[static_cast<size_t>(id)] >= 0)
+            occupant[static_cast<size_t>(
+                m.peOf[static_cast<size_t>(id)])] = id;
+    }
+
+    auto nodeCost = [&](NodeId id) {
+        int64_t cost = 0;
+        for (NodeId other : adjacent[static_cast<size_t>(id)]) {
+            cost += fabric::manhattan(posOf(m, id), posOf(m, other));
+        }
+        return cost;
+    };
+
+    double temp = opts.startTemperature;
+    const double cooling =
+        std::pow(0.01 / temp, 1.0 / opts.annealIterations);
+    for (int iter = 0; iter < opts.annealIterations; iter++) {
+        int c = classesInUse[static_cast<size_t>(
+            rng.nextBounded(classesInUse.size()))];
+        auto &nodes = byClass[static_cast<size_t>(c)];
+        NodeId a = nodes[static_cast<size_t>(
+            rng.nextBounded(nodes.size()))];
+        const auto &supply =
+            fab.pesOfClass(static_cast<PeClass>(c));
+        int targetPe = supply[static_cast<size_t>(
+            rng.nextBounded(supply.size()))];
+        int fromPe = m.peOf[static_cast<size_t>(a)];
+        if (targetPe == fromPe)
+            continue;
+        NodeId b = occupant[static_cast<size_t>(targetPe)];
+
+        int64_t before = nodeCost(a) + (b != dfg::NoNode
+                                            ? nodeCost(b)
+                                            : 0);
+        m.peOf[static_cast<size_t>(a)] = targetPe;
+        if (b != dfg::NoNode)
+            m.peOf[static_cast<size_t>(b)] = fromPe;
+        int64_t after = nodeCost(a) + (b != dfg::NoNode
+                                           ? nodeCost(b)
+                                           : 0);
+        int64_t delta = after - before;
+        bool accept =
+            delta <= 0 ||
+            rng.nextDouble() <
+                std::exp(-static_cast<double>(delta) / temp);
+        if (accept) {
+            occupant[static_cast<size_t>(targetPe)] = a;
+            occupant[static_cast<size_t>(fromPe)] = b;
+        } else {
+            m.peOf[static_cast<size_t>(a)] = fromPe;
+            if (b != dfg::NoNode)
+                m.peOf[static_cast<size_t>(b)] = targetPe;
+        }
+        temp *= cooling;
+    }
+}
+
+void
+MapperRun::placeNocNodes(Mapping &m)
+{
+    std::vector<int> routerLoad(static_cast<size_t>(fab.numPes()),
+                                0);
+    int capacity = fab.config().routerCfCapacity;
+    for (NodeId id = 0; id < graph.size(); id++) {
+        if (!graph.at(id).cfInNoc)
+            continue;
+        // Centroid of already-placed neighbors.
+        int sx = 0, sy = 0, count = 0;
+        for (NodeId other : adjacent[static_cast<size_t>(id)]) {
+            if (m.peOf[static_cast<size_t>(other)] >= 0 ||
+                m.routerOf[static_cast<size_t>(other)] >= 0) {
+                Coord c = posOf(m, other);
+                sx += c.x;
+                sy += c.y;
+                count++;
+            }
+        }
+        Coord want{count ? sx / count : 0, count ? sy / count : 0};
+        // Nearest router with spare CF capacity.
+        int best = -1;
+        int bestDist = 1 << 30;
+        for (int pe = 0; pe < fab.numPes(); pe++) {
+            if (routerLoad[static_cast<size_t>(pe)] >= capacity)
+                continue;
+            int d = fabric::manhattan(fab.coordOf(pe), want);
+            if (d < bestDist) {
+                bestDist = d;
+                best = pe;
+            }
+        }
+        ps_assert(best >= 0, "router CF capacity exhausted");
+        m.routerOf[static_cast<size_t>(id)] = best;
+        routerLoad[static_cast<size_t>(best)]++;
+    }
+}
+
+bool
+MapperRun::route(Mapping &m)
+{
+    // Dimension-ordered X-Y routing on the mesh; the NoC is
+    // circuit-switched, so every edge permanently occupies one wire
+    // on each link it crosses.
+    const int w = fab.config().width;
+    const int h = fab.config().height;
+    // Link load: [x][y][dir], dir: 0=+x 1=-x 2=+y 3=-y
+    std::vector<int> load(static_cast<size_t>(w * h * 4), 0);
+    auto linkIdx = [&](int x, int y, int dir) {
+        return static_cast<size_t>(((y * w) + x) * 4 + dir);
+    };
+
+    m.hopsOf.assign(static_cast<size_t>(graph.size()), {});
+    for (NodeId id = 0; id < graph.size(); id++) {
+        m.hopsOf[static_cast<size_t>(id)].assign(
+            static_cast<size_t>(graph.at(id).numInputs()), 0);
+    }
+
+    // The NoC is circuit-switched: one multicast output claims each
+    // link of its distribution tree once, no matter how many
+    // consumers share it. Dimension-ordered paths from a common
+    // source share prefixes, which forms that tree naturally.
+    int64_t totalHops = 0;
+    int64_t edgeCount = 0;
+    std::vector<bool> claimed(load.size(), false);
+    for (NodeId src = 0; src < graph.size(); src++) {
+        const Node &node = graph.at(src);
+        for (int port = 0; port < node.numOutputs(); port++) {
+            const auto &consumers = graph.consumersOf({src, port});
+            if (consumers.empty())
+                continue;
+            std::vector<size_t> touched;
+            Coord s = posOf(m, src);
+            for (const auto &c : consumers) {
+                Coord dst = posOf(m, c.node);
+                int hops = 0;
+                int x = s.x, y = s.y;
+                auto claim = [&](int dir) {
+                    size_t l = linkIdx(x, y, dir);
+                    if (!claimed[l]) {
+                        claimed[l] = true;
+                        touched.push_back(l);
+                        load[l]++;
+                    }
+                };
+                while (x != dst.x) {
+                    claim(dst.x > x ? 0 : 1);
+                    x += dst.x > x ? 1 : -1;
+                    hops++;
+                }
+                while (y != dst.y) {
+                    claim(dst.y > y ? 2 : 3);
+                    y += dst.y > y ? 1 : -1;
+                    hops++;
+                }
+                m.hopsOf[static_cast<size_t>(c.node)]
+                        [static_cast<size_t>(c.inputIndex)] = hops;
+                totalHops += hops;
+                edgeCount++;
+            }
+            for (size_t l : touched)
+                claimed[l] = false;
+        }
+    }
+    m.totalWireLength = totalHops;
+    m.avgHops = edgeCount
+                    ? static_cast<double>(totalHops) /
+                          static_cast<double>(edgeCount)
+                    : 0.0;
+    m.maxLinkLoad = 0;
+    for (int l : load)
+        m.maxLinkLoad = std::max(m.maxLinkLoad, l);
+    if (m.maxLinkLoad > fab.config().linkCapacity) {
+        m.error = csprintf("link overload: %d > capacity %d",
+                           m.maxLinkLoad, fab.config().linkCapacity);
+        return false;
+    }
+    return true;
+}
+
+Mapping
+MapperRun::run()
+{
+    // Flatten edges and adjacency once.
+    for (NodeId id = 0; id < graph.size(); id++) {
+        const Node &node = graph.at(id);
+        for (int i = 0; i < node.numInputs(); i++) {
+            const auto &in = node.inputs[static_cast<size_t>(i)];
+            if (in.isWire())
+                edges.push_back({in.port.node, id, i});
+        }
+    }
+    adjacent.assign(static_cast<size_t>(graph.size()), {});
+    for (const auto &e : edges) {
+        adjacent[static_cast<size_t>(e.from)].push_back(e.to);
+        adjacent[static_cast<size_t>(e.to)].push_back(e.from);
+    }
+
+    Mapping m;
+    if (!place(m))
+        return m;
+    // Anneal, then check link capacities; residual congestion is
+    // usually resolved by continuing the anneal from a new
+    // temperature schedule.
+    for (int attempt = 0; attempt < 5; attempt++) {
+        anneal(m);
+        applyAliases(m);
+        placeNocNodes(m);
+        if (route(m)) {
+            m.success = true;
+            return m;
+        }
+    }
+    return m;
+}
+
+} // namespace
+
+int
+Mapping::positionOf(dfg::NodeId id) const
+{
+    int pe = peOf[static_cast<size_t>(id)];
+    return pe >= 0 ? pe : routerOf[static_cast<size_t>(id)];
+}
+
+Mapping
+mapGraph(const Graph &graph, const Fabric &fabric,
+         const MapperOptions &options)
+{
+    MapperRun run(graph, fabric, options);
+    return run.run();
+}
+
+} // namespace pipestitch::mapper

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Mapping DFGs onto the fabric: class-constrained placement plus
+ * dimension-ordered routing with link-capacity checking.
+ *
+ * The paper uses RipTide's SAT-based mapper; we substitute simulated
+ * annealing over wirelength with a post-route capacity check (see
+ * DESIGN.md "Substitutions"). The evaluation only depends on the
+ * mapping through (a) "does the kernel fit", (b) operator counts
+ * (Fig. 21), and (c) NoC hop counts feeding the energy model — all
+ * of which this mapper provides.
+ */
+
+#ifndef PIPESTITCH_MAPPER_MAPPER_HH
+#define PIPESTITCH_MAPPER_MAPPER_HH
+
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hh"
+#include "fabric/fabric.hh"
+
+namespace pipestitch::mapper {
+
+struct MapperOptions
+{
+    uint64_t seed = 1;
+    int annealIterations = 20000;
+    double startTemperature = 8.0;
+
+    /** Time-multiplexing groups: members share one PE (the first
+     *  member is the placement representative). */
+    std::vector<std::vector<dfg::NodeId>> shareGroups;
+};
+
+struct Mapping
+{
+    bool success = false;
+    std::string error;
+
+    /** Node → PE index; -1 for CF-in-NoC nodes and the trigger. */
+    std::vector<int> peOf;
+
+    /** CF-in-NoC node → hosting router (PE-grid index); -1 else. */
+    std::vector<int> routerOf;
+
+    /** Per (consumer node, input port): route length in mesh hops. */
+    std::vector<std::vector<int>> hopsOf;
+
+    int64_t totalWireLength = 0;
+    double avgHops = 0;
+    int maxLinkLoad = 0;
+
+    /** Fabric position (grid index) used for a node's traffic. */
+    int positionOf(dfg::NodeId id) const;
+};
+
+Mapping mapGraph(const dfg::Graph &graph,
+                 const fabric::Fabric &fabric,
+                 const MapperOptions &options = MapperOptions{});
+
+} // namespace pipestitch::mapper
+
+#endif // PIPESTITCH_MAPPER_MAPPER_HH

@@ -1,0 +1,76 @@
+#include "scalar/profile.hh"
+
+namespace pipestitch::scalar {
+
+double
+ScalarProfile::cycles(const EventCounts &c) const
+{
+    return static_cast<double>(c.alu) * cpiAlu +
+           static_cast<double>(c.mul) * cpiMul +
+           static_cast<double>(c.load) * cpiLoad +
+           static_cast<double>(c.store) * cpiStore +
+           static_cast<double>(c.branch) * cpiBranch +
+           static_cast<double>(c.moves) * cpiMove;
+}
+
+double
+ScalarProfile::seconds(const EventCounts &c) const
+{
+    return cycles(c) / (freqMHz * 1e6);
+}
+
+double
+ScalarProfile::energyPj(const EventCounts &c) const
+{
+    double dynamic =
+        static_cast<double>(c.total()) * pjPerInstr +
+        static_cast<double>(c.load + c.store) * pjPerMemAccess;
+    double leakage = seconds(c) * leakageUW * 1e6; // µW·s = µJ = 1e6 pJ
+    return dynamic + leakage;
+}
+
+const ScalarProfile &
+riptideScalarProfile()
+{
+    // Small in-order RV32 control core, sub-28nm, 50 MHz (paper
+    // Sec. 5.1). ~16 pJ/instr pipeline energy puts the CGRA at the
+    // ~6× energy advantage the RipTide line of work reports.
+    static const ScalarProfile profile = {
+        .name = "scalar-rv32",
+        .freqMHz = 50.0,
+        .cpiAlu = 1.0,
+        .cpiMul = 2.0,
+        .cpiLoad = 2.0,
+        .cpiStore = 1.0,
+        .cpiBranch = 2.0,
+        .cpiMove = 1.0,
+        .pjPerInstr = 16.0,
+        .pjPerMemAccess = 7.0,
+        .leakageUW = 15.0,
+    };
+    return profile;
+}
+
+const ScalarProfile &
+cortexM33Profile()
+{
+    // Off-the-shelf MCU in a mature process node: substantially more
+    // energy per instruction and a similar clock; used only in the
+    // end-to-end harvesting/lifetime models (Figs. 1 and 3).
+    static const ScalarProfile profile = {
+        .name = "cortex-m33",
+        .freqMHz = 48.0,
+        .cpiAlu = 1.0,
+        .cpiMul = 1.0,
+        .cpiLoad = 2.0,
+        .cpiStore = 1.0,
+        .cpiBranch = 2.5,
+        .cpiMove = 1.0,
+        .pjPerInstr = 65.0,
+        .pjPerMemAccess = 20.0,
+        .leakageUW = 80.0,
+    };
+    return profile;
+}
+
+} // namespace pipestitch::scalar

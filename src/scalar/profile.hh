@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Scalar-core cost profiles.
+ *
+ * Converts the interpreter's dynamic instruction counts into cycles
+ * and energy for the two scalar comparison points the paper uses: the
+ * small in-order RISC-V control core synthesized next to the fabric,
+ * and an off-the-shelf Cortex-M33 MCU (Figs. 1 and 3).
+ *
+ * Energy constants are calibrated so that the *relative* trends match
+ * the paper (CGRA ≈ 5-7× lower energy/op than the scalar core; M33
+ * several times worse than the sub-28nm scalar core). See DESIGN.md,
+ * "Substitutions".
+ */
+
+#ifndef PIPESTITCH_SCALAR_PROFILE_HH
+#define PIPESTITCH_SCALAR_PROFILE_HH
+
+#include <string>
+
+#include "scalar/interpreter.hh"
+
+namespace pipestitch::scalar {
+
+/** Per-instruction-class CPI and energy for one scalar core. */
+struct ScalarProfile
+{
+    std::string name;
+    double freqMHz;
+
+    double cpiAlu;
+    double cpiMul;
+    double cpiLoad;
+    double cpiStore;
+    double cpiBranch;
+    double cpiMove;
+
+    /** Pipeline energy per instruction (fetch/decode/RF/bypass). */
+    double pjPerInstr;
+    /** Additional SRAM energy per memory access. */
+    double pjPerMemAccess;
+    /** Static power burned while the core is active. */
+    double leakageUW;
+
+    /** Total cycles for @p c. */
+    double cycles(const EventCounts &c) const;
+    /** Wall-clock seconds for @p c. */
+    double seconds(const EventCounts &c) const;
+    /** Total energy in pJ (dynamic + leakage over the runtime). */
+    double energyPj(const EventCounts &c) const;
+};
+
+/** The small RISC-V in-order control core (paper's "Scalar"). */
+const ScalarProfile &riptideScalarProfile();
+
+/** Cortex-M33-class MCU used in the end-to-end models. */
+const ScalarProfile &cortexM33Profile();
+
+} // namespace pipestitch::scalar
+
+#endif // PIPESTITCH_SCALAR_PROFILE_HH

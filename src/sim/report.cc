@@ -1,0 +1,99 @@
+#include "sim/report.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/table.hh"
+
+namespace pipestitch::sim {
+
+std::string
+operatorReport(const dfg::Graph &graph, const SimStats &stats,
+               int maxRows)
+{
+    std::vector<dfg::NodeId> order(
+        static_cast<size_t>(graph.size()));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](dfg::NodeId a, dfg::NodeId b) {
+                  return stats.nodeFires[static_cast<size_t>(a)] >
+                         stats.nodeFires[static_cast<size_t>(b)];
+              });
+
+    Table t({"Op", "Kind", "Name", "Loop", "Where", "Fires",
+             "Util"});
+    double cycles = std::max<double>(1, stats.cycles);
+    int rows = 0;
+    for (dfg::NodeId id : order) {
+        if (rows++ >= maxRows)
+            break;
+        const auto &n = graph.at(id);
+        t.addRow({csprintf("n%d", id), dfg::nodeKindName(n.kind),
+                  n.name,
+                  n.loopId >= 0 ? csprintf("L%d", n.loopId) : "-",
+                  n.kind == dfg::NodeKind::Trigger
+                      ? "core"
+                      : (n.cfInNoc ? "NoC" : "PE"),
+                  csprintf("%lld",
+                           static_cast<long long>(
+                               stats.nodeFires[static_cast<size_t>(
+                                   id)])),
+                  Table::fmt(
+                      stats.nodeFires[static_cast<size_t>(id)] /
+                          cycles,
+                      2)});
+    }
+    return t.render();
+}
+
+std::string
+utilizationMap(const dfg::Graph &graph,
+               const fabric::Fabric &fabric,
+               const mapper::Mapping &mapping, const SimStats &stats)
+{
+    const auto &cfg = fabric.config();
+    std::vector<double> util(static_cast<size_t>(fabric.numPes()),
+                             -1.0);
+    double cycles = std::max<double>(1, stats.cycles);
+    for (dfg::NodeId id = 0; id < graph.size(); id++) {
+        int pe = mapping.peOf[static_cast<size_t>(id)];
+        if (pe < 0)
+            continue;
+        util[static_cast<size_t>(pe)] =
+            stats.nodeFires[static_cast<size_t>(id)] / cycles;
+    }
+
+    std::ostringstream out;
+    out << "fabric utilization: <class>.<decile> per mapped PE "
+           "(x.0 = mapped but idle, '.' = unused)\n";
+    for (int y = cfg.height - 1; y >= 0; y--) {
+        out << "  ";
+        for (int x = 0; x < cfg.width; x++) {
+            int pe = fabric.peAt({x, y});
+            char cls;
+            switch (fabric.classAt(pe)) {
+              case dfg::PeClass::Arith: cls = 'A'; break;
+              case dfg::PeClass::Multiplier: cls = 'X'; break;
+              case dfg::PeClass::ControlFlow: cls = 'C'; break;
+              case dfg::PeClass::Memory: cls = 'M'; break;
+              default: cls = 'S'; break;
+            }
+            double u = util[static_cast<size_t>(pe)];
+            if (u < 0) {
+                out << "   .";
+            } else if (u == 0) {
+                out << ' ' << cls << ".0";
+            } else {
+                int decile =
+                    std::min(9, static_cast<int>(u * 10));
+                out << ' ' << cls << '.' << decile;
+            }
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+} // namespace pipestitch::sim

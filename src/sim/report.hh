@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Human-readable execution reports: per-operator firing/utilization
+ * tables and a fabric utilization heat map (which PE did how much
+ * work), for debugging kernels and understanding mappings.
+ */
+
+#ifndef PIPESTITCH_SIM_REPORT_HH
+#define PIPESTITCH_SIM_REPORT_HH
+
+#include <string>
+
+#include "dfg/graph.hh"
+#include "fabric/fabric.hh"
+#include "mapper/mapper.hh"
+#include "sim/stats.hh"
+
+namespace pipestitch::sim {
+
+/**
+ * Per-operator table: id, kind, name, loop, placement, fires, and
+ * utilization (fires / cycles). Sorted by fire count, capped at
+ * @p maxRows rows.
+ */
+std::string operatorReport(const dfg::Graph &graph,
+                           const SimStats &stats, int maxRows = 24);
+
+/**
+ * ASCII heat map of the fabric: one cell per PE showing its class
+ * letter and utilization decile (0-9, '.' for idle, space for
+ * unused).
+ */
+std::string utilizationMap(const dfg::Graph &graph,
+                           const fabric::Fabric &fabric,
+                           const mapper::Mapping &mapping,
+                           const SimStats &stats);
+
+} // namespace pipestitch::sim
+
+#endif // PIPESTITCH_SIM_REPORT_HH

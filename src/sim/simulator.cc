@@ -1,0 +1,1273 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "dfg/analysis.hh"
+
+namespace pipestitch::sim {
+
+using dfg::Graph;
+using dfg::Node;
+using dfg::NodeId;
+using dfg::NodeKind;
+using dfg::Operand;
+using dfg::PeClass;
+namespace pidx = dfg::port_idx;
+
+namespace {
+
+/** Why a node did not fire this cycle. */
+enum class Blocked { No, Idle, Input, Space, Bank };
+
+/** Resolved wiring of one input port. */
+struct InputRef
+{
+    bool isImm = false;
+    Word imm = 0;
+    NodeId prod = dfg::NoNode;
+    int prodPort = 0;
+    int endpoint = 0; ///< index into producer port's consumer list
+    bool wired() const { return prod != dfg::NoNode; }
+};
+
+/** Per-node runtime state. */
+struct NodeRt
+{
+    std::vector<TokenFifo> ins;  ///< input buffers / NoC latches
+    std::vector<TokenFifo> outs; ///< output buffers (mode-dependent)
+    int reservedOut = 0;         ///< in-flight loads holding outs[0]
+    /** Gate FSM: carries/invariants/streams idle in Init; a carry
+     *  that consumed a true decider but still awaits its backedge
+     *  value sits in WaitVal (eager decider consumption keeps the
+     *  multicast decider head from being held hostage by the loop's
+     *  slowest path). Merge uses WaitVal the same way. */
+    enum class Fsm { Init, Run, WaitVal };
+    Fsm fsm = Fsm::Init;
+    int pendingSide = 0;         ///< merge: selected input while waiting
+    Token latched;               ///< invariant latch / pending decider tag
+    Word streamCur = 0;
+    Word streamEnd = 0;
+    bool triggerFired = false;
+    int threadRegion = -1; ///< nearest enclosing threaded loop id
+};
+
+class Engine
+{
+  public:
+    Engine(const Graph &graph, MemImage &mem, const SimConfig &cfg)
+        : graph(graph), cfg(cfg),
+          sourceMode(cfg.buffering == SimConfig::Buffering::Source),
+          memsys(mem, cfg.memBanks, cfg.memLatency)
+    {
+        init();
+    }
+
+    SimResult run();
+
+  private:
+    // --- setup ------------------------------------------------------
+    void init();
+    bool nodeHasOutBufs(const Node &node) const;
+
+    // --- per-cycle phases -------------------------------------------
+    void drainOutputBuffers();
+    void handleMemCompletions();
+    void decideDispatchGroups();
+    Blocked canFire(NodeId id);
+    void commitFire(NodeId id);
+    void evalNocNodes();
+    bool quiescent() const;
+    std::string diagnose() const;
+
+    // --- token plumbing ---------------------------------------------
+    bool inputAvail(NodeId id, int in) const;
+    Token peekInput(NodeId id, int in) const;
+    Token consumeInput(NodeId id, int in);
+    bool consumersAccept(NodeId id, int port) const;
+    bool outSpace(NodeId id, int port, int need) const;
+    bool portHasConsumers(NodeId id, int port) const;
+    void deliver(NodeId from, int port, const Token &token);
+    void emit(NodeId id, int port, Token token);
+    int32_t combineTags(NodeId id, std::initializer_list<int32_t> tags);
+
+    // ------------------------------------------------------------------
+    const Graph &graph;
+    SimConfig cfg;
+    bool sourceMode;
+    MemSystem memsys;
+
+    std::vector<NodeRt> rt;
+    std::vector<std::vector<InputRef>> inputRefs; // [node][in]
+    std::vector<NodeId> nocTopo;
+    std::vector<bool> nocNode;
+    std::vector<std::vector<NodeId>> dispatchGroups; // by loopId
+
+    enum class GroupChoice { None, Cont, Spawn };
+    std::vector<GroupChoice> groupChoice;
+
+    // Time-multiplexing: node → share group (-1 = exclusive PE).
+    std::vector<int> shareGroupOf;
+    std::vector<bool> shareUsed;    ///< per group, this cycle
+    std::vector<NodeId> shareLast;  ///< per group, last resident
+
+    int32_t nextThreadTag = 0;
+    int64_t cycle = 0;
+    int64_t bornStamp = 0; ///< birth cycle applied to pushed tokens
+    int64_t lastSyncPlaneCycle = -1;
+    bool active = false; ///< any event this cycle
+    std::vector<NodeId> fireList;
+    std::vector<bool> nocFired; ///< per-cycle once-only guard
+
+    SimStats stats;
+    std::string failure;
+};
+
+void
+Engine::init()
+{
+    ps_assert(graph.isFinalized(), "graph must be finalized");
+    ps_assert(cfg.bufferDepth >= 1, "buffer depth must be >= 1");
+    for (const auto &node : graph.nodes) {
+        if (node.kind == NodeKind::Dispatch) {
+            // Bubble flow control reserves two output slots for a
+            // spawn set; shallower buffers could never launch a
+            // thread (Sec. 4.4).
+            ps_assert(cfg.bufferDepth >= 2,
+                      "threaded graphs need buffer depth >= 2");
+            break;
+        }
+    }
+
+    const int n = graph.size();
+    rt.resize(static_cast<size_t>(n));
+    inputRefs.resize(static_cast<size_t>(n));
+    nocNode.assign(static_cast<size_t>(n), false);
+    stats.nodeFires.assign(static_cast<size_t>(n), 0);
+    stats.portReads.resize(static_cast<size_t>(n));
+    for (NodeId id = 0; id < n; id++) {
+        stats.portReads[static_cast<size_t>(id)].assign(
+            static_cast<size_t>(graph.at(id).numInputs()), 0);
+    }
+
+    // Resolve input wiring and endpoint indices. Endpoint index =
+    // position in the producer port's consumer list.
+    for (NodeId id = 0; id < n; id++) {
+        const Node &node = graph.at(id);
+        auto &refs = inputRefs[static_cast<size_t>(id)];
+        refs.resize(static_cast<size_t>(node.numInputs()));
+        for (int i = 0; i < node.numInputs(); i++) {
+            const Operand &op = node.inputs[static_cast<size_t>(i)];
+            InputRef &ref = refs[static_cast<size_t>(i)];
+            if (op.isImm()) {
+                ref.isImm = true;
+                ref.imm = op.imm;
+            } else if (op.isWire()) {
+                ref.prod = op.port.node;
+                ref.prodPort = op.port.index;
+                const auto &cons = graph.consumersOf(op.port);
+                for (size_t e = 0; e < cons.size(); e++) {
+                    if (cons[e].node == id && cons[e].inputIndex == i)
+                        ref.endpoint = static_cast<int>(e);
+                }
+            }
+        }
+    }
+
+    // Buffer allocation.
+    for (NodeId id = 0; id < n; id++) {
+        const Node &node = graph.at(id);
+        NodeRt &r = rt[static_cast<size_t>(id)];
+        nocNode[static_cast<size_t>(id)] = node.cfInNoc;
+        if (node.cfInNoc) {
+            if (sourceMode) {
+                // Flow-through relay: a shallow window consumers
+                // pull from (the op itself is combinational).
+                r.outs.assign(static_cast<size_t>(node.numOutputs()),
+                              TokenFifo(2));
+            } else {
+                // Flow-through relay: tokens logically wait at the
+                // upstream PE/wire interface until the router op can
+                // pair them; modeled as input windows of the global
+                // buffer depth, with direct delivery downstream.
+                r.ins.assign(static_cast<size_t>(node.numInputs()),
+                             TokenFifo(cfg.bufferDepth));
+            }
+        } else if (sourceMode) {
+            r.outs.assign(static_cast<size_t>(node.numOutputs()),
+                          TokenFifo(cfg.bufferDepth));
+        } else {
+            r.ins.assign(static_cast<size_t>(node.numInputs()),
+                         TokenFifo(cfg.bufferDepth));
+            if (nodeHasOutBufs(node)) {
+                r.outs.assign(static_cast<size_t>(node.numOutputs()),
+                              TokenFifo(cfg.bufferDepth));
+            }
+        }
+        // Nearest enclosing threaded loop (for debug-tag scoping).
+        int l = node.loopId;
+        while (l >= 0) {
+            if (graph.loopThreaded[static_cast<size_t>(l)]) {
+                r.threadRegion = l;
+                break;
+            }
+            l = graph.loopParent[static_cast<size_t>(l)];
+        }
+    }
+
+    if (sourceMode) {
+        for (NodeId id = 0; id < n; id++) {
+            NodeRt &r = rt[static_cast<size_t>(id)];
+            for (int port = 0;
+                 port < static_cast<int>(r.outs.size()); port++) {
+                r.outs[static_cast<size_t>(port)].initEndpoints(
+                    static_cast<int>(
+                        graph.consumersOf({id, port}).size()));
+            }
+        }
+    }
+
+    nocTopo = dfg::nocCfTopoOrder(graph);
+
+    dispatchGroups.assign(static_cast<size_t>(graph.numLoops), {});
+    for (NodeId id = 0; id < n; id++) {
+        const Node &node = graph.at(id);
+        if (node.kind == NodeKind::Dispatch) {
+            dispatchGroups[static_cast<size_t>(node.loopId)].push_back(
+                id);
+        }
+    }
+    groupChoice.assign(static_cast<size_t>(graph.numLoops),
+                       GroupChoice::None);
+
+    shareGroupOf.assign(static_cast<size_t>(n), -1);
+    for (size_t g = 0; g < cfg.shareGroups.size(); g++) {
+        for (int id : cfg.shareGroups[g]) {
+            ps_assert(id >= 0 && id < n, "bad share-group node");
+            ps_assert(shareGroupOf[static_cast<size_t>(id)] == -1,
+                      "node %d in two share groups", id);
+            shareGroupOf[static_cast<size_t>(id)] =
+                static_cast<int>(g);
+        }
+    }
+    shareUsed.assign(cfg.shareGroups.size(), false);
+    shareLast.assign(cfg.shareGroups.size(), dfg::NoNode);
+}
+
+bool
+Engine::nodeHasOutBufs(const Node &node) const
+{
+    // Destination-buffered mode: only CF-on-PE and memory PEs carry
+    // output buffers (Sec. 4.7); everything else delivers directly.
+    return node.isControlFlow() || node.isMemory();
+}
+
+// ---------------------------------------------------------------------
+// Token plumbing
+// ---------------------------------------------------------------------
+
+bool
+Engine::inputAvail(NodeId id, int in) const
+{
+    const InputRef &ref =
+        inputRefs[static_cast<size_t>(id)][static_cast<size_t>(in)];
+    if (ref.isImm)
+        return true;
+    if (!ref.wired())
+        return false;
+    if (sourceMode) {
+        const TokenFifo &f =
+            rt[static_cast<size_t>(ref.prod)]
+                .outs[static_cast<size_t>(ref.prodPort)];
+        // Registered PEs see only the multicast head; combinational
+        // router CF snoops the buffered window.
+        bool ok = nocNode[static_cast<size_t>(id)]
+                      ? f.availFor(ref.endpoint)
+                      : f.availHeadFor(ref.endpoint);
+        if (!ok)
+            return false;
+        // A PE samples its inputs at the clock edge: it can only
+        // consume tokens that were visible before this cycle began.
+        // Router CF is combinational and may consume fresh tokens.
+        if (!nocNode[static_cast<size_t>(id)] &&
+            f.peekFor(ref.endpoint).born >= cycle) {
+            return false;
+        }
+        return true;
+    }
+    const TokenFifo &f =
+        rt[static_cast<size_t>(id)].ins[static_cast<size_t>(in)];
+    if (f.empty())
+        return false;
+    if (!nocNode[static_cast<size_t>(id)] && f.head().born >= cycle)
+        return false;
+    return true;
+}
+
+Token
+Engine::peekInput(NodeId id, int in) const
+{
+    const InputRef &ref =
+        inputRefs[static_cast<size_t>(id)][static_cast<size_t>(in)];
+    if (ref.isImm)
+        return Token{ref.imm, NoTag};
+    if (sourceMode) {
+        Token t = rt[static_cast<size_t>(ref.prod)]
+                      .outs[static_cast<size_t>(ref.prodPort)]
+                      .peekFor(ref.endpoint);
+        // Tokens crossing out of a threaded region shed their tag.
+        if (rt[static_cast<size_t>(ref.prod)].threadRegion !=
+            rt[static_cast<size_t>(id)].threadRegion) {
+            t.tag = NoTag;
+        }
+        return t;
+    }
+    return rt[static_cast<size_t>(id)]
+        .ins[static_cast<size_t>(in)]
+        .head();
+}
+
+Token
+Engine::consumeInput(NodeId id, int in)
+{
+    const InputRef &ref =
+        inputRefs[static_cast<size_t>(id)][static_cast<size_t>(in)];
+    Token t = peekInput(id, in);
+    if (ref.isImm)
+        return t;
+    if (sourceMode) {
+        rt[static_cast<size_t>(ref.prod)]
+            .outs[static_cast<size_t>(ref.prodPort)]
+            .takeFor(ref.endpoint);
+        stats.nocTraversals++;
+        stats.bufferReads++;
+    } else {
+        rt[static_cast<size_t>(id)]
+            .ins[static_cast<size_t>(in)]
+            .pop();
+        stats.bufferReads++;
+    }
+    stats.portReads[static_cast<size_t>(id)]
+                   [static_cast<size_t>(in)]++;
+    active = true;
+    return t;
+}
+
+bool
+Engine::portHasConsumers(NodeId id, int port) const
+{
+    return !graph.consumersOf({id, port}).empty();
+}
+
+bool
+Engine::consumersAccept(NodeId id, int port) const
+{
+    for (const auto &c : graph.consumersOf({id, port})) {
+        const TokenFifo &f =
+            rt[static_cast<size_t>(c.node)]
+                .ins[static_cast<size_t>(c.inputIndex)];
+        if (f.full())
+            return false;
+    }
+    return true;
+}
+
+bool
+Engine::outSpace(NodeId id, int port, int need) const
+{
+    if (!portHasConsumers(id, port))
+        return true; // nothing to emit
+    const NodeRt &r = rt[static_cast<size_t>(id)];
+    if (!r.outs.empty()) {
+        const TokenFifo &f = r.outs[static_cast<size_t>(port)];
+        int reserved = port == 0 ? r.reservedOut : 0;
+        return f.freeSlots() - reserved >= need;
+    }
+    // Destination mode without an output buffer: multicast delivery
+    // requires space at every consumer.
+    return consumersAccept(id, port);
+}
+
+void
+Engine::deliver(NodeId from, int port, const Token &token)
+{
+    for (const auto &c : graph.consumersOf({from, port})) {
+        Token t = token;
+        if (rt[static_cast<size_t>(from)].threadRegion !=
+            rt[static_cast<size_t>(c.node)].threadRegion) {
+            t.tag = NoTag;
+        }
+        TokenFifo &f = rt[static_cast<size_t>(c.node)]
+                           .ins[static_cast<size_t>(c.inputIndex)];
+        ps_assert(!f.full(), "delivery into full buffer (node %d)",
+                  c.node);
+        t.born = bornStamp;
+        f.push(t);
+        stats.bufferWrites++;
+        stats.nocTraversals++;
+    }
+    active = true;
+}
+
+void
+Engine::emit(NodeId id, int port, Token token)
+{
+    if (!portHasConsumers(id, port))
+        return;
+    NodeRt &r = rt[static_cast<size_t>(id)];
+    if (sourceMode || nocNode[static_cast<size_t>(id)]) {
+        if (sourceMode) {
+            token.born = bornStamp;
+            r.outs[static_cast<size_t>(port)].push(token);
+            stats.bufferWrites++;
+            active = true;
+        } else {
+            // NoC node in destination mode: direct delivery.
+            deliver(id, port, token);
+        }
+        return;
+    }
+    if (r.outs.empty()) {
+        deliver(id, port, token);
+        return;
+    }
+    // Output-buffered PE: bypass straight to consumers when the
+    // buffer is empty and downstream has room (Sec. 4.7).
+    const Node &node = graph.at(id);
+    bool canBypass = !node.isMemory() || cfg.memBypass;
+    TokenFifo &f = r.outs[static_cast<size_t>(port)];
+    if (canBypass && f.empty() && consumersAccept(id, port)) {
+        deliver(id, port, token);
+    } else {
+        ps_assert(!f.full(), "emit into full output buffer");
+        token.born = bornStamp;
+        f.push(token);
+        stats.bufferWrites++;
+        active = true;
+    }
+}
+
+int32_t
+Engine::combineTags(NodeId id, std::initializer_list<int32_t> tags)
+{
+    int32_t tag = NoTag;
+    for (int32_t t : tags) {
+        if (t == NoTag)
+            continue;
+        if (tag == NoTag) {
+            tag = t;
+        } else if (tag != t && cfg.checkThreadOrder &&
+                   failure.empty()) {
+            failure = csprintf(
+                "thread-order violation at node %d (%s %s): tokens of "
+                "threads %d and %d met (cycle %lld)",
+                id, nodeKindName(graph.at(id).kind),
+                graph.at(id).name.c_str(), tag, t,
+                static_cast<long long>(cycle));
+        }
+    }
+    return tag;
+}
+
+// ---------------------------------------------------------------------
+// Cycle phases
+// ---------------------------------------------------------------------
+
+void
+Engine::drainOutputBuffers()
+{
+    bornStamp = cycle - 1; // these tokens were ready last cycle
+    if (sourceMode)
+        return; // consumers pull directly from output buffers
+    for (NodeId id = 0; id < graph.size(); id++) {
+        NodeRt &r = rt[static_cast<size_t>(id)];
+        if (r.outs.empty() || nocNode[static_cast<size_t>(id)])
+            continue;
+        for (int port = 0;
+             port < static_cast<int>(r.outs.size()); port++) {
+            TokenFifo &f = r.outs[static_cast<size_t>(port)];
+            if (!f.empty() && consumersAccept(id, port)) {
+                Token t = f.pop();
+                stats.bufferReads++;
+                deliver(id, port, t);
+            }
+        }
+    }
+}
+
+void
+Engine::handleMemCompletions()
+{
+    bornStamp = cycle - 1; // data crossed the NoC during the wait
+    for (const auto &load : memsys.takeCompletions(cycle)) {
+        NodeRt &r = rt[static_cast<size_t>(load.node)];
+        Token data = load.data;
+        data.born = bornStamp;
+        // A load kept alive only for its order token has no data
+        // consumers; its value is dropped at the PE boundary.
+        if (!portHasConsumers(load.node, pidx::LoadDataOut)) {
+            active = true;
+            continue;
+        }
+        r.reservedOut--;
+        if (sourceMode) {
+            r.outs[static_cast<size_t>(pidx::LoadDataOut)].push(data);
+            stats.bufferWrites++;
+        } else {
+            TokenFifo &f =
+                r.outs[static_cast<size_t>(pidx::LoadDataOut)];
+            if (cfg.memBypass && f.empty() &&
+                consumersAccept(load.node, pidx::LoadDataOut)) {
+                deliver(load.node, pidx::LoadDataOut, data);
+            } else {
+                ps_assert(!f.full(), "load completion overflow");
+                f.push(data);
+                stats.bufferWrites++;
+            }
+        }
+        active = true;
+    }
+}
+
+void
+Engine::decideDispatchGroups()
+{
+    // Called once per sequential round; only bill the SyncPlane
+    // once per cycle.
+    bool anyEval = false;
+    for (int l = 0; l < graph.numLoops; l++) {
+        const auto &group = dispatchGroups[static_cast<size_t>(l)];
+        groupChoice[static_cast<size_t>(l)] = GroupChoice::None;
+        if (group.empty())
+            continue;
+
+        if (cfg.greedyDispatch) {
+            // Fig. 9a ablation: no SyncPlane; each gate fends for
+            // itself (decisions made per node in canFire).
+            groupChoice[static_cast<size_t>(l)] =
+                GroupChoice::None;
+            bool anyPending = false;
+            for (NodeId d : group) {
+                anyPending |= inputAvail(d, pidx::DispatchCont) ||
+                              inputAvail(d, pidx::DispatchSpawn);
+            }
+            if (anyPending && lastSyncPlaneCycle != cycle) {
+                // (No SyncPlane energy in greedy mode.)
+            }
+            continue;
+        }
+
+        // Fig. 10 token-selection logic, evaluated over the
+        // SyncPlane reduction of all gates in the group.
+        bool anyPending = false;
+        bool contAll = true, contNotFull = true;
+        bool spawnAll = true, spawnTwoSlots = true;
+        for (NodeId d : group) {
+            const NodeRt &r = rt[static_cast<size_t>(d)];
+            bool cAvail = inputAvail(d, pidx::DispatchCont);
+            bool sAvail = inputAvail(d, pidx::DispatchSpawn);
+            anyPending |= cAvail | sAvail;
+            contAll &= cAvail;
+            spawnAll &= sAvail;
+            const TokenFifo &out = r.outs[0];
+            if (out.freeSlots() < 1)
+                contNotFull = false;
+            if (out.freeSlots() < 2)
+                spawnTwoSlots = false;
+        }
+        if (anyPending)
+            anyEval = true;
+        if (contAll && contNotFull) {
+            groupChoice[static_cast<size_t>(l)] = GroupChoice::Cont;
+        } else if (spawnAll && spawnTwoSlots) {
+            groupChoice[static_cast<size_t>(l)] = GroupChoice::Spawn;
+        }
+    }
+    if (anyEval && lastSyncPlaneCycle != cycle) {
+        stats.syncPlaneCycles++;
+        lastSyncPlaneCycle = cycle;
+    }
+}
+
+Blocked
+Engine::canFire(NodeId id)
+{
+    const Node &node = graph.at(id);
+    NodeRt &r = rt[static_cast<size_t>(id)];
+
+    auto need = [&](int in) { return inputAvail(id, in); };
+
+    switch (node.kind) {
+      case NodeKind::Trigger: {
+        if (r.triggerFired)
+            return Blocked::Idle;
+        if (!outSpace(id, 0, 1))
+            return Blocked::Space;
+        return Blocked::No;
+      }
+      case NodeKind::Const: {
+        if (!need(0))
+            return Blocked::Input;
+        return outSpace(id, 0, 1) ? Blocked::No : Blocked::Space;
+      }
+      case NodeKind::Arith: {
+        int want = sir::numOperands(node.op);
+        for (int i = 0; i < want; i++) {
+            if (!need(i))
+                return Blocked::Input;
+        }
+        return outSpace(id, 0, 1) ? Blocked::No : Blocked::Space;
+      }
+      case NodeKind::Steer: {
+        if (!need(pidx::SteerDecider) || !need(pidx::SteerValue))
+            return Blocked::Input;
+        bool forward = (peekInput(id, pidx::SteerDecider).value != 0) ==
+                       node.steerIfTrue;
+        if (forward && !outSpace(id, 0, 1))
+            return Blocked::Space;
+        return Blocked::No;
+      }
+      case NodeKind::Carry: {
+        if (r.fsm == NodeRt::Fsm::Init) {
+            if (!need(pidx::CarryInit))
+                return Blocked::Input;
+            return outSpace(id, 0, 1) ? Blocked::No : Blocked::Space;
+        }
+        if (r.fsm == NodeRt::Fsm::WaitVal) {
+            if (!need(pidx::CarryCont))
+                return Blocked::Input;
+            return outSpace(id, 0, 1) ? Blocked::No : Blocked::Space;
+        }
+        // Run: the decider is consumed eagerly; when the backedge
+        // value is already present a true decider forwards it in the
+        // same firing.
+        if (!need(pidx::CarryDecider))
+            return Blocked::Input;
+        if (peekInput(id, pidx::CarryDecider).value != 0 &&
+            need(pidx::CarryCont)) {
+            return outSpace(id, 0, 1) ? Blocked::No : Blocked::Space;
+        }
+        return Blocked::No;
+      }
+      case NodeKind::Invariant: {
+        if (r.fsm == NodeRt::Fsm::Init) {
+            if (!need(pidx::InvValue))
+                return Blocked::Input;
+            return outSpace(id, 0, 1) ? Blocked::No : Blocked::Space;
+        }
+        if (!need(pidx::InvDecider))
+            return Blocked::Input;
+        if (peekInput(id, pidx::InvDecider).value != 0) {
+            return outSpace(id, 0, 1) ? Blocked::No : Blocked::Space;
+        }
+        return Blocked::No;
+      }
+      case NodeKind::Merge: {
+        if (r.fsm == NodeRt::Fsm::WaitVal) {
+            if (!need(r.pendingSide))
+                return Blocked::Input;
+            return outSpace(id, 0, 1) ? Blocked::No : Blocked::Space;
+        }
+        if (!need(pidx::MergeDecider))
+            return Blocked::Input;
+        int side = peekInput(id, pidx::MergeDecider).value != 0
+                       ? pidx::MergeTrue
+                       : pidx::MergeFalse;
+        const auto &sideOp =
+            graph.at(id).inputs[static_cast<size_t>(side)];
+        if (sideOp.isWire() && !need(side)) {
+            // Consume the decider now, wait for the value.
+            return Blocked::No;
+        }
+        return outSpace(id, 0, 1) ? Blocked::No : Blocked::Space;
+      }
+      case NodeKind::Dispatch: {
+        if (cfg.greedyDispatch) {
+            // Unsynchronized: take any available token, preferring
+            // continuation, with only local space checks.
+            bool c = inputAvail(id, pidx::DispatchCont);
+            bool s2 = inputAvail(id, pidx::DispatchSpawn);
+            if (!c && !s2)
+                return Blocked::Input;
+            return outSpace(id, 0, 1) ? Blocked::No
+                                      : Blocked::Space;
+        }
+        return groupChoice[static_cast<size_t>(node.loopId)] ==
+                       GroupChoice::None
+                   ? Blocked::Input
+                   : Blocked::No;
+      }
+      case NodeKind::Load: {
+        if (!need(pidx::LoadAddr))
+            return Blocked::Input;
+        const InputRef &ordRef =
+            inputRefs[static_cast<size_t>(id)].size() >
+                    static_cast<size_t>(pidx::LoadOrder)
+                ? inputRefs[static_cast<size_t>(id)]
+                           [static_cast<size_t>(pidx::LoadOrder)]
+                : InputRef{};
+        if (ordRef.wired() && !need(pidx::LoadOrder))
+            return Blocked::Input;
+        // Need a reservation slot for the returning data (unless
+        // nothing consumes it).
+        if (!r.outs.empty() &&
+            portHasConsumers(id, pidx::LoadDataOut)) {
+            const TokenFifo &f =
+                r.outs[static_cast<size_t>(pidx::LoadDataOut)];
+            if (f.freeSlots() - r.reservedOut < 1)
+                return Blocked::Space;
+        }
+        if (portHasConsumers(id, pidx::LoadDoneOut) &&
+            !outSpace(id, pidx::LoadDoneOut, 1)) {
+            return Blocked::Space;
+        }
+        if (!memsys.bankFree(peekInput(id, pidx::LoadAddr).value +
+                             node.imm))
+            return Blocked::Bank;
+        return Blocked::No;
+      }
+      case NodeKind::Store: {
+        if (!need(pidx::StoreAddr) || !need(pidx::StoreData))
+            return Blocked::Input;
+        const auto &refs = inputRefs[static_cast<size_t>(id)];
+        if (refs.size() > static_cast<size_t>(pidx::StoreOrder) &&
+            refs[static_cast<size_t>(pidx::StoreOrder)].wired() &&
+            !need(pidx::StoreOrder)) {
+            return Blocked::Input;
+        }
+        if (portHasConsumers(id, pidx::StoreDoneOut) &&
+            !outSpace(id, pidx::StoreDoneOut, 1)) {
+            return Blocked::Space;
+        }
+        if (!memsys.bankFree(peekInput(id, pidx::StoreAddr).value +
+                             node.imm))
+            return Blocked::Bank;
+        return Blocked::No;
+      }
+      case NodeKind::Stream: {
+        if (r.fsm == NodeRt::Fsm::Init) {
+            if (!need(pidx::StreamBegin) || !need(pidx::StreamEnd))
+                return Blocked::Input;
+            const auto &refs = inputRefs[static_cast<size_t>(id)];
+            if (refs.size() >
+                    static_cast<size_t>(pidx::StreamTrigger) &&
+                refs[static_cast<size_t>(pidx::StreamTrigger)]
+                    .wired() &&
+                !need(pidx::StreamTrigger)) {
+                return Blocked::Input;
+            }
+            Word cur = peekInput(id, pidx::StreamBegin).value;
+            Word end = peekInput(id, pidx::StreamEnd).value;
+            bool continuing = cur < end;
+            if (continuing &&
+                !outSpace(id, pidx::StreamIdxOut, 1))
+                return Blocked::Space;
+            if (!outSpace(id, pidx::StreamCondOut, 1))
+                return Blocked::Space;
+            return Blocked::No;
+        }
+        bool continuing = r.streamCur < r.streamEnd;
+        if (continuing && !outSpace(id, pidx::StreamIdxOut, 1))
+            return Blocked::Space;
+        if (!outSpace(id, pidx::StreamCondOut, 1))
+            return Blocked::Space;
+        return Blocked::No;
+      }
+    }
+    panic("unknown node kind");
+}
+
+void
+Engine::commitFire(NodeId id)
+{
+    const Node &node = graph.at(id);
+    NodeRt &r = rt[static_cast<size_t>(id)];
+
+    if (nocNode[static_cast<size_t>(id)]) {
+        stats.nocCfFires++;
+    } else if (node.kind != NodeKind::Trigger) {
+        stats.classFires[static_cast<size_t>(node.peClass())]++;
+    }
+    stats.nodeFires[static_cast<size_t>(id)]++;
+    active = true;
+    if (cfg.trace) {
+        std::fprintf(stderr, "[%6lld] fire n%-3d %-9s %s\n",
+                     static_cast<long long>(cycle), id,
+                     nodeKindName(node.kind), node.name.c_str());
+    }
+
+    switch (node.kind) {
+      case NodeKind::Trigger: {
+        r.triggerFired = true;
+        emit(id, 0, Token{node.imm, NoTag});
+        break;
+      }
+      case NodeKind::Const: {
+        Token t = consumeInput(id, 0);
+        emit(id, 0, Token{node.imm, t.tag});
+        break;
+      }
+      case NodeKind::Arith: {
+        int want = sir::numOperands(node.op);
+        Token a = consumeInput(id, 0);
+        Token b = consumeInput(id, 1);
+        Token c = want == 3 ? consumeInput(id, 2) : Token{};
+        int32_t tag = combineTags(id, {a.tag, b.tag, c.tag});
+        emit(id, 0,
+             Token{sir::evalOpcode(node.op, a.value, b.value, c.value),
+                   tag});
+        break;
+      }
+      case NodeKind::Steer: {
+        Token d = consumeInput(id, pidx::SteerDecider);
+        Token v = consumeInput(id, pidx::SteerValue);
+        int32_t tag = combineTags(id, {d.tag, v.tag});
+        if ((d.value != 0) == node.steerIfTrue) {
+            emit(id, 0, Token{v.value, tag});
+        } else {
+            stats.steerDrops++;
+        }
+        break;
+      }
+      case NodeKind::Carry: {
+        if (r.fsm == NodeRt::Fsm::Init) {
+            Token a = consumeInput(id, pidx::CarryInit);
+            r.fsm = NodeRt::Fsm::Run;
+            emit(id, 0, a);
+        } else if (r.fsm == NodeRt::Fsm::WaitVal) {
+            Token b = consumeInput(id, pidx::CarryCont);
+            int32_t tag = combineTags(id, {r.latched.tag, b.tag});
+            r.fsm = NodeRt::Fsm::Run;
+            emit(id, 0, Token{b.value, tag});
+        } else {
+            Token d = consumeInput(id, pidx::CarryDecider);
+            if (d.value == 0) {
+                r.fsm = NodeRt::Fsm::Init;
+            } else if (inputAvail(id, pidx::CarryCont)) {
+                Token b = consumeInput(id, pidx::CarryCont);
+                int32_t tag = combineTags(id, {d.tag, b.tag});
+                emit(id, 0, Token{b.value, tag});
+            } else {
+                r.latched = d;
+                r.fsm = NodeRt::Fsm::WaitVal;
+            }
+        }
+        break;
+      }
+      case NodeKind::Invariant: {
+        if (r.fsm == NodeRt::Fsm::Init) {
+            Token a = consumeInput(id, pidx::InvValue);
+            r.latched = a;
+            r.fsm = NodeRt::Fsm::Run;
+            emit(id, 0, a);
+        } else {
+            Token d = consumeInput(id, pidx::InvDecider);
+            if (d.value != 0) {
+                int32_t tag = combineTags(id, {d.tag, r.latched.tag});
+                emit(id, 0, Token{r.latched.value, tag});
+            } else {
+                r.fsm = NodeRt::Fsm::Init;
+                r.latched = Token{};
+            }
+        }
+        break;
+      }
+      case NodeKind::Merge: {
+        if (r.fsm == NodeRt::Fsm::WaitVal) {
+            Token v = consumeInput(id, r.pendingSide);
+            int32_t tag = combineTags(id, {r.latched.tag, v.tag});
+            r.fsm = NodeRt::Fsm::Run;
+            emit(id, 0, Token{v.value, tag});
+            break;
+        }
+        Token d = consumeInput(id, pidx::MergeDecider);
+        int side = d.value != 0 ? pidx::MergeTrue : pidx::MergeFalse;
+        const auto &sideOp =
+            graph.at(id).inputs[static_cast<size_t>(side)];
+        if (sideOp.isWire() && !inputAvail(id, side)) {
+            r.latched = d;
+            r.pendingSide = side;
+            r.fsm = NodeRt::Fsm::WaitVal;
+            break;
+        }
+        Token v = consumeInput(id, side);
+        int32_t tag = combineTags(id, {d.tag, v.tag});
+        emit(id, 0, Token{v.value, tag});
+        break;
+      }
+      case NodeKind::Dispatch: {
+        GroupChoice choice =
+            groupChoice[static_cast<size_t>(node.loopId)];
+        if (cfg.greedyDispatch) {
+            choice = inputAvail(id, pidx::DispatchCont)
+                         ? GroupChoice::Cont
+                         : GroupChoice::Spawn;
+        }
+        if (choice == GroupChoice::Cont) {
+            Token t = consumeInput(id, pidx::DispatchCont);
+            stats.dispatchConts++;
+            emit(id, 0, t);
+        } else {
+            Token t = consumeInput(id, pidx::DispatchSpawn);
+            // All gates in the group fire this cycle and must agree
+            // on the new thread's identity; nextThreadTag advances
+            // once per group per cycle (see run()).
+            t.tag = nextThreadTag;
+            stats.dispatchSpawns++;
+            emit(id, 0, t);
+        }
+        break;
+      }
+      case NodeKind::Load: {
+        Token addr = consumeInput(id, pidx::LoadAddr);
+        addr.value += node.imm; // configured base offset
+        int32_t tag = addr.tag;
+        const auto &refs = inputRefs[static_cast<size_t>(id)];
+        if (refs.size() > static_cast<size_t>(pidx::LoadOrder) &&
+            refs[static_cast<size_t>(pidx::LoadOrder)].wired()) {
+            Token ord = consumeInput(id, pidx::LoadOrder);
+            tag = combineTags(id, {tag, ord.tag});
+        }
+        memsys.claimBank(addr.value);
+        memsys.issueLoad(id, addr.value, tag, cycle);
+        if (portHasConsumers(id, pidx::LoadDataOut))
+            r.reservedOut++;
+        stats.memLoads++;
+        emit(id, pidx::LoadDoneOut, Token{1, tag});
+        break;
+      }
+      case NodeKind::Store: {
+        Token addr = consumeInput(id, pidx::StoreAddr);
+        addr.value += node.imm; // configured base offset
+        Token data = consumeInput(id, pidx::StoreData);
+        int32_t tag = combineTags(id, {addr.tag, data.tag});
+        const auto &refs = inputRefs[static_cast<size_t>(id)];
+        if (refs.size() > static_cast<size_t>(pidx::StoreOrder) &&
+            refs[static_cast<size_t>(pidx::StoreOrder)].wired()) {
+            Token ord = consumeInput(id, pidx::StoreOrder);
+            tag = combineTags(id, {tag, ord.tag});
+        }
+        memsys.claimBank(addr.value);
+        memsys.store(addr.value, data.value);
+        stats.memStores++;
+        emit(id, pidx::StoreDoneOut, Token{1, tag});
+        break;
+      }
+      case NodeKind::Stream: {
+        if (r.fsm == NodeRt::Fsm::Init) {
+            Token begin = consumeInput(id, pidx::StreamBegin);
+            Token end = consumeInput(id, pidx::StreamEnd);
+            const auto &refs = inputRefs[static_cast<size_t>(id)];
+            int32_t tag = combineTags(id, {begin.tag, end.tag});
+            if (refs.size() >
+                    static_cast<size_t>(pidx::StreamTrigger) &&
+                refs[static_cast<size_t>(pidx::StreamTrigger)]
+                    .wired()) {
+                Token trig = consumeInput(id, pidx::StreamTrigger);
+                tag = combineTags(id, {tag, trig.tag});
+            }
+            r.streamCur = begin.value;
+            r.streamEnd = end.value;
+            r.latched.tag = tag;
+            r.fsm = NodeRt::Fsm::Run;
+        }
+        int32_t tag = r.latched.tag;
+        if (r.streamCur < r.streamEnd) {
+            emit(id, pidx::StreamIdxOut, Token{r.streamCur, tag});
+            emit(id, pidx::StreamCondOut, Token{1, tag});
+            r.streamCur += node.streamStep;
+        } else {
+            emit(id, pidx::StreamCondOut, Token{0, tag});
+            r.fsm = NodeRt::Fsm::Init;
+        }
+        break;
+      }
+    }
+}
+
+void
+Engine::evalNocNodes()
+{
+    // CF ops in routers are combinational: they observe tokens that
+    // became visible this cycle and forward them within the cycle,
+    // in dependence (topological) order. Each router op handles at
+    // most one token set per cycle (enforced by nocFired: the
+    // routine runs both before the PE pass — modeling values that
+    // settled through the NoC at the end of the previous cycle —
+    // and after it, for same-cycle forwarding of fresh PE outputs).
+    for (;;) {
+        bool any = false;
+        for (NodeId id : nocTopo) {
+            if (nocFired[static_cast<size_t>(id)])
+                continue;
+            if (canFire(id) == Blocked::No) {
+                nocFired[static_cast<size_t>(id)] = true;
+                commitFire(id);
+                any = true;
+            }
+        }
+        // Sweep to a fixpoint: a router op whose consumer freed its
+        // latch later in the same settle can still fire this cycle.
+        if (!any)
+            break;
+    }
+}
+
+bool
+Engine::quiescent() const
+{
+    if (!memsys.idle())
+        return false;
+    for (NodeId id = 0; id < graph.size(); id++) {
+        const NodeRt &r = rt[static_cast<size_t>(id)];
+        const Node &node = graph.at(id);
+        if (node.kind == NodeKind::Trigger && !r.triggerFired)
+            return false;
+        if (node.kind == NodeKind::Stream &&
+            r.fsm != NodeRt::Fsm::Init)
+            return false;
+        for (const auto &f : r.ins) {
+            if (!f.empty())
+                return false;
+        }
+        for (const auto &f : r.outs) {
+            if (!f.empty())
+                return false;
+        }
+    }
+    return true;
+}
+
+std::string
+Engine::diagnose() const
+{
+    std::ostringstream out;
+    int listed = 0;
+    for (NodeId id = 0; id < graph.size() && listed < 40; id++) {
+        const NodeRt &r = rt[static_cast<size_t>(id)];
+        const Node &node = graph.at(id);
+        bool interesting = r.fsm != NodeRt::Fsm::Init;
+        for (const auto &f : r.ins)
+            interesting |= !f.empty();
+        for (const auto &f : r.outs)
+            interesting |= !f.empty();
+        if (!interesting)
+            continue;
+        listed++;
+        out << "  node " << id << " (" << nodeKindName(node.kind)
+            << " " << node.name << ") ins=[";
+        for (const auto &f : r.ins)
+            out << f.size() << " ";
+        out << "] outs=[";
+        for (const auto &f : r.outs)
+            out << f.size() << " ";
+        out << "] fsm=" << static_cast<int>(r.fsm) << "\n";
+    }
+    return out.str();
+}
+
+SimResult
+Engine::run()
+{
+    SimResult result;
+    fireList.reserve(static_cast<size_t>(graph.size()));
+
+    for (cycle = 0; cycle < cfg.maxCycles; cycle++) {
+        active = false;
+        memsys.beginCycle();
+        nocFired.assign(static_cast<size_t>(graph.size()), false);
+        shareUsed.assign(shareUsed.size(), false);
+
+        drainOutputBuffers();
+        handleMemCompletions();
+
+        // Router CF settles over tokens left from the previous
+        // cycle before the PEs sample their inputs.
+        bornStamp = cycle - 1;
+        evalNocNodes();
+
+        // Sequential (PE) firing: iterate to a fixpoint within the
+        // cycle. A PE only consumes tokens born in earlier cycles,
+        // but a multicast head retired early in the cycle exposes
+        // the next (older) token to consumers later in the same
+        // cycle — the combinational acknowledge path. Each PE fires
+        // at most once per cycle.
+        bornStamp = cycle;
+        std::vector<bool> seqFired(static_cast<size_t>(graph.size()),
+                                   false);
+        for (;;) {
+            decideDispatchGroups();
+            fireList.clear();
+            for (NodeId id = 0; id < graph.size(); id++) {
+                if (nocNode[static_cast<size_t>(id)] ||
+                    seqFired[static_cast<size_t>(id)]) {
+                    continue;
+                }
+                int sg = shareGroupOf[static_cast<size_t>(id)];
+                if (sg >= 0) {
+                    if (shareUsed[static_cast<size_t>(sg)]) {
+                        stats.shareConflicts++;
+                        continue;
+                    }
+                    // Fairness: the current resident yields when a
+                    // housemate is also ready to fire this cycle.
+                    if (shareLast[static_cast<size_t>(sg)] == id) {
+                        bool housemateReady = false;
+                        for (int other :
+                             cfg.shareGroups[static_cast<size_t>(
+                                 sg)]) {
+                            if (other == id ||
+                                seqFired[static_cast<size_t>(
+                                    other)]) {
+                                continue;
+                            }
+                            if (canFire(other) == Blocked::No) {
+                                housemateReady = true;
+                                break;
+                            }
+                        }
+                        if (housemateReady) {
+                            stats.shareConflicts++;
+                            continue;
+                        }
+                    }
+                }
+                if (canFire(id) == Blocked::No) {
+                    fireList.push_back(id);
+                    seqFired[static_cast<size_t>(id)] = true;
+                    if (sg >= 0) {
+                        shareUsed[static_cast<size_t>(sg)] = true;
+                        if (shareLast[static_cast<size_t>(sg)] !=
+                            id) {
+                            stats.muxSwitches++;
+                            shareLast[static_cast<size_t>(sg)] =
+                                id;
+                        }
+                    }
+                    const Node &node = graph.at(id);
+                    if (node.kind == NodeKind::Load) {
+                        memsys.claimBank(
+                            peekInput(id, pidx::LoadAddr).value +
+                            node.imm);
+                    } else if (node.kind == NodeKind::Store) {
+                        memsys.claimBank(
+                            peekInput(id, pidx::StoreAddr).value +
+                            node.imm);
+                    }
+                }
+            }
+            if (fireList.empty())
+                break;
+            bool spawned = false;
+            for (NodeId id : fireList) {
+                if (graph.at(id).kind == NodeKind::Dispatch &&
+                    groupChoice[static_cast<size_t>(
+                        graph.at(id).loopId)] ==
+                        GroupChoice::Spawn) {
+                    spawned = true;
+                }
+                commitFire(id);
+            }
+            if (spawned)
+                nextThreadTag++;
+        }
+
+        // Stall census for the PEs that never fired this cycle.
+        for (NodeId id = 0; id < graph.size(); id++) {
+            if (nocNode[static_cast<size_t>(id)] ||
+                seqFired[static_cast<size_t>(id)]) {
+                continue;
+            }
+            Blocked why = canFire(id);
+            if (why == Blocked::Input) {
+                const NodeRt &r = rt[static_cast<size_t>(id)];
+                bool pending = false;
+                for (const auto &f : r.ins)
+                    pending |= !f.empty();
+                if (pending)
+                    stats.stallNoInput++;
+            } else if (why == Blocked::Space) {
+                stats.stallNoSpace++;
+            } else if (why == Blocked::Bank) {
+                stats.stallBank++;
+                stats.bankConflictStalls++;
+            }
+            if (cfg.trace && why != Blocked::Idle &&
+                why != Blocked::No) {
+                std::fprintf(
+                    stderr, "[%6lld] stall n%-3d %-9s %s (%s)\n",
+                    static_cast<long long>(cycle), id,
+                    nodeKindName(graph.at(id).kind),
+                    graph.at(id).name.c_str(),
+                    why == Blocked::Input    ? "input"
+                    : why == Blocked::Space ? "space"
+                                            : "bank");
+            }
+        }
+
+        // Pass 3: combinational CF-in-NoC evaluation.
+        evalNocNodes();
+
+        if (!failure.empty()) {
+            result.stats = stats;
+            result.stats.cycles = cycle + 1;
+            result.deadlocked = true;
+            result.diagnostic = failure;
+            return result;
+        }
+
+        if (quiescent()) {
+            stats.cycles = cycle + 1;
+            result.stats = stats;
+            // A carry/invariant left mid-loop with no tokens in
+            // flight means the graph leaked or starved tokens — a
+            // compiler or simulator bug worth surfacing.
+            for (NodeId id = 0; id < graph.size(); id++) {
+                const Node &node = graph.at(id);
+                if ((node.kind == NodeKind::Carry ||
+                     node.kind == NodeKind::Invariant) &&
+                    rt[static_cast<size_t>(id)].fsm !=
+                        NodeRt::Fsm::Init) {
+                    result.deadlocked = true;
+                    result.diagnostic = csprintf(
+                        "token leak: node %d (%s %s) finished in "
+                        "run state",
+                        id, nodeKindName(node.kind),
+                        node.name.c_str());
+                    break;
+                }
+            }
+            return result;
+        }
+
+        if (!active && memsys.idle()) {
+            stats.cycles = cycle + 1;
+            result.stats = stats;
+            result.deadlocked = true;
+            result.diagnostic =
+                csprintf("deadlock at cycle %lld:\n",
+                         static_cast<long long>(cycle)) +
+                diagnose();
+            return result;
+        }
+    }
+
+    stats.cycles = cfg.maxCycles;
+    result.stats = stats;
+    result.deadlocked = true;
+    result.diagnostic = "watchdog: maxCycles exceeded\n" + diagnose();
+    return result;
+}
+
+} // namespace
+
+SimResult
+simulate(const Graph &graph, MemImage &mem, const SimConfig &config)
+{
+    Engine engine(graph, mem, config);
+    return engine.run();
+}
+
+} // namespace pipestitch::sim

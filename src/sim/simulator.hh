@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Cycle-level simulator for RipTide/Pipestitch dataflow graphs.
+ *
+ * The simulator executes the token-level microarchitectural rules of
+ * the paper directly:
+ *
+ *  - ordered dataflow: every edge is a FIFO; nodes fire on in-order
+ *    head tokens and stall on backpressure;
+ *  - destination (input) buffering [Pipestitch] or source (output)
+ *    buffering with multicast hold [RipTide / the PipeSB ablation]
+ *    (Sec. 4.7, Fig. 12);
+ *  - output buffers with bypass on memory and control-flow PEs
+ *    (Sec. 4.7);
+ *  - dispatch groups synchronized through the SyncPlane with bubble
+ *    flow control: a full continuation set is preferred; a spawn set
+ *    requires two free output slots at every gate (Fig. 10);
+ *  - control flow mapped into NoC routers evaluates combinationally
+ *    (adds no pipeline latency);
+ *  - banked memory with per-bank port arbitration and fixed load
+ *    latency.
+ *
+ * Tokens carry debug-only thread tags that let the simulator verify
+ * the ordered-threading invariant; the architecture itself is
+ * tagless.
+ */
+
+#ifndef PIPESTITCH_SIM_SIMULATOR_HH
+#define PIPESTITCH_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <string>
+
+#include "dfg/graph.hh"
+#include "sim/memsys.hh"
+#include "sim/stats.hh"
+#include "sim/token.hh"
+
+namespace pipestitch::sim {
+
+/** Microarchitecture configuration for one simulation. */
+struct SimConfig
+{
+    enum class Buffering {
+        Source,      ///< RipTide / PipeSB: buffers at producer outputs
+        Destination, ///< Pipestitch: buffers at consumer inputs
+    };
+
+    Buffering buffering = Buffering::Destination;
+
+    /** Token-buffer depth (the paper uses 4; Fig. 20 sweeps 4/8/16). */
+    int bufferDepth = 4;
+
+    int memBanks = 16;
+
+    /** Cycles from load issue to data availability at the memory PE. */
+    int memLatency = 2;
+
+    /** Bypass memory/CF output buffers when downstream is free. */
+    bool memBypass = true;
+
+    /** Watchdog bound; exceeding it reports deadlock. */
+    int64_t maxCycles = 100'000'000;
+
+    /** Verify the thread-ordering invariant with debug tags. */
+    bool checkThreadOrder = true;
+
+    /**
+     * Ablation (paper Fig. 9a): let each dispatch gate greedily
+     * accept whichever token set it has, with no SyncPlane
+     * synchronization. With multi-input threads this violates
+     * ordering — the run is expected to corrupt token pairing,
+     * which the debug tags catch. For demonstrating why the
+     * SyncPlane exists; never enable for real runs.
+     */
+    bool greedyDispatch = false;
+
+    /** Print every fire to stderr (cycle, node, kind, value). */
+    bool trace = false;
+
+    /**
+     * Time-multiplexing groups (Sec. 6 extension): each inner vector
+     * lists node ids sharing one PE; at most one member fires per
+     * cycle, and alternating residents costs configuration-switch
+     * energy. Residents keep their own architectural state (buffers,
+     * gate FSMs); only the functional unit is shared.
+     */
+    std::vector<std::vector<int>> shareGroups;
+};
+
+struct SimResult
+{
+    SimStats stats;
+    bool deadlocked = false;
+    /** Non-empty on deadlock / invariant trouble. */
+    std::string diagnostic;
+};
+
+/**
+ * Simulate @p graph against @p mem until the fabric drains.
+ *
+ * @p mem must be at least as large as the addresses the kernel
+ * touches; it is mutated in place (compare with the scalar
+ * interpreter's image for functional verification).
+ */
+SimResult simulate(const dfg::Graph &graph, MemImage &mem,
+                   const SimConfig &config);
+
+} // namespace pipestitch::sim
+
+#endif // PIPESTITCH_SIM_SIMULATOR_HH

@@ -1,0 +1,71 @@
+#include "sim/stats.hh"
+
+#include "base/logging.hh"
+
+namespace pipestitch::sim {
+
+int64_t
+SimStats::totalPeFires() const
+{
+    int64_t total = 0;
+    for (int64_t f : classFires)
+        total += f;
+    return total;
+}
+
+double
+SimStats::ipc() const
+{
+    if (cycles == 0)
+        return 0;
+    return static_cast<double>(totalPeFires()) /
+           static_cast<double>(cycles);
+}
+
+LoopIpc
+computeLoopIpc(const dfg::Graph &graph, const SimStats &stats)
+{
+    LoopIpc out;
+    int64_t innerFires = 0, outerFires = 0;
+    for (dfg::NodeId id = 0; id < graph.size(); id++) {
+        const dfg::Node &node = graph.at(id);
+        if (node.kind == dfg::NodeKind::Trigger || node.cfInNoc)
+            continue; // not a PE
+        int64_t fires = stats.nodeFires[static_cast<size_t>(id)];
+        if (node.innerLoop) {
+            out.innerPes++;
+            innerFires += fires;
+        } else {
+            out.outerPes++;
+            outerFires += fires;
+        }
+    }
+    double cycles = static_cast<double>(stats.cycles);
+    if (cycles <= 0)
+        return out;
+    out.innerIpc = static_cast<double>(innerFires) / cycles;
+    out.outerIpc = static_cast<double>(outerFires) / cycles;
+    if (out.innerPes > 0)
+        out.innerPerUnit = out.innerIpc / out.innerPes;
+    if (out.outerPes > 0)
+        out.outerPerUnit = out.outerIpc / out.outerPes;
+    return out;
+}
+
+std::string
+summarize(const SimStats &stats)
+{
+    return csprintf(
+        "cycles=%lld fires=%lld ipc=%.2f loads=%lld stores=%lld "
+        "spawns=%lld stalls(in/space/bank)=%lld/%lld/%lld",
+        static_cast<long long>(stats.cycles),
+        static_cast<long long>(stats.totalPeFires()), stats.ipc(),
+        static_cast<long long>(stats.memLoads),
+        static_cast<long long>(stats.memStores),
+        static_cast<long long>(stats.dispatchSpawns),
+        static_cast<long long>(stats.stallNoInput),
+        static_cast<long long>(stats.stallNoSpace),
+        static_cast<long long>(stats.stallBank));
+}
+
+} // namespace pipestitch::sim

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tokens and token FIFOs.
+ *
+ * A token is a 32-bit value plus a debug-only thread tag used to
+ * check the ordered-dataflow invariant (tokens of different threads
+ * never interleave incorrectly at an operator). The tag models
+ * nothing architectural: Pipestitch is tagless by design (Sec. 3),
+ * and the simulator only uses tags for verification.
+ */
+
+#ifndef PIPESTITCH_SIM_TOKEN_HH
+#define PIPESTITCH_SIM_TOKEN_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "base/logging.hh"
+#include "sir/program.hh"
+
+namespace pipestitch::sim {
+
+using Word = sir::Word;
+
+/** No-thread debug tag. */
+constexpr int32_t NoTag = -1;
+
+struct Token
+{
+    Word value = 0;
+    int32_t tag = NoTag;
+    /** Cycle the token became visible in its buffer (simulator
+     *  bookkeeping: PEs sample only tokens born in earlier cycles;
+     *  combinational router CF has no such restriction). */
+    int64_t born = -1;
+};
+
+/**
+ * Bounded FIFO of tokens.
+ *
+ * In destination-buffered mode each *input port* owns one and the
+ * single consumer pops the head. In source-buffered mode each
+ * *output port* owns one and multicasts: every consumer endpoint
+ * reads the entries in order through its own cursor, and an entry
+ * retires once every endpoint has consumed it. A consumer lagging by
+ * more than the buffer depth therefore stalls the producer — the
+ * imbalanced split-join penalty of source buffering (Fig. 12a) —
+ * while small phase offsets between endpoints are absorbed.
+ */
+class TokenFifo
+{
+  public:
+    explicit TokenFifo(int depth = 0) : depth(depth) {}
+
+    void
+    setDepth(int d)
+    {
+        depth = d;
+    }
+
+    /** Configure multicast endpoints (source-buffer mode). */
+    void
+    initEndpoints(int n)
+    {
+        consumed.assign(static_cast<size_t>(n), 0);
+    }
+
+    bool empty() const { return q.empty(); }
+    bool full() const { return size() >= depth; }
+    int size() const { return static_cast<int>(q.size()); }
+    int freeSlots() const { return depth - size(); }
+    int capacity() const { return depth; }
+
+    const Token &
+    head() const
+    {
+        return q.front();
+    }
+
+    void
+    push(const Token &t)
+    {
+        ps_assert(!full(), "token fifo overflow");
+        q.push_back(t);
+    }
+
+    /** Single-consumer pop (destination-buffer mode). */
+    Token
+    pop()
+    {
+        Token t = q.front();
+        q.pop_front();
+        retired++;
+        return t;
+    }
+
+    /** @{ Multicast endpoint interface (source-buffer mode). */
+
+    /**
+     * Availability for a consumer that can snoop buffered entries
+     * beyond the head (combinational router CF: by the time a value
+     * is registered it has already flowed through the switch).
+     */
+    bool
+    availFor(int endpoint) const
+    {
+        int64_t offset =
+            consumed[static_cast<size_t>(endpoint)] - retired;
+        return offset < static_cast<int64_t>(q.size());
+    }
+
+    /**
+     * Availability for a registered PE endpoint: only the head
+     * entry is driven onto the network, so a consumer that already
+     * took the head must wait for every other endpoint to take it
+     * before seeing the next token (the Fig. 12a multicast hold).
+     */
+    bool
+    availHeadFor(int endpoint) const
+    {
+        return !q.empty() &&
+               consumed[static_cast<size_t>(endpoint)] == retired;
+    }
+
+    const Token &
+    peekFor(int endpoint) const
+    {
+        int64_t offset =
+            consumed[static_cast<size_t>(endpoint)] - retired;
+        return q[static_cast<size_t>(offset)];
+    }
+
+    /** Advance @p endpoint 's cursor; retires fully-read entries. */
+    void
+    takeFor(int endpoint)
+    {
+        consumed[static_cast<size_t>(endpoint)]++;
+        int64_t minC = consumed[0];
+        for (int64_t c : consumed)
+            minC = std::min(minC, c);
+        while (retired < minC) {
+            q.pop_front();
+            retired++;
+        }
+    }
+    /** @} */
+
+  private:
+    std::deque<Token> q;
+    int depth;
+    std::vector<int64_t> consumed; ///< per-endpoint read counts
+    int64_t retired = 0;
+};
+
+} // namespace pipestitch::sim
+
+#endif // PIPESTITCH_SIM_TOKEN_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Dataflow analyses over SIR used by the dataflow compiler:
+ * definitely-assigned register sets, upward-exposed uses, and
+ * structured liveness. All sets are conservative in the direction the
+ * compiler needs (maybe-defs count as defs for carry insertion;
+ * maybe-uses count as uses).
+ */
+
+#ifndef PIPESTITCH_SIR_ANALYSIS_HH
+#define PIPESTITCH_SIR_ANALYSIS_HH
+
+#include <set>
+#include <unordered_map>
+
+#include "sir/program.hh"
+
+namespace pipestitch::sir {
+
+using RegSet = std::set<Reg>;
+
+/** All registers assigned anywhere in @p list (recursively). */
+RegSet collectDefs(const StmtList &list);
+
+/** All registers read anywhere in @p list (recursively). */
+RegSet collectUses(const StmtList &list);
+
+/**
+ * Registers whose value may be read in @p list before any assignment
+ * within @p list (i.e. values that flow in from outside / from the
+ * previous loop iteration). Definitions inside branches and nested
+ * loops are treated as *maybe* definitions and do not kill uses.
+ */
+RegSet upwardExposedUses(const StmtList &list);
+
+/** upwardExposedUses over several lists executed in sequence (e.g. a
+ *  while loop's header followed by its body). */
+RegSet upwardExposedUsesSeq(const std::vector<const StmtList *> &lists);
+
+/** Arrays stored to anywhere in @p list. */
+std::set<ArrayId> storedArrays(const StmtList &list);
+
+/** Arrays loaded from anywhere in @p list. */
+std::set<ArrayId> loadedArrays(const StmtList &list);
+
+/**
+ * Structured liveness: for every statement, the set of registers
+ * whose value may still be read after the statement completes (in
+ * program order, including subsequent loop iterations of enclosing
+ * loops).
+ */
+class Liveness
+{
+  public:
+    explicit Liveness(const Program &prog);
+
+    /** Registers live immediately after @p stmt. */
+    const RegSet &liveAfter(const Stmt &stmt) const;
+
+  private:
+    RegSet walk(const StmtList &list, RegSet live);
+
+    std::unordered_map<const Stmt *, RegSet> after;
+    RegSet empty;
+};
+
+} // namespace pipestitch::sir
+
+#endif // PIPESTITCH_SIR_ANALYSIS_HH

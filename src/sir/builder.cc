@@ -1,0 +1,234 @@
+#include "sir/builder.hh"
+
+#include "base/logging.hh"
+
+namespace pipestitch::sir {
+
+Builder::Builder(std::string name) : prog(std::move(name))
+{
+    scopes.push_back(&prog.body);
+}
+
+ArrayId
+Builder::array(const std::string &name, int64_t words)
+{
+    ps_assert(words > 0, "array %s must have positive size",
+              name.c_str());
+    ArrayId id = static_cast<ArrayId>(prog.arrays.size());
+    prog.arrays.push_back({name, nextBase, words});
+    nextBase += words;
+    prog.memWords = nextBase;
+    return id;
+}
+
+Reg
+Builder::arrayBase(ArrayId id)
+{
+    return let(static_cast<Word>(prog.array(id).base));
+}
+
+Reg
+Builder::liveIn(const std::string &name)
+{
+    Reg r = newReg(name);
+    prog.liveIns.push_back(r);
+    return r;
+}
+
+Reg
+Builder::newReg(const std::string &name)
+{
+    Reg r = prog.numRegs++;
+    prog.regNames.push_back(name.empty() ? csprintf("r%d", r) : name);
+    return r;
+}
+
+void
+Builder::emit(StmtPtr stmt)
+{
+    scopes.back()->push_back(std::move(stmt));
+}
+
+Reg
+Builder::let(Word value)
+{
+    Reg r = newReg("");
+    emit(std::make_unique<ConstStmt>(r, value));
+    return r;
+}
+
+Reg
+Builder::reg(const std::string &name)
+{
+    return newReg(name);
+}
+
+Reg
+Builder::binary(Opcode op, Reg a, Reg b)
+{
+    Reg r = newReg("");
+    emit(std::make_unique<ComputeStmt>(op, r, a, b));
+    return r;
+}
+
+Reg Builder::add(Reg a, Reg b) { return binary(Opcode::Add, a, b); }
+Reg Builder::sub(Reg a, Reg b) { return binary(Opcode::Sub, a, b); }
+Reg Builder::mul(Reg a, Reg b) { return binary(Opcode::Mul, a, b); }
+Reg Builder::band(Reg a, Reg b) { return binary(Opcode::And, a, b); }
+Reg Builder::bor(Reg a, Reg b) { return binary(Opcode::Or, a, b); }
+Reg Builder::bxor(Reg a, Reg b) { return binary(Opcode::Xor, a, b); }
+Reg Builder::lt(Reg a, Reg b) { return binary(Opcode::Lt, a, b); }
+Reg Builder::le(Reg a, Reg b) { return binary(Opcode::Le, a, b); }
+Reg Builder::gt(Reg a, Reg b) { return binary(Opcode::Gt, a, b); }
+Reg Builder::ge(Reg a, Reg b) { return binary(Opcode::Ge, a, b); }
+Reg Builder::eq(Reg a, Reg b) { return binary(Opcode::Eq, a, b); }
+Reg Builder::ne(Reg a, Reg b) { return binary(Opcode::Ne, a, b); }
+Reg Builder::min(Reg a, Reg b) { return binary(Opcode::Min, a, b); }
+Reg Builder::max(Reg a, Reg b) { return binary(Opcode::Max, a, b); }
+
+Reg Builder::addi(Reg a, Word imm) { return add(a, let(imm)); }
+Reg Builder::muli(Reg a, Word imm) { return mul(a, let(imm)); }
+Reg Builder::shl(Reg a, Word imm) { return binary(Opcode::Shl, a, let(imm)); }
+Reg Builder::shr(Reg a, Word imm) { return binary(Opcode::Shr, a, let(imm)); }
+Reg Builder::lti(Reg a, Word imm) { return lt(a, let(imm)); }
+Reg Builder::gti(Reg a, Word imm) { return gt(a, let(imm)); }
+Reg Builder::nei(Reg a, Word imm) { return ne(a, let(imm)); }
+Reg Builder::eqi(Reg a, Word imm) { return eq(a, let(imm)); }
+
+Reg
+Builder::select(Reg cond, Reg ifTrue, Reg ifFalse)
+{
+    Reg r = newReg("");
+    emit(std::make_unique<ComputeStmt>(Opcode::Select, r, cond, ifTrue,
+                                       ifFalse));
+    return r;
+}
+
+void
+Builder::computeInto(Reg dst, Opcode op, Reg a, Reg b, Reg c)
+{
+    emit(std::make_unique<ComputeStmt>(op, dst, a, b, c));
+}
+
+void
+Builder::assignConst(Reg dst, Word value)
+{
+    emit(std::make_unique<ConstStmt>(dst, value));
+}
+
+void
+Builder::assign(Reg dst, Reg src)
+{
+    // Copy as dst = src + 0; the dataflow compiler elides copies by
+    // renaming, and the scalar model charges one ALU op, like a mov.
+    emit(std::make_unique<ComputeStmt>(Opcode::Add, dst, src, let(0)));
+}
+
+Reg
+Builder::loadIdx(ArrayId arr, Reg idx)
+{
+    Reg r = newReg("");
+    loadIdxInto(r, arr, idx);
+    return r;
+}
+
+void
+Builder::loadIdxInto(Reg dst, ArrayId arr, Reg idx)
+{
+    emit(std::make_unique<LoadStmt>(
+        dst, idx, arr, static_cast<Word>(prog.array(arr).base)));
+}
+
+void
+Builder::storeIdx(ArrayId arr, Reg idx, Reg value)
+{
+    emit(std::make_unique<StoreStmt>(
+        idx, value, arr, static_cast<Word>(prog.array(arr).base)));
+}
+
+void
+Builder::forLoop(Reg begin, Reg end, Word step,
+                 const std::function<void(Reg)> &body)
+{
+    Reg var = newReg("");
+    auto loop = std::make_unique<ForStmt>(var, begin, end, step, false);
+    scopes.push_back(&loop->body);
+    body(var);
+    scopes.pop_back();
+    emit(std::move(loop));
+}
+
+void
+Builder::forLoop0(Reg end, const std::function<void(Reg)> &body)
+{
+    forLoop(let(0), end, 1, body);
+}
+
+void
+Builder::forEach(Reg begin, Reg end, Word step,
+                 const std::function<void(Reg)> &body)
+{
+    Reg var = newReg("");
+    auto loop = std::make_unique<ForStmt>(var, begin, end, step, true);
+    scopes.push_back(&loop->body);
+    body(var);
+    scopes.pop_back();
+    emit(std::move(loop));
+}
+
+void
+Builder::forEach0(Reg end, const std::function<void(Reg)> &body)
+{
+    forEach(let(0), end, 1, body);
+}
+
+void
+Builder::whileLoop(const std::function<Reg()> &header,
+                   const std::function<void()> &body)
+{
+    // Build the header into a temporary list to learn the cond reg.
+    StmtList headerStmts;
+    scopes.push_back(&headerStmts);
+    Reg cond = header();
+    scopes.pop_back();
+
+    auto loop = std::make_unique<WhileStmt>(cond);
+    loop->header = std::move(headerStmts);
+    scopes.push_back(&loop->body);
+    body();
+    scopes.pop_back();
+    emit(std::move(loop));
+}
+
+void
+Builder::ifThen(Reg cond, const std::function<void()> &thenBody)
+{
+    auto stmt = std::make_unique<IfStmt>(cond);
+    scopes.push_back(&stmt->thenBody);
+    thenBody();
+    scopes.pop_back();
+    emit(std::move(stmt));
+}
+
+void
+Builder::ifThenElse(Reg cond, const std::function<void()> &thenBody,
+                    const std::function<void()> &elseBody)
+{
+    auto stmt = std::make_unique<IfStmt>(cond);
+    scopes.push_back(&stmt->thenBody);
+    thenBody();
+    scopes.pop_back();
+    scopes.push_back(&stmt->elseBody);
+    elseBody();
+    scopes.pop_back();
+    emit(std::move(stmt));
+}
+
+Program
+Builder::finish()
+{
+    ps_assert(scopes.size() == 1, "unbalanced builder scopes");
+    return std::move(prog);
+}
+
+} // namespace pipestitch::sir

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Ergonomic construction API for SIR programs.
+ *
+ * This is the repository's embodiment of the Pipestitch programming
+ * model: kernels are written as structured loops with `foreach`
+ * marking independent outer iterations, exactly mirroring the C-level
+ * examples in the paper (Fig. 5a / Fig. 7).
+ */
+
+#ifndef PIPESTITCH_SIR_BUILDER_HH
+#define PIPESTITCH_SIR_BUILDER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sir/program.hh"
+
+namespace pipestitch::sir {
+
+/**
+ * Builds a Program with lambda-scoped structured control flow.
+ *
+ * @code
+ *   Builder b("count_nonzero");
+ *   ArrayId map = b.array("map", n);
+ *   Reg n_r = b.liveIn("n");
+ *   b.forEach(0, n_r, [&](Reg i) {
+ *       Reg c = b.let(0);
+ *       ...
+ *   });
+ *   Program p = b.finish();
+ * @endcode
+ */
+class Builder
+{
+  public:
+    explicit Builder(std::string name);
+
+    /** Declare a memory array of @p words words; returns its handle. */
+    ArrayId array(const std::string &name, int64_t words);
+
+    /** Base word address of a declared array, as a constant register. */
+    Reg arrayBase(ArrayId id);
+
+    /** Declare a live-in register (kernel parameter). */
+    Reg liveIn(const std::string &name);
+
+    /** Fresh register holding an immediate. */
+    Reg let(Word value);
+
+    /** Fresh uninitialized register (must be assigned before use). */
+    Reg reg(const std::string &name = "");
+
+    /** @{ Arithmetic helpers; allocate a fresh destination register. */
+    Reg add(Reg a, Reg b);
+    Reg addi(Reg a, Word imm);
+    Reg sub(Reg a, Reg b);
+    Reg mul(Reg a, Reg b);
+    Reg muli(Reg a, Word imm);
+    Reg shl(Reg a, Word imm);
+    Reg shr(Reg a, Word imm);
+    Reg band(Reg a, Reg b);
+    Reg bor(Reg a, Reg b);
+    Reg bxor(Reg a, Reg b);
+    Reg lt(Reg a, Reg b);
+    Reg le(Reg a, Reg b);
+    Reg gt(Reg a, Reg b);
+    Reg ge(Reg a, Reg b);
+    Reg eq(Reg a, Reg b);
+    Reg ne(Reg a, Reg b);
+    Reg lti(Reg a, Word imm);
+    Reg gti(Reg a, Word imm);
+    Reg nei(Reg a, Word imm);
+    Reg eqi(Reg a, Word imm);
+    Reg min(Reg a, Reg b);
+    Reg max(Reg a, Reg b);
+    Reg select(Reg cond, Reg ifTrue, Reg ifFalse);
+    /** @} */
+
+    /** Generic op with explicit destination (use for carried updates). */
+    void computeInto(Reg dst, Opcode op, Reg a, Reg b, Reg c = NoReg);
+
+    /** dst = immediate (re-assignment of an existing register). */
+    void assignConst(Reg dst, Word value);
+
+    /** dst = src (copy between registers). */
+    void assign(Reg dst, Reg src);
+
+    /** Fresh register loaded from arr[idx]. */
+    Reg loadIdx(ArrayId arr, Reg idx);
+
+    /** Load into an existing register. */
+    void loadIdxInto(Reg dst, ArrayId arr, Reg idx);
+
+    /** arr[idx] = value. */
+    void storeIdx(ArrayId arr, Reg idx, Reg value);
+
+    /** for (i = begin; i < end; i += step) body(i). */
+    void forLoop(Reg begin, Reg end, Word step,
+                 const std::function<void(Reg)> &body);
+
+    /** forLoop from 0 with step 1. */
+    void forLoop0(Reg end, const std::function<void(Reg)> &body);
+
+    /** foreach (i = begin; i < end; i += step) body(i). */
+    void forEach(Reg begin, Reg end, Word step,
+                 const std::function<void(Reg)> &body);
+
+    /** forEach from 0 with step 1. */
+    void forEach0(Reg end, const std::function<void(Reg)> &body);
+
+    /**
+     * loop { cond = header(); if (!cond) break; body(); }.
+     * The header lambda returns the condition register.
+     */
+    void whileLoop(const std::function<Reg()> &header,
+                   const std::function<void()> &body);
+
+    /** if (cond) thenBody(). */
+    void ifThen(Reg cond, const std::function<void()> &thenBody);
+
+    /** if (cond) thenBody() else elseBody(). */
+    void ifThenElse(Reg cond, const std::function<void()> &thenBody,
+                    const std::function<void()> &elseBody);
+
+    /** Finalize; the builder must not be used afterwards. */
+    Program finish();
+
+  private:
+    Reg newReg(const std::string &name);
+    void emit(StmtPtr stmt);
+    Reg binary(Opcode op, Reg a, Reg b);
+
+    Program prog;
+    int64_t nextBase = 0;
+    std::vector<StmtList *> scopes;
+};
+
+} // namespace pipestitch::sir
+
+#endif // PIPESTITCH_SIR_BUILDER_HH

@@ -1,0 +1,425 @@
+#include "sir/parser.hh"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "base/logging.hh"
+#include "sir/builder.hh"
+
+namespace pipestitch::sir {
+
+namespace {
+
+struct Line
+{
+    int number;
+    std::vector<std::string> tokens;
+};
+
+std::vector<Line>
+tokenize(const std::string &source)
+{
+    std::vector<Line> lines;
+    std::istringstream in(source);
+    std::string raw;
+    int number = 0;
+    while (std::getline(in, raw)) {
+        number++;
+        // Strip comments.
+        size_t hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw.resize(hash);
+        // Split on whitespace and the punctuation we care about,
+        // keeping '[' ']' '=' ':' as separate tokens.
+        std::vector<std::string> tokens;
+        std::string cur;
+        auto flush = [&] {
+            if (!cur.empty()) {
+                tokens.push_back(cur);
+                cur.clear();
+            }
+        };
+        for (char c : raw) {
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                flush();
+            } else if (c == '[' || c == ']' || c == '=' ||
+                       c == ':') {
+                flush();
+                tokens.push_back(std::string(1, c));
+            } else {
+                cur.push_back(c);
+            }
+        }
+        flush();
+        if (!tokens.empty())
+            lines.push_back({number, std::move(tokens)});
+    }
+    return lines;
+}
+
+std::optional<Word>
+parseInt(const std::string &token)
+{
+    if (token.empty())
+        return std::nullopt;
+    size_t start = token[0] == '-' ? 1 : 0;
+    if (start == token.size())
+        return std::nullopt;
+    for (size_t i = start; i < token.size(); i++) {
+        if (!std::isdigit(static_cast<unsigned char>(token[i])))
+            return std::nullopt;
+    }
+    return static_cast<Word>(std::stoll(token));
+}
+
+std::optional<Opcode>
+parseOpcode(const std::string &name)
+{
+    static const std::map<std::string, Opcode> ops = {
+        {"add", Opcode::Add}, {"sub", Opcode::Sub},
+        {"mul", Opcode::Mul}, {"div", Opcode::Div},
+        {"rem", Opcode::Rem}, {"shl", Opcode::Shl},
+        {"shr", Opcode::Shr}, {"and", Opcode::And},
+        {"or", Opcode::Or},   {"xor", Opcode::Xor},
+        {"lt", Opcode::Lt},   {"le", Opcode::Le},
+        {"gt", Opcode::Gt},   {"ge", Opcode::Ge},
+        {"eq", Opcode::Eq},   {"ne", Opcode::Ne},
+        {"min", Opcode::Min}, {"max", Opcode::Max},
+        {"select", Opcode::Select}};
+    auto it = ops.find(name);
+    if (it == ops.end())
+        return std::nullopt;
+    return it->second;
+}
+
+class Parser
+{
+  public:
+    Parser(const std::string &source, const std::string &filename)
+        : filename(filename), lines(tokenize(source)), b("kernel")
+    {}
+
+    ParseResult
+    run()
+    {
+        if (!eof() && tok(0) == "program") {
+            // Re-seed the builder name via a fresh builder.
+            expectCount(2, "program <name>");
+            programName = tok(1);
+            advance();
+        }
+        parseBlock(/*stopAtElse=*/false);
+        if (!eof())
+            die("unexpected '%s' after program end",
+                tok(0).c_str());
+
+        ParseResult result;
+        result.program = b.finish();
+        result.program.name = programName;
+        result.registers = regs;
+        result.arrays = arrays;
+        return result;
+    }
+
+  private:
+    [[noreturn]] void
+    die(const char *fmt, ...) __attribute__((format(printf, 2, 3)));
+
+    bool eof() const { return pos >= lines.size(); }
+
+    const Line &
+    line() const
+    {
+        ps_assert(!eof(), "parser read past end");
+        return lines[pos];
+    }
+
+    const std::string &
+    tok(size_t i) const
+    {
+        static const std::string empty;
+        return i < line().tokens.size() ? line().tokens[i] : empty;
+    }
+
+    size_t ntok() const { return line().tokens.size(); }
+
+    void advance() { pos++; }
+
+    void
+    expectCount(size_t n, const char *syntax)
+    {
+        if (ntok() != n)
+            die("expected `%s`", syntax);
+    }
+
+    /** Operand: register name or integer literal. */
+    Reg
+    operand(const std::string &token)
+    {
+        if (auto value = parseInt(token))
+            return b.let(*value);
+        auto it = regs.find(token);
+        if (it == regs.end())
+            die("unknown register '%s'", token.c_str());
+        return it->second;
+    }
+
+    /** Destination: existing register or a fresh one. */
+    Reg
+    destination(const std::string &name)
+    {
+        if (parseInt(name))
+            die("cannot assign to literal '%s'", name.c_str());
+        auto it = regs.find(name);
+        if (it != regs.end())
+            return it->second;
+        Reg r = b.reg(name);
+        regs[name] = r;
+        return r;
+    }
+
+    ArrayId
+    arrayRef(const std::string &name)
+    {
+        auto it = arrays.find(name);
+        if (it == arrays.end())
+            die("unknown array '%s'", name.c_str());
+        return it->second;
+    }
+
+    /**
+     * Parse statements until `end`/`else` (not consumed when
+     * @p stopAtElse) or end of input at top level.
+     */
+    void
+    parseBlock(bool stopAtElse)
+    {
+        while (!eof()) {
+            const std::string &head = tok(0);
+            if (head == "end" || (stopAtElse && head == "else"))
+                return;
+            parseStatement();
+        }
+    }
+
+    void
+    expectEnd()
+    {
+        if (eof() || tok(0) != "end")
+            die("expected `end`");
+        advance();
+    }
+
+    void
+    parseStatement()
+    {
+        const std::string &head = tok(0);
+        if (head == "array") {
+            expectCount(3, "array <name> <words>");
+            auto words = parseInt(tok(2));
+            if (!words || *words <= 0)
+                die("array size must be a positive integer");
+            if (arrays.count(tok(1)))
+                die("array '%s' redefined", tok(1).c_str());
+            arrays[tok(1)] = b.array(tok(1), *words);
+            advance();
+        } else if (head == "livein") {
+            expectCount(2, "livein <name>");
+            if (regs.count(tok(1)))
+                die("register '%s' redefined", tok(1).c_str());
+            regs[tok(1)] = b.liveIn(tok(1));
+            advance();
+        } else if (head == "store") {
+            // store arr [ idx ] = value
+            if (ntok() != 7 || tok(2) != "[" || tok(4) != "]" ||
+                tok(5) != "=") {
+                die("expected `store <arr>[<idx>] = <value>`");
+            }
+            ArrayId arr = arrayRef(tok(1));
+            Reg idx = operand(tok(3));
+            Reg value = operand(tok(6));
+            b.storeIdx(arr, idx, value);
+            advance();
+        } else if (head == "for" || head == "foreach") {
+            parseFor(head == "foreach");
+        } else if (head == "while") {
+            parseWhile();
+        } else if (head == "if") {
+            parseIf();
+        } else if (ntok() >= 3 && tok(1) == "=") {
+            parseAssignment();
+        } else {
+            die("cannot parse statement starting with '%s'",
+                head.c_str());
+        }
+    }
+
+    void
+    parseAssignment()
+    {
+        // dst = const N | load arr[idx] | <op> a b [c]
+        const std::string &what = tok(2);
+        if (what == "const") {
+            expectCount(4, "<dst> = const <int>");
+            auto value = parseInt(tok(3));
+            if (!value)
+                die("const needs an integer");
+            b.assignConst(destination(tok(0)), *value);
+        } else if (what == "load") {
+            // dst = load arr [ idx ]
+            if (ntok() != 7 || tok(4) != "[" || tok(6) != "]")
+                die("expected `<dst> = load <arr>[<idx>]`");
+            ArrayId arr = arrayRef(tok(3));
+            Reg idx = operand(tok(5));
+            b.loadIdxInto(destination(tok(0)), arr, idx);
+        } else if (auto op = parseOpcode(what)) {
+            size_t want = numOperands(*op) == 3 ? 6u : 5u;
+            if (ntok() != want)
+                die("op '%s' takes %d operands", what.c_str(),
+                    numOperands(*op));
+            Reg a = operand(tok(3));
+            Reg c2 = operand(tok(4));
+            Reg c3 = numOperands(*op) == 3 ? operand(tok(5))
+                                           : NoReg;
+            b.computeInto(destination(tok(0)), *op, a, c2, c3);
+        } else if (parseInt(what)) {
+            // Sugar: `x = 5` ≡ `x = const 5`.
+            expectCount(3, "<dst> = <int>");
+            b.assignConst(destination(tok(0)), *parseInt(what));
+        } else if (regs.count(what) && ntok() == 3) {
+            b.assign(destination(tok(0)), regs[what]);
+        } else {
+            die("unknown operation '%s'", what.c_str());
+        }
+        advance();
+    }
+
+    void
+    parseFor(bool isForeach)
+    {
+        // for v = a .. b [step k] :
+        bool hasStep = ntok() == 9;
+        if (!(ntok() == 7 || hasStep) || tok(2) != "=" ||
+            tok(4) != ".." ||
+            tok(ntok() - 1) != ":" ||
+            (hasStep && tok(6) != "step")) {
+            die("expected `%s <v> = <a> .. <b> [step k]:`",
+                isForeach ? "foreach" : "for");
+        }
+        Word step = 1;
+        if (hasStep) {
+            auto s = parseInt(tok(7));
+            if (!s || *s <= 0)
+                die("step must be a positive integer");
+            step = *s;
+        }
+        Reg begin = operand(tok(3));
+        Reg end = operand(tok(5));
+        std::string varName = tok(1);
+        if (regs.count(varName))
+            die("loop variable '%s' shadows a register",
+                varName.c_str());
+        advance();
+
+        // Builder's forLoop allocates the variable; bind the name
+        // for the body, then unbind.
+        auto bodyParser = [&](Reg var) {
+            regs[varName] = var;
+            parseBlock(false);
+            regs.erase(varName);
+        };
+        if (isForeach)
+            b.forEach(begin, end, step, bodyParser);
+        else
+            b.forLoop(begin, end, step, bodyParser);
+        expectEnd();
+    }
+
+    void
+    parseWhile()
+    {
+        // while: <header...> cond <reg> do: <body...> end
+        expectCount(2, "while:");
+        if (tok(1) != ":")
+            die("expected `while:`");
+        advance();
+        b.whileLoop(
+            [&]() -> Reg {
+                while (!eof() && tok(0) != "cond")
+                    parseStatement();
+                if (eof())
+                    die("while without `cond`");
+                expectCount(2, "cond <reg>");
+                Reg cond = operand(tok(1));
+                advance();
+                if (eof() || tok(0) != "do" || tok(1) != ":")
+                    die("expected `do:` after cond");
+                advance();
+                return cond;
+            },
+            [&] { parseBlock(false); });
+        expectEnd();
+    }
+
+    void
+    parseIf()
+    {
+        expectCount(3, "if <reg>:");
+        if (tok(2) != ":")
+            die("expected `if <reg>:`");
+        Reg cond = operand(tok(1));
+        advance();
+        // Peek ahead: we must know about an else branch before
+        // calling the builder, so parse then-body, check.
+        bool sawElse = false;
+        b.ifThenElse(
+            cond,
+            [&] {
+                parseBlock(/*stopAtElse=*/true);
+                if (!eof() && tok(0) == "else") {
+                    expectCount(2, "else:");
+                    sawElse = true;
+                    advance();
+                }
+            },
+            [&] {
+                if (sawElse)
+                    parseBlock(false);
+            });
+        expectEnd();
+    }
+
+    std::string filename;
+    std::vector<Line> lines;
+    size_t pos = 0;
+    Builder b;
+    std::string programName = "kernel";
+    std::map<std::string, Reg> regs;
+    std::map<std::string, ArrayId> arrays;
+};
+
+void
+Parser::die(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    char msg[512];
+    std::vsnprintf(msg, sizeof msg, fmt, args);
+    va_end(args);
+    int lineNo = eof() ? (lines.empty() ? 0 : lines.back().number)
+                       : line().number;
+    fatal("%s:%d: %s", filename.c_str(), lineNo, msg);
+}
+
+} // namespace
+
+ParseResult
+parseSir(const std::string &source, const std::string &filename)
+{
+    Parser parser(source, filename);
+    return parser.run();
+}
+
+} // namespace pipestitch::sir

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Text-format parser for SIR kernels.
+ *
+ * Lets kernels live in `.sir` files and run through `pstool` without
+ * writing C++. The format is line-based:
+ *
+ * ```
+ * program count_nonzeros
+ * array map 8
+ * array next 64
+ * array val 64
+ * array Z 8
+ * livein N
+ *
+ * foreach i = 0 .. N:
+ *   p = load map[i]
+ *   c = const 0
+ *   while:
+ *     alive = gt p -1
+ *   cond alive
+ *   do:
+ *     v = load val[p]
+ *     nz = ne v 0
+ *     if nz:
+ *       c = add c 1
+ *     end
+ *     p = load next[p]
+ *   end
+ *   store Z[i] = c
+ * end
+ * ```
+ *
+ * Rules:
+ *  - `dst = <op> a b [c]`, operands are register names or integer
+ *    literals (literals become consts);
+ *  - `dst = const <int>`, `dst = load arr[idx]`,
+ *    `store arr[idx] = value`;
+ *  - `for`/`foreach v = a .. b [step k]:` … `end`;
+ *  - `while:` header lines, `cond reg`, `do:` body, `end`;
+ *  - `if reg:` … [`else:`] … `end`;
+ *  - registers are created on first assignment; `livein` declares
+ *    kernel parameters; `#` starts a comment.
+ */
+
+#ifndef PIPESTITCH_SIR_PARSER_HH
+#define PIPESTITCH_SIR_PARSER_HH
+
+#include <map>
+#include <string>
+
+#include "sir/program.hh"
+
+namespace pipestitch::sir {
+
+struct ParseResult
+{
+    Program program;
+    /** Register name → id (for binding live-ins by name). */
+    std::map<std::string, Reg> registers;
+    /** Array name → id. */
+    std::map<std::string, ArrayId> arrays;
+};
+
+/**
+ * Parse @p source; fatal()s with file/line context on syntax errors
+ * (the caller is a tool or test; malformed kernels are user error).
+ */
+ParseResult parseSir(const std::string &source,
+                     const std::string &filename = "<memory>");
+
+} // namespace pipestitch::sir
+
+#endif // PIPESTITCH_SIR_PARSER_HH

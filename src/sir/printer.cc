@@ -1,0 +1,135 @@
+#include "sir/printer.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace pipestitch::sir {
+
+namespace {
+
+class Printer
+{
+  public:
+    explicit Printer(const Program &prog) : prog(prog) {}
+
+    std::string
+    run()
+    {
+        out << "program " << prog.name << " (regs=" << prog.numRegs
+            << ", mem=" << prog.memWords << " words)\n";
+        for (const auto &a : prog.arrays) {
+            out << "  array " << a.name << "[" << a.words << "] @ "
+                << a.base << "\n";
+        }
+        printList(prog.body, 1);
+        return out.str();
+    }
+
+  private:
+    std::string
+    regName(Reg r) const
+    {
+        if (r == NoReg)
+            return "_";
+        return prog.regNames[static_cast<size_t>(r)];
+    }
+
+    void
+    indent(int depth)
+    {
+        for (int i = 0; i < depth; i++)
+            out << "  ";
+    }
+
+    void
+    printList(const StmtList &list, int depth)
+    {
+        for (const auto &stmt : list)
+            printStmt(*stmt, depth);
+    }
+
+    void
+    printStmt(const Stmt &stmt, int depth)
+    {
+        indent(depth);
+        switch (stmt.kind()) {
+          case Stmt::Kind::Const: {
+            const auto &s = static_cast<const ConstStmt &>(stmt);
+            out << regName(s.dst) << " = " << s.value << "\n";
+            break;
+          }
+          case Stmt::Kind::Compute: {
+            const auto &s = static_cast<const ComputeStmt &>(stmt);
+            out << regName(s.dst) << " = " << opcodeName(s.op) << "("
+                << regName(s.a) << ", " << regName(s.b);
+            if (s.op == Opcode::Select)
+                out << ", " << regName(s.c);
+            out << ")\n";
+            break;
+          }
+          case Stmt::Kind::Load: {
+            const auto &s = static_cast<const LoadStmt &>(stmt);
+            out << regName(s.dst) << " = mem[" << regName(s.addr)
+                << "]  // " << arrayName(s.array) << "\n";
+            break;
+          }
+          case Stmt::Kind::Store: {
+            const auto &s = static_cast<const StoreStmt &>(stmt);
+            out << "mem[" << regName(s.addr) << "] = "
+                << regName(s.value) << "  // " << arrayName(s.array)
+                << "\n";
+            break;
+          }
+          case Stmt::Kind::If: {
+            const auto &s = static_cast<const IfStmt &>(stmt);
+            out << "if " << regName(s.cond) << ":\n";
+            printList(s.thenBody, depth + 1);
+            if (!s.elseBody.empty()) {
+                indent(depth);
+                out << "else:\n";
+                printList(s.elseBody, depth + 1);
+            }
+            break;
+          }
+          case Stmt::Kind::For: {
+            const auto &s = static_cast<const ForStmt &>(stmt);
+            out << (s.isForeach ? "foreach " : "for ") << regName(s.var)
+                << " = " << regName(s.begin) << " .. " << regName(s.end)
+                << " step " << s.step << ":\n";
+            printList(s.body, depth + 1);
+            break;
+          }
+          case Stmt::Kind::While: {
+            const auto &s = static_cast<const WhileStmt &>(stmt);
+            out << "while:\n";
+            printList(s.header, depth + 1);
+            indent(depth + 1);
+            out << "break unless " << regName(s.cond) << "\n";
+            printList(s.body, depth + 1);
+            break;
+          }
+        }
+    }
+
+    std::string
+    arrayName(ArrayId id) const
+    {
+        if (id == AnyArray)
+            return "<any>";
+        return prog.array(id).name;
+    }
+
+    const Program &prog;
+    std::ostringstream out;
+};
+
+} // namespace
+
+std::string
+print(const Program &prog)
+{
+    return Printer(prog).run();
+}
+
+} // namespace pipestitch::sir

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Human-readable dump of SIR programs (for debugging and docs).
+ */
+
+#ifndef PIPESTITCH_SIR_PRINTER_HH
+#define PIPESTITCH_SIR_PRINTER_HH
+
+#include <string>
+
+#include "sir/program.hh"
+
+namespace pipestitch::sir {
+
+/** Render @p prog as indented pseudo-C. */
+std::string print(const Program &prog);
+
+} // namespace pipestitch::sir
+
+#endif // PIPESTITCH_SIR_PRINTER_HH

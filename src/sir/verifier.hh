@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Structural validity checks for SIR programs.
+ */
+
+#ifndef PIPESTITCH_SIR_VERIFIER_HH
+#define PIPESTITCH_SIR_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "sir/program.hh"
+
+namespace pipestitch::sir {
+
+/**
+ * Check @p prog for structural errors: out-of-range registers and
+ * arrays, loop induction variables assigned in loop bodies,
+ * non-positive For steps, While loops with no carried state (which
+ * could never terminate), and reads of registers that are never
+ * assigned and are not live-ins.
+ *
+ * @return a list of human-readable problems; empty when valid.
+ */
+std::vector<std::string> verify(const Program &prog);
+
+/** Verify and fatal() with the first problem if any. */
+void verifyOrDie(const Program &prog);
+
+} // namespace pipestitch::sir
+
+#endif // PIPESTITCH_SIR_VERIFIER_HH

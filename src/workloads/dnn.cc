@@ -1,0 +1,163 @@
+#include "workloads/dnn.hh"
+
+#include "base/logging.hh"
+#include "core/system.hh"
+#include "workloads/kernels.hh"
+
+namespace pipestitch::workloads {
+
+int64_t
+DnnModel::footprintBytes() const
+{
+    int64_t words = 0;
+    for (const auto &w : weights)
+        words += w.words();
+    for (int d : config.dims)
+        words += 2 * d; // worst-case sparse activations (idx + val)
+    return words * 4;
+}
+
+DnnModel
+buildDnn(const DnnConfig &config)
+{
+    ps_assert(config.dims.size() ==
+                  config.weightSparsity.size() + 1,
+              "need one sparsity per layer");
+    DnnModel model;
+    model.config = config;
+    Rng rng(config.seed);
+    for (size_t l = 0; l + 1 < config.dims.size(); l++) {
+        model.weights.push_back(
+            randomCsr(config.dims[l + 1], config.dims[l],
+                      config.weightSparsity[l], rng, -4, 4));
+    }
+    model.input = randomSparseVec(config.dims[0],
+                                  config.inputSparsity, rng, 1, 8);
+    return model;
+}
+
+namespace {
+
+/** Extract the dense layer output from a finished memory image. */
+std::vector<Word>
+denseOut(const sir::Program &prog, const scalar::MemImage &mem,
+         int rows)
+{
+    // The SpMSpVd "out" array is the program's last array.
+    const auto &arr = prog.arrays.back();
+    ps_assert(arr.name == "out", "unexpected kernel layout");
+    ps_assert(arr.words >= rows, "output array too small");
+    std::vector<Word> out(static_cast<size_t>(rows));
+    for (int i = 0; i < rows; i++)
+        out[static_cast<size_t>(i)] =
+            mem[static_cast<size_t>(arr.base + i)];
+    return out;
+}
+
+/** Extract the sparse activation from a finished sparsify run. */
+SparseVec
+sparseOut(const sir::Program &prog, const scalar::MemImage &mem,
+          int length)
+{
+    const sir::Array *sidx = nullptr, *sval = nullptr,
+                     *cnt = nullptr;
+    for (const auto &a : prog.arrays) {
+        if (a.name == "sidx")
+            sidx = &a;
+        if (a.name == "sval")
+            sval = &a;
+        if (a.name == "count")
+            cnt = &a;
+    }
+    ps_assert(sidx && sval && cnt, "unexpected sparsify layout");
+    SparseVec v;
+    v.length = length;
+    Word n = mem[static_cast<size_t>(cnt->base)];
+    for (Word i = 0; i < n; i++) {
+        v.idx.push_back(mem[static_cast<size_t>(sidx->base + i)]);
+        v.val.push_back(mem[static_cast<size_t>(sval->base + i)]);
+    }
+    return v;
+}
+
+} // namespace
+
+DnnInference
+runDnnOnFabric(const DnnModel &model, compiler::ArchVariant variant,
+               int bufferDepth)
+{
+    DnnInference total;
+    total.system = compiler::archVariantName(variant);
+
+    RunConfig cfg;
+    cfg.variant = variant;
+    cfg.bufferDepth = bufferDepth;
+
+    SparseVec act = model.input;
+    const size_t layers = model.weights.size();
+    for (size_t l = 0; l < layers; l++) {
+        const Csr &w = model.weights[l];
+        auto layerKernel = makeSpMSpVdFrom(
+            w, act, csprintf("dnn_layer%zu", l));
+        FabricRun run = runOnFabric(layerKernel, cfg);
+        total.cycles += static_cast<double>(run.cycles());
+        total.seconds += run.seconds;
+        total.energy.cgraPj += run.energy.cgraPj;
+        total.energy.memPj += run.energy.memPj;
+        total.energy.scalarPj += run.energy.scalarPj;
+        total.energy.otherPj += run.energy.otherPj;
+        auto dense = denseOut(layerKernel.prog, run.memory, w.rows);
+
+        if (l + 1 == layers) {
+            total.logits = dense;
+            break;
+        }
+        auto sparsifyKernel = makeSparsify(dense);
+        FabricRun srun = runOnFabric(sparsifyKernel, cfg);
+        total.cycles += static_cast<double>(srun.cycles());
+        total.seconds += srun.seconds;
+        total.energy.cgraPj += srun.energy.cgraPj;
+        total.energy.memPj += srun.energy.memPj;
+        total.energy.scalarPj += srun.energy.scalarPj;
+        total.energy.otherPj += srun.energy.otherPj;
+        act = sparseOut(sparsifyKernel.prog, srun.memory, w.rows);
+    }
+    return total;
+}
+
+DnnInference
+runDnnOnScalar(const DnnModel &model,
+               const scalar::ScalarProfile &profile)
+{
+    DnnInference total;
+    total.system = profile.name;
+
+    SparseVec act = model.input;
+    const size_t layers = model.weights.size();
+    for (size_t l = 0; l < layers; l++) {
+        const Csr &w = model.weights[l];
+        auto layerKernel = makeSpMSpVdFrom(
+            w, act, csprintf("dnn_layer%zu", l));
+        ScalarRun run = runOnScalar(layerKernel, profile);
+        total.cycles += run.cycles;
+        total.seconds += run.seconds;
+        total.energy.memPj += run.energy.memPj;
+        total.energy.scalarPj += run.energy.scalarPj;
+        auto dense = denseOut(layerKernel.prog, run.memory, w.rows);
+
+        if (l + 1 == layers) {
+            total.logits = dense;
+            break;
+        }
+        auto sparsifyKernel = makeSparsify(dense);
+        ScalarRun srun = runOnScalar(sparsifyKernel, profile);
+        total.cycles += srun.cycles;
+        total.seconds += srun.seconds;
+        total.energy.memPj += srun.energy.memPj;
+        total.energy.scalarPj += srun.energy.scalarPj;
+        act = sparseOut(sparsifyKernel.prog, srun.memory, w.rows);
+    }
+    return total;
+}
+
+} // namespace pipestitch::workloads

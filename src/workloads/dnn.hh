@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The paper's end-to-end application: a 4-layer sparse DNN
+ * (MNIST-scale input) composed of SpMSpVd layers with fused
+ * sparsify/ReLU between them (Sec. 5.2). Weights are synthetic
+ * random CSR matrices at the paper's layer sparsities (75–97 %);
+ * the evaluation depends on sparsity structure and footprint, not
+ * classification accuracy (see DESIGN.md).
+ */
+
+#ifndef PIPESTITCH_WORKLOADS_DNN_HH
+#define PIPESTITCH_WORKLOADS_DNN_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/compile.hh"
+#include "energy/model.hh"
+#include "workloads/matrix.hh"
+
+namespace pipestitch::workloads {
+
+struct DnnConfig
+{
+    /** Layer widths: input followed by each layer's output size. */
+    std::vector<int> dims = {784, 512, 256, 128, 10};
+
+    /** Weight sparsity per layer (97 % … 75 %, Sec. 5.2). */
+    std::vector<double> weightSparsity = {0.97, 0.93, 0.88, 0.75};
+
+    /** Input activation sparsity (MNIST-like). */
+    double inputSparsity = 0.75;
+
+    uint64_t seed = 1;
+};
+
+/** The generated network. */
+struct DnnModel
+{
+    DnnConfig config;
+    std::vector<Csr> weights;
+    SparseVec input;
+
+    /** Weight + activation memory footprint in bytes. */
+    int64_t footprintBytes() const;
+};
+
+DnnModel buildDnn(const DnnConfig &config = DnnConfig{});
+
+/** Totals for one full inference on one system. */
+struct DnnInference
+{
+    std::string system;
+    double cycles = 0;
+    double seconds = 0;
+    energy::EnergyBreakdown energy;
+    std::vector<Word> logits;
+};
+
+/** Run one inference on a CGRA variant (per-layer kernels summed). */
+DnnInference runDnnOnFabric(const DnnModel &model,
+                            compiler::ArchVariant variant,
+                            int bufferDepth = 4);
+
+/** Run one inference on a scalar core profile. */
+DnnInference runDnnOnScalar(const DnnModel &model,
+                            const scalar::ScalarProfile &profile);
+
+} // namespace pipestitch::workloads
+
+#endif // PIPESTITCH_WORKLOADS_DNN_HH

@@ -1,0 +1,104 @@
+#include "workloads/matrix.hh"
+
+#include "base/logging.hh"
+
+namespace pipestitch::workloads {
+
+namespace {
+
+Word
+nonZeroValue(Rng &rng, Word lo, Word hi)
+{
+    for (;;) {
+        Word v = static_cast<Word>(rng.nextRange(lo, hi));
+        if (v != 0)
+            return v;
+    }
+}
+
+} // namespace
+
+Csr
+randomCsr(int rows, int cols, double sparsity, Rng &rng, Word lo,
+          Word hi)
+{
+    ps_assert(sparsity >= 0.0 && sparsity <= 1.0,
+              "sparsity must be in [0,1]");
+    Csr m;
+    m.rows = rows;
+    m.cols = cols;
+    m.rowPtr.reserve(static_cast<size_t>(rows) + 1);
+    m.rowPtr.push_back(0);
+    for (int r = 0; r < rows; r++) {
+        for (int c = 0; c < cols; c++) {
+            if (rng.nextBool(1.0 - sparsity)) {
+                m.colIdx.push_back(c);
+                m.values.push_back(nonZeroValue(rng, lo, hi));
+            }
+        }
+        m.rowPtr.push_back(static_cast<Word>(m.values.size()));
+    }
+    return m;
+}
+
+std::vector<Word>
+randomDense(int n, Rng &rng, Word lo, Word hi)
+{
+    std::vector<Word> v(static_cast<size_t>(n));
+    for (auto &x : v)
+        x = static_cast<Word>(rng.nextRange(lo, hi));
+    return v;
+}
+
+SparseVec
+randomSparseVec(int n, double sparsity, Rng &rng, Word lo, Word hi)
+{
+    SparseVec v;
+    v.length = n;
+    for (int i = 0; i < n; i++) {
+        if (rng.nextBool(1.0 - sparsity)) {
+            v.idx.push_back(i);
+            v.val.push_back(nonZeroValue(rng, lo, hi));
+        }
+    }
+    return v;
+}
+
+Csr
+transpose(const Csr &m)
+{
+    Csr t;
+    t.rows = m.cols;
+    t.cols = m.rows;
+    t.rowPtr.assign(static_cast<size_t>(m.cols) + 1, 0);
+    for (Word c : m.colIdx)
+        t.rowPtr[static_cast<size_t>(c) + 1]++;
+    for (size_t i = 1; i < t.rowPtr.size(); i++)
+        t.rowPtr[i] += t.rowPtr[i - 1];
+    t.colIdx.assign(m.values.size(), 0);
+    t.values.assign(m.values.size(), 0);
+    std::vector<Word> cursor(t.rowPtr.begin(), t.rowPtr.end() - 1);
+    for (int r = 0; r < m.rows; r++) {
+        for (Word k = m.rowPtr[static_cast<size_t>(r)];
+             k < m.rowPtr[static_cast<size_t>(r) + 1]; k++) {
+            Word c = m.colIdx[static_cast<size_t>(k)];
+            Word pos = cursor[static_cast<size_t>(c)]++;
+            t.colIdx[static_cast<size_t>(pos)] = r;
+            t.values[static_cast<size_t>(pos)] =
+                m.values[static_cast<size_t>(k)];
+        }
+    }
+    return t;
+}
+
+std::vector<Word>
+randomImage(int width, int height, Rng &rng)
+{
+    std::vector<Word> img(static_cast<size_t>(width) *
+                          static_cast<size_t>(height));
+    for (auto &p : img)
+        p = static_cast<Word>(rng.nextBounded(256));
+    return img;
+}
+
+} // namespace pipestitch::workloads

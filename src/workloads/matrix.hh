@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Dense/sparse matrix utilities for workload generation: CSR
+ * matrices and sparse vectors with controlled sparsity, drawn from
+ * the deterministic RNG (paper Sec. 5.2 evaluates on random inputs).
+ */
+
+#ifndef PIPESTITCH_WORKLOADS_MATRIX_HH
+#define PIPESTITCH_WORKLOADS_MATRIX_HH
+
+#include <vector>
+
+#include "base/random.hh"
+#include "sir/program.hh"
+
+namespace pipestitch::workloads {
+
+using sir::Word;
+
+/** Compressed sparse row matrix of 32-bit integers. */
+struct Csr
+{
+    int rows = 0;
+    int cols = 0;
+    std::vector<Word> rowPtr; // rows + 1 entries
+    std::vector<Word> colIdx; // nnz entries, ascending per row
+    std::vector<Word> values; // nnz entries
+
+    int nnz() const { return static_cast<int>(values.size()); }
+
+    /** Memory footprint in words (rowPtr + colIdx + values). */
+    int64_t words() const
+    {
+        return static_cast<int64_t>(rowPtr.size()) +
+               2 * static_cast<int64_t>(values.size());
+    }
+};
+
+/** Sparse vector: ascending indices plus matching values. */
+struct SparseVec
+{
+    int length = 0;
+    std::vector<Word> idx;
+    std::vector<Word> val;
+
+    int nnz() const { return static_cast<int>(val.size()); }
+};
+
+/**
+ * Random CSR with each entry present with probability
+ * (1 - sparsity); values uniform in [lo, hi] excluding 0.
+ */
+Csr randomCsr(int rows, int cols, double sparsity, Rng &rng,
+              Word lo = -8, Word hi = 8);
+
+/** Random dense vector with values in [lo, hi]. */
+std::vector<Word> randomDense(int n, Rng &rng, Word lo = -8,
+                              Word hi = 8);
+
+/** Random sparse vector (density = 1 - sparsity). */
+SparseVec randomSparseVec(int n, double sparsity, Rng &rng,
+                          Word lo = -8, Word hi = 8);
+
+/** Transpose @p m (used to build the B^T operand of SpMSpMd). */
+Csr transpose(const Csr &m);
+
+/** Dense row-major image with values in [0, 255]. */
+std::vector<Word> randomImage(int width, int height, Rng &rng);
+
+} // namespace pipestitch::workloads
+
+#endif // PIPESTITCH_WORKLOADS_MATRIX_HH

@@ -1,0 +1,415 @@
+/**
+ * @file
+ * End-to-end correctness: every SIR program must produce an
+ * identical final memory image on the scalar interpreter and on the
+ * dataflow fabric, for every architecture variant and both buffer
+ * depths. This is the repository's strongest correctness oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "compiler/compile.hh"
+#include "scalar/interpreter.hh"
+#include "sim/simulator.hh"
+#include "sir/builder.hh"
+
+using namespace pipestitch;
+using compiler::ArchVariant;
+using compiler::CompileOptions;
+using scalar::MemImage;
+using sir::Builder;
+using sir::Reg;
+
+namespace {
+
+constexpr ArchVariant kVariants[] = {
+    ArchVariant::RipTide, ArchVariant::Pipestitch,
+    ArchVariant::PipeSB, ArchVariant::PipeCFiN,
+    ArchVariant::PipeCFoP};
+
+struct EquivalenceOutcome
+{
+    int64_t cycles = 0;
+    bool threaded = false;
+};
+
+/**
+ * Run @p prog on the golden interpreter and on @p variant's fabric;
+ * expect identical memory. @p init seeds both memory images.
+ */
+EquivalenceOutcome
+expectEquivalent(const sir::Program &prog,
+                 const std::vector<sir::Word> &liveIns,
+                 ArchVariant variant, const MemImage &init,
+                 int bufferDepth = 4)
+{
+    MemImage golden = init;
+    golden.resize(std::max<size_t>(golden.size(),
+                                   static_cast<size_t>(prog.memWords)));
+    MemImage fabric = golden;
+
+    scalar::interpret(prog, golden, liveIns);
+
+    CompileOptions opts;
+    opts.variant = variant;
+    opts.bufferDepth = bufferDepth;
+    auto compiled = compiler::compileProgram(prog, liveIns, opts);
+    auto cfg = compiled.simConfig;
+    cfg.bufferDepth = bufferDepth;
+    auto result = sim::simulate(compiled.graph, fabric, cfg);
+
+    EXPECT_FALSE(result.deadlocked)
+        << prog.name << " [" << compiler::archVariantName(variant)
+        << "]: " << result.diagnostic;
+    EXPECT_EQ(golden, fabric)
+        << prog.name << " [" << compiler::archVariantName(variant)
+        << "]: memory mismatch";
+    return {result.stats.cycles, compiled.threaded};
+}
+
+void
+expectEquivalentAll(const sir::Program &prog,
+                    const std::vector<sir::Word> &liveIns,
+                    const MemImage &init = {})
+{
+    for (ArchVariant v : kVariants) {
+        expectEquivalent(prog, liveIns, v, init, 4);
+        expectEquivalent(prog, liveIns, v, init, 8);
+    }
+}
+
+// --- programs ---------------------------------------------------------
+
+/** out[i] = (a[i] + 3) * 2 over a straight-line unrolled body. */
+sir::Program
+straightLine()
+{
+    Builder b("straight_line");
+    auto a = b.array("a", 4);
+    auto out = b.array("out", 4);
+    for (int i = 0; i < 4; i++) {
+        Reg idx = b.let(i);
+        Reg v = b.loadIdx(a, idx);
+        Reg r = b.muli(b.addi(v, 3), 2);
+        b.storeIdx(out, idx, r);
+    }
+    return b.finish();
+}
+
+/** if/else with values modified on one or both sides. */
+sir::Program
+branchy()
+{
+    Builder b("branchy");
+    auto a = b.array("a", 8);
+    auto out = b.array("out", 8);
+    Reg n = b.liveIn("n");
+    b.forLoop0(n, [&](Reg i) {
+        Reg v = b.loadIdx(a, i);
+        Reg big = b.gti(v, 10);
+        Reg r = b.reg("r");
+        b.assignConst(r, 0);
+        b.ifThenElse(
+            big,
+            [&] { b.computeInto(r, sir::Opcode::Sub, v, b.let(10)); },
+            [&] { b.computeInto(r, sir::Opcode::Add, v, b.let(100)); });
+        // Nested if modifying only one side.
+        Reg odd = b.band(v, b.let(1));
+        b.ifThen(odd, [&] {
+            b.computeInto(r, sir::Opcode::Add, r, b.let(1000));
+        });
+        b.storeIdx(out, i, r);
+    });
+    return b.finish();
+}
+
+/** Pointer-chase: count list length per head (paper Fig. 5a). */
+sir::Program
+pointerChase(bool foreach_)
+{
+    Builder b("pointer_chase");
+    auto heads = b.array("heads", 8); // head index per list, -1 ends
+    auto next = b.array("next", 32);  // next pointer per node, -1 ends
+    auto val = b.array("val", 32);    // payload per node
+    auto out = b.array("out", 8);
+    Reg n = b.liveIn("n");
+    auto loopBody = [&](Reg i) {
+        Reg p = b.reg("p");
+        b.loadIdxInto(p, heads, i);
+        Reg c = b.reg("c");
+        b.assignConst(c, 0);
+        b.whileLoop([&] { return b.gt(p, b.let(-1)); },
+                    [&] {
+                        Reg v = b.loadIdx(val, p);
+                        Reg nz = b.nei(v, 0);
+                        b.ifThen(nz, [&] {
+                            b.computeInto(c, sir::Opcode::Add, c,
+                                          b.let(1));
+                        });
+                        b.loadIdxInto(p, next, p);
+                    });
+        b.storeIdx(out, i, c);
+    };
+    if (foreach_)
+        b.forEach0(n, loopBody);
+    else
+        b.forLoop0(n, loopBody);
+    return b.finish();
+}
+
+MemImage
+pointerChaseMemory()
+{
+    // heads[8] @0, next[32] @8, val[32] @40, out[8] @72
+    MemImage mem(80, 0);
+    Rng rng(42);
+    // Build 8 random singly linked lists over nodes 0..31.
+    std::vector<int> nodes(32);
+    for (int i = 0; i < 32; i++)
+        nodes[static_cast<size_t>(i)] = i;
+    for (int i = 31; i > 0; i--) {
+        int j = static_cast<int>(rng.nextBounded(
+            static_cast<uint64_t>(i + 1)));
+        std::swap(nodes[static_cast<size_t>(i)],
+                  nodes[static_cast<size_t>(j)]);
+    }
+    size_t cursor = 0;
+    for (int list = 0; list < 8; list++) {
+        int len = static_cast<int>(rng.nextBounded(7));
+        int prev = -1;
+        for (int k = 0; k < len && cursor < nodes.size(); k++) {
+            int node = nodes[cursor++];
+            if (prev == -1) {
+                mem[static_cast<size_t>(list)] = node; // head
+            } else {
+                mem[static_cast<size_t>(8 + prev)] = node;
+            }
+            mem[static_cast<size_t>(8 + node)] = -1;
+            mem[static_cast<size_t>(40 + node)] =
+                static_cast<sir::Word>(rng.nextBounded(3));
+            prev = node;
+        }
+        if (prev == -1)
+            mem[static_cast<size_t>(list)] = -1;
+    }
+    return mem;
+}
+
+/** Histogram: read-write array forces memory-order tokens. */
+sir::Program
+histogram()
+{
+    Builder b("histogram");
+    auto data = b.array("data", 32);
+    auto hist = b.array("hist", 8);
+    Reg n = b.liveIn("n");
+    b.forLoop0(n, [&](Reg i) {
+        Reg v = b.loadIdx(data, i);
+        Reg bucket = b.band(v, b.let(7));
+        Reg old = b.loadIdx(hist, bucket);
+        Reg inc = b.addi(old, 1);
+        b.storeIdx(hist, bucket, inc);
+    });
+    return b.finish();
+}
+
+/** Triple nested affine loops: tiny dense matrix multiply. */
+sir::Program
+tinyDmm(int n)
+{
+    Builder b("tiny_dmm");
+    auto A = b.array("A", n * n);
+    auto B = b.array("B", n * n);
+    auto C = b.array("C", n * n);
+    Reg nr = b.liveIn("n");
+    b.forLoop0(nr, [&](Reg i) {
+        b.forLoop0(nr, [&](Reg j) {
+            Reg acc = b.reg("acc");
+            b.assignConst(acc, 0);
+            b.forLoop0(nr, [&](Reg k) {
+                Reg a = b.loadIdx(A, b.add(b.mul(i, nr), k));
+                Reg bb = b.loadIdx(B, b.add(b.mul(k, nr), j));
+                b.computeInto(acc, sir::Opcode::Add, acc,
+                              b.mul(a, bb));
+            });
+            b.storeIdx(C, b.add(b.mul(i, nr), j), acc);
+        });
+    });
+    return b.finish();
+}
+
+/** foreach outer + data-dependent inner, with live-out invariants. */
+sir::Program
+countdownThreads()
+{
+    Builder b("countdown");
+    auto seeds = b.array("seeds", 16);
+    auto out = b.array("out", 16);
+    Reg n = b.liveIn("n");
+    b.forEach0(n, [&](Reg i) {
+        Reg v = b.loadIdx(seeds, i);
+        Reg steps = b.reg("steps");
+        b.assignConst(steps, 0);
+        b.whileLoop([&] { return b.gti(v, 0); },
+                    [&] {
+                        // Collatz-ish irregular update.
+                        Reg odd = b.band(v, b.let(1));
+                        Reg half = b.shr(v, 1);
+                        Reg tripled = b.addi(b.muli(v, 3), 1);
+                        Reg nv = b.select(odd, tripled, half);
+                        Reg big = b.gti(nv, 100);
+                        b.ifThenElse(
+                            big,
+                            [&] {
+                                b.computeInto(v, sir::Opcode::Sub, nv,
+                                              b.let(100));
+                            },
+                            [&] {
+                                b.computeInto(v, sir::Opcode::Add, nv,
+                                              b.let(-1));
+                            });
+                        b.computeInto(steps, sir::Opcode::Add, steps,
+                                      b.let(1));
+                        // Bound the walk so it always terminates.
+                        Reg cap = b.ge(steps, b.let(12));
+                        b.ifThen(cap, [&] { b.assignConst(v, 0); });
+                    });
+        b.storeIdx(out, i, steps);
+    });
+    return b.finish();
+}
+
+} // namespace
+
+TEST(Equivalence, StraightLine)
+{
+    MemImage init(8, 0);
+    for (int i = 0; i < 4; i++)
+        init[static_cast<size_t>(i)] = 5 * i - 3;
+    expectEquivalentAll(straightLine(), {}, init);
+}
+
+TEST(Equivalence, Branchy)
+{
+    MemImage init(16, 0);
+    for (int i = 0; i < 8; i++)
+        init[static_cast<size_t>(i)] = 3 * i - 4;
+    expectEquivalentAll(branchy(), {8}, init);
+}
+
+TEST(Equivalence, PointerChaseSequential)
+{
+    expectEquivalentAll(pointerChase(false), {8},
+                        pointerChaseMemory());
+}
+
+TEST(Equivalence, PointerChaseForeach)
+{
+    expectEquivalentAll(pointerChase(true), {8},
+                        pointerChaseMemory());
+}
+
+TEST(Equivalence, PointerChaseForeachIsThreadedAndFaster)
+{
+    auto prog = pointerChase(true);
+    MemImage init = pointerChaseMemory();
+    auto pipestitch = expectEquivalent(
+        prog, {8}, ArchVariant::Pipestitch, init);
+    auto riptide =
+        expectEquivalent(prog, {8}, ArchVariant::RipTide, init);
+    EXPECT_TRUE(pipestitch.threaded);
+    EXPECT_LT(pipestitch.cycles, riptide.cycles);
+}
+
+TEST(Equivalence, Histogram)
+{
+    MemImage init(40, 0);
+    Rng rng(7);
+    for (int i = 0; i < 32; i++)
+        init[static_cast<size_t>(i)] =
+            static_cast<sir::Word>(rng.nextBounded(1000));
+    expectEquivalentAll(histogram(), {32}, init);
+}
+
+TEST(Equivalence, TinyDmm)
+{
+    const int n = 4;
+    MemImage init(static_cast<size_t>(3 * n * n), 0);
+    Rng rng(11);
+    for (int i = 0; i < 2 * n * n; i++)
+        init[static_cast<size_t>(i)] =
+            static_cast<sir::Word>(rng.nextRange(-9, 9));
+    expectEquivalentAll(tinyDmm(n), {n}, init);
+}
+
+TEST(Equivalence, CountdownThreadsAllDepths)
+{
+    MemImage init(32, 0);
+    Rng rng(3);
+    for (int i = 0; i < 16; i++)
+        init[static_cast<size_t>(i)] =
+            static_cast<sir::Word>(rng.nextRange(0, 200));
+    auto prog = countdownThreads();
+    for (ArchVariant v : kVariants) {
+        for (int depth : {2, 4, 8, 16}) {
+            expectEquivalent(prog, {16}, v, init, depth);
+        }
+    }
+}
+
+TEST(Equivalence, StridedLoopsAllVariants)
+{
+    // Streams with step > 1 and non-zero begins, nested, with a
+    // strided inner loop reading a strided-written array.
+    Builder b("strided");
+    auto a = b.array("a", 32);
+    auto out = b.array("out", 32);
+    Reg n = b.liveIn("n");
+    b.forLoop(b.let(2), n, 3, [&](Reg i) {
+        b.storeIdx(a, i, b.muli(i, 5));
+    });
+    b.forLoop(b.let(1), n, 2, [&](Reg i) {
+        Reg acc = b.reg("acc");
+        b.assignConst(acc, 0);
+        b.forLoop(b.let(0), i, 4, [&](Reg k) {
+            b.computeInto(acc, sir::Opcode::Add, acc,
+                          b.loadIdx(a, k));
+        });
+        b.storeIdx(out, i, acc);
+    });
+    auto prog = b.finish();
+    MemImage init(64, 0);
+    expectEquivalentAll(prog, {30}, init);
+}
+
+TEST(Equivalence, DynamicBoundsStreams)
+{
+    // Inner stream bounds loaded per outer iteration (the SpMV
+    // pattern) with begin > end on some rows (empty streams).
+    Builder b("dynbounds");
+    auto lo = b.array("lo", 8);
+    auto hi = b.array("hi", 8);
+    auto out = b.array("out", 8);
+    Reg n = b.liveIn("n");
+    b.forEach0(n, [&](Reg i) {
+        Reg begin = b.loadIdx(lo, i);
+        Reg end = b.loadIdx(hi, i);
+        Reg acc = b.reg("acc");
+        b.assignConst(acc, 0);
+        b.forLoop(begin, end, 1, [&](Reg k) {
+            b.computeInto(acc, sir::Opcode::Add, acc, k);
+        });
+        b.storeIdx(out, i, acc);
+    });
+    auto prog = b.finish();
+    MemImage init(24, 0);
+    Rng rng(41);
+    for (int i = 0; i < 8; i++) {
+        init[static_cast<size_t>(i)] =
+            static_cast<sir::Word>(rng.nextBounded(6));
+        init[static_cast<size_t>(8 + i)] =
+            static_cast<sir::Word>(rng.nextBounded(8)); // may be < lo
+    }
+    expectEquivalentAll(prog, {8}, init);
+}

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Compiler-pass tests: loop numbering, threading candidates and the
+ * II heuristic, stream fusion, dispatch insertion shape (Fig. 7),
+ * CSE, constant folding / copy propagation, and CF placement rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "compiler/threading.hh"
+#include "dfg/verifier.hh"
+#include "sir/builder.hh"
+
+using namespace pipestitch;
+using namespace pipestitch::compiler;
+using dfg::NodeKind;
+using sir::Builder;
+using sir::Opcode;
+using sir::Reg;
+
+namespace {
+
+int
+countKind(const dfg::Graph &g, NodeKind kind)
+{
+    int n = 0;
+    for (const auto &node : g.nodes)
+        n += node.kind == kind;
+    return n;
+}
+
+/** foreach + inner pointer-ish while (paper Fig. 7 shape). */
+sir::Program
+fig7Program()
+{
+    Builder b("fig7");
+    auto map = b.array("map", 8);
+    auto z = b.array("Z", 8);
+    Reg n = b.liveIn("N");
+    b.forEach0(n, [&](Reg i) {
+        Reg p = b.reg("p");
+        b.loadIdxInto(p, map, i);
+        Reg c = b.reg("c");
+        b.assignConst(c, 0);
+        b.whileLoop([&] { return b.gt(p, b.let(0)); },
+                    [&] {
+                        b.computeInto(c, Opcode::Add, c, b.let(1));
+                        b.computeInto(p, Opcode::Shr, p, b.let(1));
+                    });
+        b.storeIdx(z, i, c);
+    });
+    return b.finish();
+}
+
+CompileResult
+compileFig7(ArchVariant variant)
+{
+    auto prog = fig7Program();
+    CompileOptions opts;
+    opts.variant = variant;
+    return compileProgram(prog, {8}, opts);
+}
+
+} // namespace
+
+TEST(LoopNumbering, StableAndComplete)
+{
+    auto prog = fig7Program();
+    auto ids = numberLoops(prog);
+    EXPECT_EQ(ids.size(), 2u); // foreach + while
+    EXPECT_EQ(countLoops(prog), 2);
+    std::set<int> values;
+    for (auto &[stmt, id] : ids)
+        values.insert(id);
+    EXPECT_EQ(values, (std::set<int>{0, 1}));
+}
+
+TEST(Threading, CandidatesAreLoopsDirectlyInsideForeach)
+{
+    auto prog = fig7Program();
+    auto candidates = findThreadingCandidates(prog);
+    EXPECT_EQ(candidates, (std::set<int>{1})); // the while
+}
+
+TEST(Threading, HeuristicThreadsHighIiOnly)
+{
+    // foreach + II=1 inner loop: candidate rejected.
+    Builder b("ii1");
+    auto a = b.array("a", 64);
+    auto o = b.array("o", 8);
+    Reg n = b.liveIn("n");
+    b.forEach0(n, [&](Reg i) {
+        Reg acc = b.reg("acc");
+        b.assignConst(acc, 0);
+        b.forLoop0(b.let(8), [&](Reg k) {
+            b.computeInto(acc, Opcode::Add, acc,
+                          b.loadIdx(a, b.add(b.shl(i, 3), k)));
+        });
+        b.storeIdx(o, i, acc);
+    });
+    auto prog = b.finish();
+    CompileOptions opts;
+    auto res = compileProgram(prog, {8}, opts);
+    EXPECT_FALSE(res.threaded);
+
+    // ForceOn overrides the heuristic.
+    opts.threading = CompileOptions::Threading::ForceOn;
+    auto forced = compileProgram(prog, {8}, opts);
+    EXPECT_TRUE(forced.threaded);
+}
+
+TEST(Threading, RipTideNeverThreads)
+{
+    auto res = compileFig7(ArchVariant::RipTide);
+    EXPECT_FALSE(res.threaded);
+    EXPECT_EQ(countKind(res.graph, NodeKind::Dispatch), 0);
+    EXPECT_GT(countKind(res.graph, NodeKind::Carry), 0);
+}
+
+TEST(DispatchInsertion, Fig7Shape)
+{
+    auto res = compileFig7(ArchVariant::Pipestitch);
+    ASSERT_TRUE(res.threaded);
+    // Carried p and c, plus the thread-routed invariant i (consumed
+    // by the Z store after the loop): at least 3 dispatch gates,
+    // all in the same (threaded) loop.
+    int dispatches = countKind(res.graph, NodeKind::Dispatch);
+    EXPECT_GE(dispatches, 3);
+    int loop = -1;
+    for (const auto &node : res.graph.nodes) {
+        if (node.kind == NodeKind::Dispatch) {
+            if (loop < 0)
+                loop = node.loopId;
+            EXPECT_EQ(node.loopId, loop);
+        }
+    }
+    ASSERT_GE(loop, 0);
+    EXPECT_TRUE(res.graph.loopThreaded[static_cast<size_t>(loop)]);
+    // The threaded loop uses no carries (they all became dispatch).
+    for (const auto &node : res.graph.nodes) {
+        if (node.kind == NodeKind::Carry) {
+            EXPECT_NE(node.loopId, loop);
+        }
+    }
+}
+
+TEST(StreamFusion, CountedLoopsBecomeStreams)
+{
+    auto res = compileFig7(ArchVariant::Pipestitch);
+    // The foreach (affine, unthreaded) fuses into a stream; the
+    // threaded while does not.
+    EXPECT_EQ(countKind(res.graph, NodeKind::Stream), 1);
+
+    auto prog = fig7Program();
+    CompileOptions noStreams;
+    noStreams.useStreams = false;
+    auto unfused = compileProgram(prog, {8}, noStreams);
+    EXPECT_EQ(countKind(unfused.graph, NodeKind::Stream), 0);
+    EXPECT_GT(countKind(unfused.graph, NodeKind::Carry), 0);
+}
+
+TEST(ConstantFolding, StaticBranchesDisappear)
+{
+    Builder b("fold");
+    auto o = b.array("o", 4);
+    Reg five = b.let(5);
+    Reg cond = b.gti(five, 3); // constant true
+    b.ifThenElse(cond,
+                 [&] { b.storeIdx(o, b.let(0), b.addi(five, 1)); },
+                 [&] { b.storeIdx(o, b.let(1), five); });
+    auto prog = b.finish();
+    CompileOptions opts;
+    auto res = compileProgram(prog, {}, opts);
+    // Only the taken branch's store survives; no merge, no steer.
+    EXPECT_EQ(countKind(res.graph, NodeKind::Store), 1);
+    EXPECT_EQ(countKind(res.graph, NodeKind::Merge), 0);
+    EXPECT_EQ(countKind(res.graph, NodeKind::Steer), 0);
+}
+
+TEST(CopyPropagation, AssignCostsNothing)
+{
+    Builder b("copy");
+    auto o = b.array("o", 4);
+    Reg n = b.liveIn("n");
+    Reg x = b.reg("x");
+    b.assign(x, n); // x = n + 0 must vanish
+    b.storeIdx(o, b.let(0), x);
+    auto prog = b.finish();
+    CompileOptions opts;
+    auto res = compileProgram(prog, {7}, opts);
+    EXPECT_EQ(countKind(res.graph, NodeKind::Arith), 0);
+}
+
+TEST(Cse, MergesIdenticalOperators)
+{
+    dfg::Graph g("cse");
+    dfg::NodeId t = g.add([] {
+        dfg::Node n;
+        n.kind = NodeKind::Trigger;
+        return n;
+    }());
+    auto mkAdd = [&] {
+        dfg::Node n;
+        n.kind = NodeKind::Arith;
+        n.op = Opcode::Add;
+        n.inputs = {dfg::Operand::wire({t, 0}),
+                    dfg::Operand::imm_(3)};
+        return g.add(n);
+    };
+    dfg::NodeId a1 = mkAdd();
+    dfg::NodeId a2 = mkAdd(); // identical
+    dfg::Node s1;
+    s1.kind = NodeKind::Store;
+    s1.inputs = {dfg::Operand::imm_(0), dfg::Operand::wire({a1, 0})};
+    g.add(s1);
+    dfg::Node s2;
+    s2.kind = NodeKind::Store;
+    s2.inputs = {dfg::Operand::imm_(1), dfg::Operand::wire({a2, 0})};
+    g.add(s2);
+    g.finalize();
+
+    int removed = eliminateCommonSubexpressions(g);
+    EXPECT_EQ(removed, 1);
+    // Both stores now share one add.
+    int adds = 0;
+    for (const auto &n : g.nodes)
+        adds += n.kind == NodeKind::Arith;
+    EXPECT_EQ(adds, 1);
+    EXPECT_TRUE(dfg::verify(g).empty());
+}
+
+TEST(Cse, NeverMergesStores)
+{
+    dfg::Graph g("cse");
+    dfg::NodeId t = g.add([] {
+        dfg::Node n;
+        n.kind = NodeKind::Trigger;
+        return n;
+    }());
+    for (int i = 0; i < 2; i++) {
+        dfg::Node s;
+        s.kind = NodeKind::Store;
+        s.inputs = {dfg::Operand::imm_(0),
+                    dfg::Operand::wire({t, 0})};
+        g.add(s);
+    }
+    g.finalize();
+    EXPECT_EQ(eliminateCommonSubexpressions(g), 0);
+    EXPECT_EQ(g.size(), 3);
+}
+
+TEST(CfPlacement, DispatchAlwaysOnPe)
+{
+    auto res = compileFig7(ArchVariant::PipeCFiN);
+    for (const auto &node : res.graph.nodes) {
+        if (node.kind == NodeKind::Dispatch) {
+            EXPECT_FALSE(node.cfInNoc);
+        }
+    }
+}
+
+TEST(CfPlacement, CfopPutsAllCfOnPes)
+{
+    auto res = compileFig7(ArchVariant::PipeCFoP);
+    for (const auto &node : res.graph.nodes)
+        EXPECT_FALSE(node.cfInNoc) << node.name;
+}
+
+TEST(CfPlacement, MemFedCfStaysOnPeUnderBypass)
+{
+    auto res = compileFig7(ArchVariant::PipeCFiN);
+    for (const auto &node : res.graph.nodes) {
+        if (!node.cfInNoc)
+            continue;
+        for (const auto &in : node.inputs) {
+            if (in.isWire()) {
+                EXPECT_FALSE(res.graph.at(in.port.node).isMemory())
+                    << "CF in NoC fed by a bypassing memory op";
+            }
+        }
+    }
+}
+
+TEST(CfPlacement, NocCfCountedSeparately)
+{
+    auto cfin = compileFig7(ArchVariant::PipeCFiN);
+    auto cfop = compileFig7(ArchVariant::PipeCFoP);
+    // Same operator multiset, different placement: CFoP consumes at
+    // least as many PEs.
+    EXPECT_EQ(cfin.graph.size(), cfop.graph.size());
+    auto cfinPes = cfin.graph.peClassCounts();
+    auto cfopPes = cfop.graph.peClassCounts();
+    int cfinTotal = 0, cfopTotal = 0;
+    for (int c : cfinPes)
+        cfinTotal += c;
+    for (int c : cfopPes)
+        cfopTotal += c;
+    EXPECT_LT(cfinTotal, cfopTotal);
+}
+
+TEST(Compile, VariantSimConfigs)
+{
+    auto prog = fig7Program();
+    CompileOptions rip;
+    rip.variant = ArchVariant::RipTide;
+    auto r = compileProgram(prog, {8}, rip);
+    EXPECT_EQ(r.simConfig.buffering,
+              sim::SimConfig::Buffering::Source);
+    EXPECT_FALSE(r.simConfig.memBypass);
+
+    CompileOptions pipe;
+    pipe.variant = ArchVariant::Pipestitch;
+    auto p = compileProgram(prog, {8}, pipe);
+    EXPECT_EQ(p.simConfig.buffering,
+              sim::SimConfig::Buffering::Destination);
+    EXPECT_TRUE(p.simConfig.memBypass);
+
+    CompileOptions sb;
+    sb.variant = ArchVariant::PipeSB;
+    auto s = compileProgram(prog, {8}, sb);
+    EXPECT_EQ(s.simConfig.buffering,
+              sim::SimConfig::Buffering::Source);
+    EXPECT_TRUE(s.threaded); // PipeSB keeps dispatch + SyncPlane
+}

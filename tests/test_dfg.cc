@@ -1,0 +1,284 @@
+/**
+ * @file
+ * DFG tests: graph wiring, dead-node elimination, the structural
+ * verifier's rules, II computation on crafted loops, NoC topology
+ * ordering, and dot export.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dfg/analysis.hh"
+#include "dfg/dot.hh"
+#include "dfg/graph.hh"
+#include "dfg/verifier.hh"
+
+using namespace pipestitch;
+using namespace pipestitch::dfg;
+
+namespace {
+
+Node
+mk(NodeKind kind)
+{
+    Node n;
+    n.kind = kind;
+    return n;
+}
+
+/** trigger -> arith(+1) -> store; returns ids. */
+Graph
+smallChain()
+{
+    Graph g("chain");
+    NodeId t = g.add(mk(NodeKind::Trigger));
+    Node a = mk(NodeKind::Arith);
+    a.op = sir::Opcode::Add;
+    a.inputs = {Operand::wire({t, 0}), Operand::imm_(1)};
+    NodeId add = g.add(a);
+    Node s = mk(NodeKind::Store);
+    s.inputs = {Operand::imm_(0), Operand::wire({add, 0})};
+    g.add(s);
+    g.finalize();
+    return g;
+}
+
+} // namespace
+
+TEST(Graph, ConsumersComputedOnFinalize)
+{
+    Graph g = smallChain();
+    EXPECT_EQ(g.consumersOf({0, 0}).size(), 1u);
+    EXPECT_EQ(g.consumersOf({1, 0}).size(), 1u);
+    EXPECT_EQ(g.consumersOf({1, 0})[0].node, 2);
+    EXPECT_EQ(g.fanout(1), 1);
+}
+
+TEST(Graph, DeadNodesEliminated)
+{
+    Graph g = smallChain();
+    // A dangling arith chain feeding nothing.
+    Node d1 = mk(NodeKind::Arith);
+    d1.op = sir::Opcode::Add;
+    d1.inputs = {Operand::wire({0, 0}), Operand::imm_(5)};
+    NodeId dead1 = g.add(d1);
+    Node d2 = mk(NodeKind::Arith);
+    d2.op = sir::Opcode::Add;
+    d2.inputs = {Operand::wire({dead1, 0}), Operand::imm_(5)};
+    g.add(d2);
+    g.finalize();
+
+    EXPECT_EQ(g.size(), 5);
+    int removed = g.eliminateDeadNodes();
+    EXPECT_EQ(removed, 2);
+    EXPECT_EQ(g.size(), 3);
+    // The store must survive and its wiring must be remapped.
+    bool sawStore = false;
+    for (const auto &n : g.nodes)
+        sawStore |= n.kind == NodeKind::Store;
+    EXPECT_TRUE(sawStore);
+    EXPECT_TRUE(verify(g).empty());
+}
+
+TEST(Graph, PeClassCountsSkipNocAndCount)
+{
+    Graph g = smallChain();
+    Node st = mk(NodeKind::Steer);
+    st.inputs = {Operand::wire({1, 0}), Operand::wire({1, 0})};
+    NodeId steer = g.add(st);
+    g.finalize();
+    auto counts = g.peClassCounts();
+    EXPECT_EQ(counts[static_cast<size_t>(PeClass::ControlFlow)], 1);
+    g.at(steer).cfInNoc = true;
+    counts = g.peClassCounts();
+    EXPECT_EQ(counts[static_cast<size_t>(PeClass::ControlFlow)], 0);
+}
+
+TEST(DfgVerifier, AcceptsSmallChain)
+{
+    Graph g = smallChain();
+    EXPECT_TRUE(verify(g).empty());
+}
+
+TEST(DfgVerifier, RejectsNoWireInputs)
+{
+    Graph g("bad");
+    Node a = mk(NodeKind::Arith);
+    a.op = sir::Opcode::Add;
+    a.inputs = {Operand::imm_(1), Operand::imm_(2)};
+    g.add(a);
+    g.finalize();
+    auto problems = verify(g);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("never fire"), std::string::npos);
+}
+
+TEST(DfgVerifier, RejectsDispatchInNoc)
+{
+    Graph g("bad");
+    g.numLoops = 1;
+    g.loopParent = {-1};
+    g.loopThreaded = {true};
+    NodeId t = g.add(mk(NodeKind::Trigger));
+    Node d = mk(NodeKind::Dispatch);
+    d.loopId = 0;
+    d.cfInNoc = true;
+    d.inputs.resize(2);
+    d.inputs[port_idx::DispatchSpawn] = Operand::wire({t, 0});
+    NodeId disp = g.add(d);
+    g.connect({disp, 0}, disp, port_idx::DispatchCont);
+    g.finalize();
+    bool found = false;
+    for (const auto &msg : verify(g))
+        found |= msg.find("output buffer") != std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+TEST(DfgVerifier, RejectsDispatchInUnthreadedLoop)
+{
+    Graph g("bad");
+    g.numLoops = 1;
+    g.loopParent = {-1};
+    g.loopThreaded = {false};
+    NodeId t = g.add(mk(NodeKind::Trigger));
+    Node d = mk(NodeKind::Dispatch);
+    d.loopId = 0;
+    d.inputs.resize(2);
+    d.inputs[port_idx::DispatchSpawn] = Operand::wire({t, 0});
+    NodeId disp = g.add(d);
+    g.connect({disp, 0}, disp, port_idx::DispatchCont);
+    g.finalize();
+    bool found = false;
+    for (const auto &msg : verify(g))
+        found |= msg.find("non-threaded") != std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+TEST(DfgVerifier, DetectsCombinationalNocCycle)
+{
+    // Two steers in the NoC feeding each other.
+    Graph g("bad");
+    NodeId t = g.add(mk(NodeKind::Trigger));
+    Node s1 = mk(NodeKind::Steer);
+    s1.cfInNoc = true;
+    s1.inputs = {Operand::wire({t, 0}), Operand::wire({t, 0})};
+    NodeId a = g.add(s1);
+    Node s2 = mk(NodeKind::Steer);
+    s2.cfInNoc = true;
+    s2.inputs = {Operand::wire({t, 0}), Operand::wire({a, 0})};
+    NodeId bId = g.add(s2);
+    g.connect({bId, 0}, a, port_idx::SteerValue);
+    g.finalize();
+    bool found = false;
+    for (const auto &msg : verify(g))
+        found |= msg.find("combinational cycle") != std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+TEST(DfgAnalysis, IiCountsSequentialOpsOnly)
+{
+    // Loop: carry -> arith -> arith -> backedge, cond is CF-free.
+    Graph g("ii");
+    g.numLoops = 1;
+    g.loopParent = {-1};
+    g.loopThreaded = {false};
+    NodeId t = g.add(mk(NodeKind::Trigger));
+    Node c = mk(NodeKind::Carry);
+    c.loopId = 0;
+    c.inputs.resize(3);
+    c.inputs[port_idx::CarryInit] = Operand::wire({t, 0});
+    NodeId carry = g.add(c);
+
+    Node a1 = mk(NodeKind::Arith);
+    a1.op = sir::Opcode::Add;
+    a1.loopId = 0;
+    a1.inputs = {Operand::wire({carry, 0}), Operand::imm_(1)};
+    NodeId add1 = g.add(a1);
+    Node a2 = mk(NodeKind::Arith);
+    a2.op = sir::Opcode::Add;
+    a2.loopId = 0;
+    a2.inputs = {Operand::wire({add1, 0}), Operand::imm_(1)};
+    NodeId add2 = g.add(a2);
+    g.connect({add2, 0}, carry, port_idx::CarryCont);
+
+    Node cnd = mk(NodeKind::Arith);
+    cnd.op = sir::Opcode::Lt;
+    cnd.loopId = 0;
+    cnd.inputs = {Operand::wire({carry, 0}), Operand::imm_(10)};
+    NodeId cond = g.add(cnd);
+    g.connect({cond, 0}, carry, port_idx::CarryDecider);
+
+    Node s = mk(NodeKind::Store);
+    s.inputs = {Operand::imm_(0), Operand::wire({carry, 0})};
+    g.add(s);
+    g.finalize();
+
+    // Cycle 1: carry(0) -> add1(1) -> add2(1) -> carry  => 2
+    // Cycle 2: carry(0) -> cond(1) -> carry             => 1
+    EXPECT_EQ(computeLoopII(g, 0), 2);
+}
+
+TEST(DfgAnalysis, InnermostLoops)
+{
+    Graph g("loops");
+    g.numLoops = 3;
+    g.loopParent = {-1, 0, 0}; // two siblings under loop 0
+    g.loopThreaded = {false, false, false};
+    auto inner = innermostLoops(g);
+    EXPECT_EQ(inner, (std::vector<int>{1, 2}));
+}
+
+TEST(DfgAnalysis, NocTopoRespectsDependencies)
+{
+    Graph g("topo");
+    NodeId t = g.add(mk(NodeKind::Trigger));
+    Node s1 = mk(NodeKind::Steer);
+    s1.cfInNoc = true;
+    s1.inputs = {Operand::wire({t, 0}), Operand::wire({t, 0})};
+    NodeId first = g.add(s1);
+    Node s2 = mk(NodeKind::Steer);
+    s2.cfInNoc = true;
+    s2.inputs = {Operand::wire({t, 0}), Operand::wire({first, 0})};
+    NodeId second = g.add(s2);
+    g.finalize();
+    auto topo = nocCfTopoOrder(g);
+    ASSERT_EQ(topo.size(), 2u);
+    EXPECT_EQ(topo[0], first);
+    EXPECT_EQ(topo[1], second);
+}
+
+TEST(Dot, ContainsNodesAndBackedgeStyling)
+{
+    Graph g("dotted");
+    g.numLoops = 1;
+    g.loopParent = {-1};
+    g.loopThreaded = {false};
+    NodeId t = g.add(mk(NodeKind::Trigger));
+    Node c = mk(NodeKind::Carry);
+    c.loopId = 0;
+    c.inputs.resize(3);
+    c.inputs[port_idx::CarryInit] = Operand::wire({t, 0});
+    NodeId carry = g.add(c);
+    g.connect({carry, 0}, carry, port_idx::CarryCont);
+    g.connect({carry, 0}, carry, port_idx::CarryDecider);
+    g.finalize();
+    std::string dot = toDot(g);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("carry"), std::string::npos);
+    EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(Node, OutputAndClassTable)
+{
+    EXPECT_EQ(mk(NodeKind::Load).numOutputs(), 2);
+    EXPECT_EQ(mk(NodeKind::Store).numOutputs(), 1);
+    EXPECT_EQ(mk(NodeKind::Stream).numOutputs(), 2);
+    EXPECT_EQ(mk(NodeKind::Arith).numOutputs(), 1);
+    EXPECT_EQ(peClassFor(NodeKind::Arith, sir::Opcode::Mul),
+              PeClass::Multiplier);
+    EXPECT_EQ(peClassFor(NodeKind::Arith, sir::Opcode::Add),
+              PeClass::Arith);
+    EXPECT_EQ(peClassFor(NodeKind::Const, sir::Opcode::Add),
+              PeClass::ControlFlow);
+    EXPECT_EQ(peClassFor(NodeKind::Stream, sir::Opcode::Add),
+              PeClass::Stream);
+}

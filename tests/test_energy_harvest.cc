@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Energy model, DVFS, and harvesting/battery model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/dvfs.hh"
+#include "energy/model.hh"
+#include "fabric/area.hh"
+#include "harvest/harvest.hh"
+
+using namespace pipestitch;
+using namespace pipestitch::energy;
+
+namespace {
+
+sim::SimStats
+someStats()
+{
+    sim::SimStats s;
+    s.cycles = 1000;
+    s.classFires = {400, 50, 300, 120, 30};
+    s.bufferWrites = 900;
+    s.bufferReads = 900;
+    s.nocTraversals = 800;
+    s.memLoads = 100;
+    s.memStores = 20;
+    s.syncPlaneCycles = 500;
+    return s;
+}
+
+fabric::AreaBreakdown
+someArea()
+{
+    fabric::Fabric fab;
+    return fabric::computeArea(fab,
+                               fabric::AreaVariant::Pipestitch);
+}
+
+} // namespace
+
+TEST(EnergyModel, AllComponentsPositive)
+{
+    auto e = fabricEnergy(someStats(), someArea(), 2.0, 40);
+    EXPECT_GT(e.cgraPj, 0);
+    EXPECT_GT(e.memPj, 0);
+    EXPECT_GT(e.scalarPj, 0);
+    EXPECT_GT(e.otherPj, 0);
+    EXPECT_NEAR(e.totalPj(),
+                e.cgraPj + e.memPj + e.scalarPj + e.otherPj, 1e-9);
+}
+
+TEST(EnergyModel, MoreEventsMoreEnergy)
+{
+    auto base = fabricEnergy(someStats(), someArea(), 2.0, 40);
+    auto stats = someStats();
+    stats.memLoads *= 3;
+    stats.classFires[0] *= 3;
+    auto heavier = fabricEnergy(stats, someArea(), 2.0, 40);
+    EXPECT_GT(heavier.totalPj(), base.totalPj());
+    EXPECT_GT(heavier.memPj, base.memPj);
+}
+
+TEST(EnergyModel, LeakageScalesWithCycles)
+{
+    auto quick = someStats();
+    auto slow = someStats();
+    slow.cycles *= 10;
+    auto eq = fabricEnergy(quick, someArea(), 2.0, 40);
+    auto es = fabricEnergy(slow, someArea(), 2.0, 40);
+    EXPECT_GT(es.totalPj(), eq.totalPj());
+}
+
+TEST(EnergyModel, HopsScaleNocEnergy)
+{
+    auto near = fabricEnergy(someStats(), someArea(), 1.0, 40);
+    auto far = fabricEnergy(someStats(), someArea(), 6.0, 40);
+    EXPECT_GT(far.cgraPj, near.cgraPj);
+}
+
+TEST(EnergyModel, ScalarSplit)
+{
+    scalar::EventCounts c;
+    c.alu = 100;
+    c.load = 20;
+    c.store = 10;
+    auto e = scalarEnergy(c, scalar::riptideScalarProfile());
+    EXPECT_GT(e.scalarPj, 0);
+    EXPECT_GT(e.memPj, 0);
+    EXPECT_NEAR(e.totalPj(),
+                scalar::riptideScalarProfile().energyPj(c), 1e-6);
+}
+
+TEST(EnergyModel, EdpDefinition)
+{
+    EnergyBreakdown e;
+    e.cgraPj = 100;
+    EXPECT_DOUBLE_EQ(edp(e, 2.0), 200.0);
+    EXPECT_DOUBLE_EQ(secondsFor(50'000'000, 50.0), 1.0);
+}
+
+// --- DVFS ---------------------------------------------------------------
+
+TEST(Dvfs, IsoRateAtNominal)
+{
+    // 1000 cycles at 50 MHz = 50 kHz kernel rate.
+    auto pt = scaleToRate(1000, 1000.0, 1e6, 50.0, 50000.0);
+    EXPECT_NEAR(pt.freqMHz, 50.0, 1e-6);
+    EXPECT_NEAR(pt.rate, 50000.0, 1.0);
+}
+
+TEST(Dvfs, FasterDesignClocksDownAndSavesEnergy)
+{
+    // Design B does the work in half the cycles; at iso-rate it
+    // runs at half frequency → ~quarter dynamic energy.
+    double target = 25000.0;
+    auto slow = scaleToRate(2000, 1000.0, 0.0, 50.0, target);
+    auto fast = scaleToRate(1000, 1000.0, 0.0, 50.0, target);
+    EXPECT_NEAR(fast.freqMHz, slow.freqMHz / 2, 1e-6);
+    EXPECT_NEAR(fast.energyPj / slow.energyPj, 0.25, 0.01);
+}
+
+TEST(Dvfs, VminFloors)
+{
+    auto pt = scaleToRate(1000, 1000.0, 0.0, 50.0, 1.0, 0.4);
+    EXPECT_NEAR(pt.freqMHz, 20.0, 1e-6); // 0.4 * 50
+}
+
+TEST(Dvfs, OverclockCostsQuadratically)
+{
+    auto nominal = scaleToRate(1000, 1000.0, 0.0, 50.0, 50000.0);
+    auto doubled = scaleToRate(1000, 1000.0, 0.0, 50.0, 100000.0);
+    EXPECT_NEAR(doubled.energyPj / nominal.energyPj, 4.0, 0.01);
+}
+
+// --- harvesting / battery -------------------------------------------------
+
+TEST(Harvest, RateMonotoneInPowerThenPlateaus)
+{
+    harvest::Platform p{"x", 0.01, 10e-6}; // 10 ms, 10 µJ
+    double last = -1;
+    for (double mw = 0.0; mw <= 2.0; mw += 0.1) {
+        double rate = harvest::endToEndRate(p, mw * 1e-3);
+        EXPECT_GE(rate, last - 1e-9);
+        last = rate;
+    }
+    // Plateau at the performance wall.
+    EXPECT_NEAR(harvest::endToEndRate(p, 5e-3), 100.0, 1e-6);
+}
+
+TEST(Harvest, ZeroBelowSleepPower)
+{
+    harvest::Platform p{"x", 0.01, 10e-6};
+    harvest::HarvesterConfig cfg;
+    cfg.sleepPowerW = 1e-3;
+    EXPECT_DOUBLE_EQ(harvest::endToEndRate(p, 1e-4, cfg), 0.0);
+}
+
+TEST(Harvest, EnergyLimitedRegionLinear)
+{
+    harvest::Platform p{"x", 0.001, 100e-6}; // fast but costly
+    harvest::HarvesterConfig cfg;
+    cfg.sleepPowerW = 0;
+    cfg.harvestEfficiency = 1.0;
+    double r1 = harvest::endToEndRate(p, 1e-3, cfg);
+    double r2 = harvest::endToEndRate(p, 2e-3, cfg);
+    EXPECT_NEAR(r2, 2 * r1, 1e-9);
+}
+
+TEST(Battery, LifetimeFallsWithRate)
+{
+    harvest::Platform p{"x", 0.01, 10e-6};
+    auto slow = harvest::lifetimeYears(p, 1.0);
+    auto fast = harvest::lifetimeYears(p, 50.0);
+    ASSERT_TRUE(slow && fast);
+    EXPECT_GT(*slow, *fast);
+}
+
+TEST(Battery, PerformanceWall)
+{
+    harvest::Platform p{"x", 0.01, 10e-6}; // peak 100 Hz
+    EXPECT_TRUE(harvest::lifetimeYears(p, 99.0).has_value());
+    EXPECT_FALSE(harvest::lifetimeYears(p, 101.0).has_value());
+}
+
+TEST(Battery, MoreEfficientLastsLonger)
+{
+    harvest::Platform eff{"a", 0.01, 5e-6};
+    harvest::Platform hungry{"b", 0.01, 50e-6};
+    auto a = harvest::lifetimeYears(eff, 10.0);
+    auto b = harvest::lifetimeYears(hungry, 10.0);
+    ASSERT_TRUE(a && b);
+    EXPECT_GT(*a, *b);
+}

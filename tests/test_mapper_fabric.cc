@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Fabric, area-model, and mapper tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "core/system.hh"
+#include "fabric/area.hh"
+#include "fabric/fabric.hh"
+#include "mapper/mapper.hh"
+#include "workloads/kernels.hh"
+
+using namespace pipestitch;
+using namespace pipestitch::fabric;
+using compiler::ArchVariant;
+
+TEST(Fabric, PaperPeMix)
+{
+    Fabric fab;
+    EXPECT_EQ(fab.numPes(), 64);
+    EXPECT_EQ(fab.pesOfClass(PeClass::Arith).size(), 16u);
+    EXPECT_EQ(fab.pesOfClass(PeClass::Multiplier).size(), 2u);
+    EXPECT_EQ(fab.pesOfClass(PeClass::ControlFlow).size(), 28u);
+    EXPECT_EQ(fab.pesOfClass(PeClass::Memory).size(), 14u);
+    EXPECT_EQ(fab.pesOfClass(PeClass::Stream).size(), 4u);
+}
+
+TEST(Fabric, CoordRoundTrip)
+{
+    Fabric fab;
+    for (int pe = 0; pe < fab.numPes(); pe++)
+        EXPECT_EQ(fab.peAt(fab.coordOf(pe)), pe);
+}
+
+TEST(Fabric, Manhattan)
+{
+    EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+    EXPECT_EQ(manhattan({5, 2}, {5, 2}), 0);
+    EXPECT_EQ(manhattan({7, 0}, {0, 7}), 14);
+}
+
+TEST(Fabric, DescribeShowsGrid)
+{
+    Fabric fab;
+    std::string grid = fab.describe();
+    EXPECT_EQ(std::count(grid.begin(), grid.end(), 'M'), 14);
+    EXPECT_EQ(std::count(grid.begin(), grid.end(), 'S'), 4);
+    EXPECT_EQ(std::count(grid.begin(), grid.end(), 'X'), 2);
+}
+
+TEST(Fabric, RejectsBadMix)
+{
+    FabricConfig cfg;
+    cfg.peMix = {10, 2, 28, 14, 4}; // sums to 58, not 64
+    EXPECT_DEATH({ Fabric fab(cfg); }, "PE mix");
+}
+
+// --- area ---------------------------------------------------------------
+
+TEST(Area, PipestitchNearPaperBreakdown)
+{
+    Fabric fab;
+    auto a = computeArea(fab, AreaVariant::Pipestitch);
+    EXPECT_NEAR(a.totalMm2(), 1.0, 0.15); // ~1.0 mm²
+    double pePct = a.peUm2 / a.totalUm2();
+    double nocPct = a.nocUm2 / a.totalUm2();
+    double memPct = a.memUm2 / a.totalUm2();
+    EXPECT_NEAR(pePct, 0.23, 0.05);
+    EXPECT_NEAR(nocPct, 0.40, 0.06);
+    EXPECT_NEAR(memPct, 0.33, 0.05);
+}
+
+TEST(Area, PipestitchFabricCostsMoreThanRipTide)
+{
+    Fabric fab;
+    auto pipe = computeArea(fab, AreaVariant::Pipestitch);
+    auto rip = computeArea(fab, AreaVariant::RipTide);
+    double ratio = (pipe.peUm2 + pipe.nocUm2) /
+                   (rip.peUm2 + rip.nocUm2);
+    EXPECT_GT(ratio, 1.04);
+    EXPECT_LT(ratio, 1.15); // paper: 1.10x
+}
+
+TEST(Area, GrowsWithBufferDepth)
+{
+    Fabric fab;
+    double d4 = computeArea(fab, AreaVariant::Pipestitch, 4).peUm2;
+    double d8 = computeArea(fab, AreaVariant::Pipestitch, 8).peUm2;
+    double d16 = computeArea(fab, AreaVariant::Pipestitch, 16).peUm2;
+    EXPECT_LT(d4, d8);
+    EXPECT_LT(d8, d16);
+}
+
+// --- mapper -------------------------------------------------------------
+
+namespace {
+
+dfg::Graph
+compiledGraph(const workloads::KernelInstance &k, ArchVariant v)
+{
+    compiler::CompileOptions opts;
+    opts.variant = v;
+    return compiler::compileProgram(k.prog, k.liveIns, opts).graph;
+}
+
+} // namespace
+
+TEST(Mapper, PlacesEveryPaperKernelEveryVariant)
+{
+    setQuiet(true);
+    Fabric fab;
+    for (auto &k : workloads::paperKernels(3)) {
+        for (ArchVariant v :
+             {ArchVariant::RipTide, ArchVariant::Pipestitch,
+              ArchVariant::PipeCFiN, ArchVariant::PipeCFoP}) {
+            auto g = compiledGraph(k, v);
+            auto m = mapper::mapGraph(g, fab);
+            ASSERT_TRUE(m.success)
+                << k.name << " " << compiler::archVariantName(v)
+                << ": " << m.error;
+            EXPECT_LE(m.maxLinkLoad, fab.config().linkCapacity);
+        }
+    }
+}
+
+TEST(Mapper, RespectsPeClasses)
+{
+    setQuiet(true);
+    Fabric fab;
+    auto k = workloads::makeSpMSpVd(16, 0.8, 1);
+    auto g = compiledGraph(k, ArchVariant::Pipestitch);
+    auto m = mapper::mapGraph(g, fab);
+    ASSERT_TRUE(m.success);
+    for (dfg::NodeId id = 0; id < g.size(); id++) {
+        const auto &node = g.at(id);
+        int pe = m.peOf[static_cast<size_t>(id)];
+        if (node.kind == dfg::NodeKind::Trigger || node.cfInNoc) {
+            EXPECT_EQ(pe, -1);
+            continue;
+        }
+        ASSERT_GE(pe, 0);
+        EXPECT_EQ(fab.classAt(pe), node.peClass())
+            << "node " << id;
+    }
+    // No PE hosts two nodes.
+    std::set<int> used;
+    for (int pe : m.peOf) {
+        if (pe < 0)
+            continue;
+        EXPECT_TRUE(used.insert(pe).second) << "PE " << pe;
+    }
+}
+
+TEST(Mapper, DeterministicForFixedSeed)
+{
+    setQuiet(true);
+    Fabric fab;
+    auto k = workloads::makeDither(16, 8, 2);
+    auto g = compiledGraph(k, ArchVariant::Pipestitch);
+    auto m1 = mapper::mapGraph(g, fab);
+    auto m2 = mapper::mapGraph(g, fab);
+    ASSERT_TRUE(m1.success && m2.success);
+    EXPECT_EQ(m1.peOf, m2.peOf);
+    EXPECT_EQ(m1.totalWireLength, m2.totalWireLength);
+}
+
+TEST(Mapper, FailsCleanlyWhenOverSubscribed)
+{
+    setQuiet(true);
+    FabricConfig cfg;
+    cfg.width = 2;
+    cfg.height = 2;
+    cfg.peMix = {1, 1, 1, 1, 0};
+    Fabric tiny(cfg);
+    auto k = workloads::makeSpMSpVd(16, 0.8, 1);
+    auto g = compiledGraph(k, ArchVariant::Pipestitch);
+    auto m = mapper::mapGraph(g, tiny);
+    EXPECT_FALSE(m.success);
+    EXPECT_FALSE(m.error.empty());
+}
+
+TEST(Mapper, AnnealImprovesWirelength)
+{
+    setQuiet(true);
+    Fabric fab;
+    auto k = workloads::makeSpMSpMd(8, 0.8, 2);
+    auto g = compiledGraph(k, ArchVariant::PipeCFoP);
+    mapper::MapperOptions fast;
+    fast.annealIterations = 0;
+    mapper::MapperOptions slow;
+    slow.annealIterations = 20000;
+    auto m0 = mapper::mapGraph(g, fab, fast);
+    auto m1 = mapper::mapGraph(g, fab, slow);
+    // Annealed placement should not be worse.
+    if (m0.success && m1.success) {
+        EXPECT_LE(m1.totalWireLength, m0.totalWireLength);
+    }
+}
+
+TEST(Mapper, HopCountsFeedEnergy)
+{
+    setQuiet(true);
+    Fabric fab;
+    auto k = workloads::makeSpmv(16, 0.8, 1);
+    auto g = compiledGraph(k, ArchVariant::Pipestitch);
+    auto m = mapper::mapGraph(g, fab);
+    ASSERT_TRUE(m.success);
+    EXPECT_GT(m.avgHops, 0.0);
+    EXPECT_LT(m.avgHops, 14.0); // bounded by mesh diameter
+}
+
+TEST(Fabric, CustomMixesWork)
+{
+    setQuiet(true);
+    // A 4x4 edge fabric with a custom PE mix still runs kernels
+    // that fit it.
+    FabricConfig small;
+    small.width = 4;
+    small.height = 4;
+    small.peMix = {4, 1, 3, 6, 2};
+    small.memBanks = 4;
+    Fabric fab(small);
+    EXPECT_EQ(fab.numPes(), 16);
+
+    auto kernel = workloads::makeSpmv(8, 0.7, 6);
+    RunConfig cfg;
+    cfg.variant = ArchVariant::Pipestitch;
+    cfg.fabric = small;
+    auto run = runOnFabric(kernel, cfg); // golden-checked
+    EXPECT_TRUE(run.mapping.success);
+    EXPECT_GT(run.cycles(), 0);
+}

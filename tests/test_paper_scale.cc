@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Paper-scale regression anchors: the headline ratios of the
+ * evaluation must stay inside the bands EXPERIMENTS.md documents.
+ * These run the Table-1-sized kernels, so they are the slowest
+ * tests in the suite (~3 s total) — they are the repository's
+ * last line of defense against quiet regressions in the shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/system.hh"
+#include "workloads/kernels.hh"
+
+using namespace pipestitch;
+using compiler::ArchVariant;
+
+namespace {
+
+struct PaperRuns
+{
+    std::vector<double> scalarCycles;
+    std::vector<double> ripCycles;
+    std::vector<double> pipeCycles;
+    std::vector<double> ripEnergy;
+    std::vector<double> pipeEnergy;
+
+    static const PaperRuns &
+    get()
+    {
+        static const PaperRuns runs = [] {
+            setQuiet(true);
+            PaperRuns r;
+            for (auto &k : workloads::paperKernels(1)) {
+                r.scalarCycles.push_back(runOnScalar(k).cycles);
+                RunConfig rip;
+                rip.variant = ArchVariant::RipTide;
+                RunConfig pipe;
+                pipe.variant = ArchVariant::Pipestitch;
+                auto rr = runOnFabric(k, rip);
+                auto pr = runOnFabric(k, pipe);
+                r.ripCycles.push_back(
+                    static_cast<double>(rr.cycles()));
+                r.pipeCycles.push_back(
+                    static_cast<double>(pr.cycles()));
+                r.ripEnergy.push_back(rr.energy.totalPj());
+                r.pipeEnergy.push_back(pr.energy.totalPj());
+            }
+            return r;
+        }();
+        return runs;
+    }
+};
+
+double
+geomean(const std::vector<double> &v)
+{
+    double s = 0;
+    for (double x : v)
+        s += std::log(x);
+    return std::exp(s / static_cast<double>(v.size()));
+}
+
+} // namespace
+
+TEST(PaperScale, UnthreadedKernelsStayTied)
+{
+    const auto &r = PaperRuns::get();
+    // DMM and SpMV: Pipestitch compiles them exactly like RipTide
+    // plus destination buffering; at paper scale they tie to within
+    // store-ordering noise (~1 %).
+    for (size_t i = 0; i < 2; i++) {
+        EXPECT_LE(r.pipeCycles[i], r.ripCycles[i] * 1.02)
+            << "kernel " << i;
+    }
+}
+
+TEST(PaperScale, ThreadedSpeedupBand)
+{
+    const auto &r = PaperRuns::get();
+    std::vector<double> ratios;
+    for (size_t i = 2; i < r.ripCycles.size(); i++)
+        ratios.push_back(r.ripCycles[i] / r.pipeCycles[i]);
+    double g = geomean(ratios);
+    // Paper: 3.49x on threaded apps; hold our measured 3.5 +/- 20%.
+    EXPECT_GT(g, 2.8) << "threaded speedup collapsed";
+    EXPECT_LT(g, 4.4) << "threaded speedup suspiciously inflated";
+}
+
+TEST(PaperScale, EnergyOverheadBand)
+{
+    const auto &r = PaperRuns::get();
+    std::vector<double> ratios;
+    for (size_t i = 0; i < r.ripEnergy.size(); i++)
+        ratios.push_back(r.pipeEnergy[i] / r.ripEnergy[i]);
+    double g = geomean(ratios);
+    // Paper: 1.05-1.11x.
+    EXPECT_GT(g, 0.95);
+    EXPECT_LT(g, 1.25);
+}
+
+TEST(PaperScale, CgraBeatsScalarEverywhere)
+{
+    const auto &r = PaperRuns::get();
+    for (size_t i = 0; i < r.ripCycles.size(); i++) {
+        EXPECT_GT(r.scalarCycles[i] / r.ripCycles[i], 2.0)
+            << "kernel " << i;
+        EXPECT_GT(r.scalarCycles[i] / r.pipeCycles[i], 2.0)
+            << "kernel " << i;
+    }
+}
+
+TEST(PaperScale, SpSliceIsTheBiggestWinOrClose)
+{
+    // Paper: "up to 3.86x (on sparse matrix slicing)". Ours peaks on
+    // the sparse-sparse kernels; SpSlice must still clear 3x.
+    const auto &r = PaperRuns::get();
+    EXPECT_GT(r.ripCycles[3] / r.pipeCycles[3], 3.0);
+}

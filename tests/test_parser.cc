@@ -1,0 +1,223 @@
+/**
+ * @file
+ * SIR text-format parser tests: every construct, the shipped .sir
+ * kernels, error reporting, and end-to-end execution of parsed
+ * programs on the fabric.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "compiler/compile.hh"
+#include "core/system.hh"
+#include "scalar/interpreter.hh"
+#include "sim/simulator.hh"
+#include "sir/parser.hh"
+#include "sir/verifier.hh"
+
+using namespace pipestitch;
+using sir::parseSir;
+
+TEST(Parser, StraightLine)
+{
+    auto parsed = parseSir(R"(
+program demo
+array out 4
+x = const 5
+y = mul x 3
+z = add y -1
+store out[0] = z
+store out[1] = 9
+)");
+    EXPECT_EQ(parsed.program.name, "demo");
+    EXPECT_TRUE(sir::verify(parsed.program).empty());
+    auto mem = scalar::makeMemory(parsed.program);
+    scalar::interpret(parsed.program, mem, {});
+    EXPECT_EQ(mem[0], 14);
+    EXPECT_EQ(mem[1], 9);
+}
+
+TEST(Parser, SelectAndSugar)
+{
+    auto parsed = parseSir(R"(
+array out 2
+a = 7
+b = gt a 3
+c = select b 100 200
+d = a          # register copy sugar
+store out[0] = c
+store out[1] = d
+)");
+    auto mem = scalar::makeMemory(parsed.program);
+    scalar::interpret(parsed.program, mem, {});
+    EXPECT_EQ(mem[0], 100);
+    EXPECT_EQ(mem[1], 7);
+}
+
+TEST(Parser, ForLoopWithStep)
+{
+    auto parsed = parseSir(R"(
+array out 16
+for i = 0 .. 16 step 4:
+  v = shl i 1
+  store out[i] = v
+end
+)");
+    auto mem = scalar::makeMemory(parsed.program);
+    scalar::interpret(parsed.program, mem, {});
+    EXPECT_EQ(mem[0], 0);
+    EXPECT_EQ(mem[4], 8);
+    EXPECT_EQ(mem[8], 16);
+    EXPECT_EQ(mem[12], 24);
+    EXPECT_EQ(mem[1], 0); // untouched
+}
+
+TEST(Parser, IfElse)
+{
+    auto parsed = parseSir(R"(
+array out 8
+livein n
+for i = 0 .. n:
+  odd = and i 1
+  r = const 0
+  if odd:
+    r = add i 100
+  else:
+    r = sub i 100
+  end
+  store out[i] = r
+end
+)");
+    auto mem = scalar::makeMemory(parsed.program);
+    scalar::interpret(parsed.program, mem, {4});
+    EXPECT_EQ(mem[0], -100);
+    EXPECT_EQ(mem[1], 101);
+    EXPECT_EQ(mem[2], -98);
+    EXPECT_EQ(mem[3], 103);
+}
+
+TEST(Parser, WhileHeaderAndBody)
+{
+    auto parsed = parseSir(R"(
+array out 1
+k = const 100
+c = const 0
+while:
+  going = gt k 0
+cond going
+do:
+  k = shr k 1
+  c = add c 1
+end
+store out[0] = c
+)");
+    auto mem = scalar::makeMemory(parsed.program);
+    scalar::interpret(parsed.program, mem, {});
+    EXPECT_EQ(mem[0], 7); // 100→50→25→12→6→3→1→0
+}
+
+TEST(Parser, ShippedKernelsParseCompileAndThread)
+{
+    // The repository's .sir samples must stay valid.
+    struct Expect
+    {
+        const char *path;
+        bool threaded;
+    };
+    const Expect files[] = {
+        {"count_nonzeros.sir", true},
+        {"vector_scale.sir", false},
+        {"prefix_count.sir", true},
+    };
+    for (const auto &f : files) {
+        std::string path = std::string(KERNEL_DIR) + "/" + f.path;
+        std::ifstream in(path);
+        ASSERT_TRUE(in.good()) << path;
+        std::stringstream ss;
+        ss << in.rdbuf();
+        auto parsed = parseSir(ss.str(), path);
+        EXPECT_TRUE(sir::verify(parsed.program).empty()) << path;
+        compiler::CompileOptions opts;
+        std::vector<sir::Word> liveIns(
+            parsed.program.liveIns.size(), 8);
+        auto res = compiler::compileProgram(parsed.program, liveIns,
+                                            opts);
+        EXPECT_EQ(res.threaded, f.threaded) << path;
+    }
+}
+
+TEST(Parser, ParsedKernelRunsOnFabric)
+{
+    auto parsed = parseSir(R"(
+program halving
+array seeds 8
+array steps 8
+livein n
+foreach i = 0 .. n:
+  v = load seeds[i]
+  c = const 0
+  while:
+    big = gt v 1
+  cond big
+  do:
+    half = shr v 1
+    inc = add c 1
+    v = add half 0
+    c = add inc 0
+  end
+  store steps[i] = c
+end
+)");
+    workloads::KernelInstance kernel;
+    kernel.name = parsed.program.name;
+    kernel.prog = std::move(parsed.program);
+    kernel.liveIns = {8};
+    kernel.memory = scalar::makeMemory(kernel.prog);
+    for (int i = 0; i < 8; i++)
+        kernel.memory[static_cast<size_t>(i)] = 1 << i;
+    RunConfig cfg;
+    auto run = runOnFabric(kernel, cfg); // golden-verified
+    for (int i = 0; i < 8; i++) {
+        EXPECT_EQ(run.memory[8 + static_cast<size_t>(i)], i)
+            << "steps[" << i << "]";
+    }
+}
+
+// --- error reporting ------------------------------------------------------
+
+using ParserDeath = ::testing::Test;
+
+TEST(ParserDeath, UnknownRegister)
+{
+    EXPECT_DEATH(parseSir("x = add ghost 1\n"), "unknown register");
+}
+
+TEST(ParserDeath, UnknownArray)
+{
+    EXPECT_DEATH(parseSir("x = load nope[0]\n"), "unknown array");
+}
+
+TEST(ParserDeath, MissingEnd)
+{
+    EXPECT_DEATH(parseSir("livein n\nfor i = 0 .. n:\n"),
+                 "expected `end`");
+}
+
+TEST(ParserDeath, WhileWithoutCond)
+{
+    EXPECT_DEATH(parseSir("k = const 1\nwhile:\n  x = add k 1\nend\n"),
+                 "cannot parse statement|without `cond`");
+}
+
+TEST(ParserDeath, BadStatementReportsLine)
+{
+    EXPECT_DEATH(parseSir("x = const 1\nwat\n", "test.sir"),
+                 "test.sir:2");
+}
+
+TEST(ParserDeath, AssignToLiteral)
+{
+    EXPECT_DEATH(parseSir("3 = const 1\n"), "cannot parse|literal");
+}

@@ -1,0 +1,417 @@
+/**
+ * @file
+ * SIR tests: opcode semantics (parameterized), builder structure,
+ * verifier diagnostics, analyses (defs / uses / upward-exposed /
+ * liveness), and the scalar interpreter's instruction accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scalar/interpreter.hh"
+#include "sir/analysis.hh"
+#include "sir/builder.hh"
+#include "sir/printer.hh"
+#include "sir/program.hh"
+#include "sir/verifier.hh"
+
+using namespace pipestitch;
+using namespace pipestitch::sir;
+
+// --- opcode semantics ---------------------------------------------------
+
+struct OpCase
+{
+    Opcode op;
+    Word a, b, c, expect;
+};
+
+class OpcodeEval : public ::testing::TestWithParam<OpCase>
+{};
+
+TEST_P(OpcodeEval, Matches)
+{
+    auto p = GetParam();
+    EXPECT_EQ(evalOpcode(p.op, p.a, p.b, p.c), p.expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, OpcodeEval,
+    ::testing::Values(
+        OpCase{Opcode::Add, 3, 4, 0, 7},
+        OpCase{Opcode::Add, 2147483647, 1, 0, -2147483648},
+        OpCase{Opcode::Sub, 3, 4, 0, -1},
+        OpCase{Opcode::Mul, -3, 4, 0, -12},
+        OpCase{Opcode::Div, 7, 2, 0, 3},
+        OpCase{Opcode::Div, -7, 2, 0, -3},
+        OpCase{Opcode::Rem, 7, 3, 0, 1},
+        OpCase{Opcode::Shl, 1, 5, 0, 32},
+        OpCase{Opcode::Shr, -8, 1, 0, -4}, // arithmetic shift
+        OpCase{Opcode::And, 0b1100, 0b1010, 0, 0b1000},
+        OpCase{Opcode::Or, 0b1100, 0b1010, 0, 0b1110},
+        OpCase{Opcode::Xor, 0b1100, 0b1010, 0, 0b0110},
+        OpCase{Opcode::Lt, 2, 3, 0, 1}, OpCase{Opcode::Lt, 3, 3, 0, 0},
+        OpCase{Opcode::Le, 3, 3, 0, 1}, OpCase{Opcode::Gt, 3, 2, 0, 1},
+        OpCase{Opcode::Ge, 2, 3, 0, 0}, OpCase{Opcode::Eq, 5, 5, 0, 1},
+        OpCase{Opcode::Ne, 5, 5, 0, 0},
+        OpCase{Opcode::Min, -2, 7, 0, -2},
+        OpCase{Opcode::Max, -2, 7, 0, 7},
+        OpCase{Opcode::Select, 1, 10, 20, 10},
+        OpCase{Opcode::Select, 0, 10, 20, 20}));
+
+TEST(Opcode, MultiplierClassification)
+{
+    EXPECT_TRUE(isMultiplierOp(Opcode::Mul));
+    EXPECT_TRUE(isMultiplierOp(Opcode::Div));
+    EXPECT_TRUE(isMultiplierOp(Opcode::Rem));
+    EXPECT_FALSE(isMultiplierOp(Opcode::Add));
+    EXPECT_FALSE(isMultiplierOp(Opcode::Shl));
+}
+
+// --- builder ------------------------------------------------------------
+
+TEST(Builder, ArraysGetDisjointBases)
+{
+    Builder b("t");
+    auto a1 = b.array("a", 10);
+    auto a2 = b.array("b", 20);
+    auto p = b.finish();
+    EXPECT_EQ(p.array(a1).base, 0);
+    EXPECT_EQ(p.array(a2).base, 10);
+    EXPECT_EQ(p.memWords, 30);
+}
+
+TEST(Builder, StructuredScopesNest)
+{
+    Builder b("t");
+    Reg n = b.liveIn("n");
+    b.forLoop0(n, [&](Reg i) {
+        Reg c = b.lti(i, 5);
+        b.ifThenElse(c, [&] { b.let(1); }, [&] { b.let(2); });
+    });
+    auto p = b.finish();
+    ASSERT_EQ(p.body.size(), 2u); // const 0 + the For
+    ASSERT_EQ(p.body[1]->kind(), Stmt::Kind::For);
+    const auto &f = static_cast<const ForStmt &>(*p.body[1]);
+    bool sawIf = false;
+    for (const auto &s : f.body)
+        sawIf |= s->kind() == Stmt::Kind::If;
+    EXPECT_TRUE(sawIf);
+}
+
+TEST(Builder, CloneIsDeep)
+{
+    Builder b("t");
+    Reg n = b.liveIn("n");
+    b.forEach0(n, [&](Reg i) { b.storeIdx(b.array("o", 4), i, i); });
+    auto p = b.finish();
+    auto copy = cloneStmts(p.body);
+    ASSERT_EQ(copy.size(), p.body.size());
+    EXPECT_NE(copy[1].get(), p.body[1].get());
+    EXPECT_EQ(copy[1]->kind(), Stmt::Kind::For);
+    EXPECT_TRUE(
+        static_cast<const ForStmt &>(*copy[1]).isForeach);
+}
+
+TEST(Printer, MentionsConstructs)
+{
+    Builder b("pretty");
+    Reg n = b.liveIn("n");
+    auto arr = b.array("data", 8);
+    b.forEach0(n, [&](Reg i) {
+        Reg v = b.loadIdx(arr, i);
+        b.whileLoop([&] { return b.gti(v, 0); },
+                    [&] {
+                        b.computeInto(v, Opcode::Shr, v, b.let(1));
+                    });
+        b.storeIdx(arr, i, v);
+    });
+    std::string out = print(b.finish());
+    EXPECT_NE(out.find("foreach"), std::string::npos);
+    EXPECT_NE(out.find("while"), std::string::npos);
+    EXPECT_NE(out.find("data"), std::string::npos);
+}
+
+// --- verifier -----------------------------------------------------------
+
+TEST(SirVerifier, AcceptsWellFormed)
+{
+    Builder b("ok");
+    Reg n = b.liveIn("n");
+    auto arr = b.array("a", 8);
+    b.forLoop0(n, [&](Reg i) { b.storeIdx(arr, i, i); });
+    EXPECT_TRUE(verify(b.finish()).empty());
+}
+
+TEST(SirVerifier, FlagsReadBeforeAssignment)
+{
+    Builder b("bad");
+    Reg ghost = b.reg("ghost");
+    auto arr = b.array("a", 4);
+    b.storeIdx(arr, b.let(0), ghost);
+    auto problems = verify(b.finish());
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("read before assignment"),
+              std::string::npos);
+}
+
+TEST(SirVerifier, FlagsNonPositiveStep)
+{
+    Program p("bad");
+    p.numRegs = 3;
+    p.regNames = {"v", "b", "e"};
+    auto loop = std::make_unique<ForStmt>(0, 1, 2, 0, false);
+    p.body.push_back(std::move(loop));
+    p.liveIns = {1, 2};
+    bool found = false;
+    for (const auto &msg : verify(p))
+        found |= msg.find("step") != std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+TEST(SirVerifier, FlagsInductionAssignment)
+{
+    Program p("bad");
+    p.numRegs = 3;
+    p.regNames = {"v", "b", "e"};
+    auto loop = std::make_unique<ForStmt>(0, 1, 2, 1, false);
+    loop->body.push_back(
+        std::make_unique<ConstStmt>(0, 7)); // assigns var
+    p.body.push_back(std::move(loop));
+    p.liveIns = {1, 2};
+    bool found = false;
+    for (const auto &msg : verify(p))
+        found |= msg.find("induction") != std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+TEST(SirVerifier, FlagsWhileWithoutCarriedState)
+{
+    Program p("bad");
+    p.numRegs = 3;
+    p.regNames = {"a", "b", "cond"};
+    p.liveIns = {0, 1};
+    auto loop = std::make_unique<WhileStmt>(2);
+    loop->header.push_back(
+        std::make_unique<ComputeStmt>(Opcode::Lt, 2, 0, 1));
+    p.body.push_back(std::move(loop));
+    bool found = false;
+    for (const auto &msg : verify(p))
+        found |= msg.find("carried") != std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+// --- analyses -----------------------------------------------------------
+
+namespace {
+
+Program
+analysisProgram()
+{
+    // r0 = n (live-in)
+    // for i in 0..n:             (loop defines i)
+    //   acc = acc + i            (acc upward-exposed + defined)
+    //   if (i < 3): tmp = i * 2  (tmp maybe-def)
+    // store a[0] = acc
+    Builder b("ana");
+    Reg n = b.liveIn("n");
+    auto arr = b.array("a", 4);
+    Reg acc = b.reg("acc");
+    b.assignConst(acc, 0);
+    b.forLoop0(n, [&](Reg i) {
+        b.computeInto(acc, Opcode::Add, acc, i);
+        Reg c = b.lti(i, 3);
+        b.ifThen(c, [&] { b.muli(i, 2); });
+    });
+    b.storeIdx(arr, b.let(0), acc);
+    return b.finish();
+}
+
+} // namespace
+
+TEST(Analysis, DefsAndUses)
+{
+    auto p = analysisProgram();
+    const auto &loop = static_cast<const ForStmt &>(*p.body[2]);
+    auto defs = collectDefs(loop.body);
+    auto uses = collectUses(loop.body);
+    // acc is assigned and used inside the loop.
+    bool accDefined = false, accUsed = false;
+    for (Reg r : defs)
+        accDefined |= p.regNames[static_cast<size_t>(r)] == "acc";
+    for (Reg r : uses)
+        accUsed |= p.regNames[static_cast<size_t>(r)] == "acc";
+    EXPECT_TRUE(accDefined);
+    EXPECT_TRUE(accUsed);
+}
+
+TEST(Analysis, UpwardExposedSeesCarriedUse)
+{
+    auto p = analysisProgram();
+    const auto &loop = static_cast<const ForStmt &>(*p.body[2]);
+    auto exposed = upwardExposedUses(loop.body);
+    bool accExposed = false;
+    for (Reg r : exposed)
+        accExposed |= p.regNames[static_cast<size_t>(r)] == "acc";
+    EXPECT_TRUE(accExposed);
+}
+
+TEST(Analysis, MaybeDefsDoNotKill)
+{
+    // A def inside an if must not hide the upward exposure of a
+    // later use.
+    Builder b("t");
+    Reg n = b.liveIn("cond");
+    Reg x = b.reg("x");
+    b.assignConst(x, 1);
+    b.ifThen(n, [&] { b.assignConst(x, 2); });
+    auto arr = b.array("a", 2);
+    b.storeIdx(arr, b.let(0), x);
+    auto p = b.finish();
+    // Drop the initial assignment and re-check exposure of x.
+    StmtList tail;
+    for (size_t i = 1; i < p.body.size(); i++)
+        tail.push_back(std::move(p.body[i]));
+    auto exposed = upwardExposedUses(tail);
+    EXPECT_TRUE(exposed.count(x));
+}
+
+TEST(Analysis, LivenessSeesUseAfterLoop)
+{
+    auto p = analysisProgram();
+    Liveness liveness(p);
+    const auto &loop = *p.body[2];
+    const auto &liveAfter = liveness.liveAfter(loop);
+    bool accLive = false;
+    for (Reg r : liveAfter)
+        accLive |= p.regNames[static_cast<size_t>(r)] == "acc";
+    EXPECT_TRUE(accLive);
+}
+
+TEST(Analysis, StoredAndLoadedArrays)
+{
+    Builder b("t");
+    auto src = b.array("src", 4);
+    auto dst = b.array("dst", 4);
+    Reg i = b.let(0);
+    b.storeIdx(dst, i, b.loadIdx(src, i));
+    auto p = b.finish();
+    EXPECT_EQ(loadedArrays(p.body).count(src), 1u);
+    EXPECT_EQ(loadedArrays(p.body).count(dst), 0u);
+    EXPECT_EQ(storedArrays(p.body).count(dst), 1u);
+    EXPECT_EQ(storedArrays(p.body).count(src), 0u);
+}
+
+// --- interpreter accounting ----------------------------------------------
+
+TEST(Interpreter, CountsInstructionClasses)
+{
+    Builder b("t");
+    auto arr = b.array("a", 4);
+    Reg x = b.let(5);                // 1 move
+    Reg y = b.mul(x, x);             // 1 mul
+    Reg z = b.add(y, x);             // 1 alu
+    b.storeIdx(arr, b.let(1), z);    // 1 move (const) + 1 store
+    auto p = b.finish();
+    auto mem = scalar::makeMemory(p);
+    auto r = scalar::interpret(p, mem, {});
+    EXPECT_EQ(r.counts.mul, 1);
+    EXPECT_EQ(r.counts.alu, 1);
+    EXPECT_EQ(r.counts.store, 1);
+    EXPECT_EQ(r.counts.moves, 2);
+    EXPECT_EQ(mem[1], 30);
+}
+
+TEST(Interpreter, LoopOverheadScalesWithTripCount)
+{
+    Builder b("t");
+    auto arr = b.array("a", 1);
+    Reg n = b.liveIn("n");
+    Reg acc = b.reg("acc");
+    b.assignConst(acc, 0);
+    b.forLoop0(n, [&](Reg i) {
+        b.computeInto(acc, Opcode::Add, acc, i);
+    });
+    b.storeIdx(arr, b.let(0), acc);
+    auto p = b.finish();
+
+    auto run = [&](sir::Word n_) {
+        auto mem = scalar::makeMemory(p);
+        return scalar::interpret(p, mem, {n_}).counts;
+    };
+    auto c10 = run(10);
+    auto c20 = run(20);
+    // Branches: one per iteration plus the final check.
+    EXPECT_EQ(c20.branch - c10.branch, 10);
+    // Two ALU ops per iteration (acc add + induction increment).
+    EXPECT_EQ(c20.alu - c10.alu, 20);
+}
+
+TEST(Interpreter, OffsetAddressing)
+{
+    Builder b("t");
+    auto a = b.array("a", 4);
+    auto c = b.array("b", 4);
+    Reg i = b.let(2);
+    b.storeIdx(c, i, b.addi(b.loadIdx(a, i), 1));
+    auto p = b.finish();
+    auto mem = scalar::makeMemory(p);
+    mem[2] = 41; // a[2]
+    scalar::interpret(p, mem, {});
+    EXPECT_EQ(mem[6], 42); // b[2] at base 4
+}
+
+TEST(SirVerifier, FlagsBoundAssignedInBody)
+{
+    Builder b("bad");
+    auto arr = b.array("a", 8);
+    Reg n = b.liveIn("n");
+    Reg end = b.reg("end");
+    b.assign(end, n);
+    b.forLoop(b.let(0), end, 1, [&](Reg i) {
+        b.storeIdx(arr, i, i);
+        b.computeInto(end, Opcode::Add, end, b.let(-1));
+    });
+    bool found = false;
+    for (const auto &msg : verify(b.finish()))
+        found |= msg.find("loop bound") != std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+TEST(SirVerifier, FlagsInductionVarReadAfterLoop)
+{
+    Builder b("bad");
+    auto arr = b.array("a", 8);
+    Reg n = b.liveIn("n");
+    Reg leak = b.reg("leak");
+    b.assignConst(leak, 0);
+    b.forLoop0(n, [&](Reg i) { b.assign(leak, i); });
+    // `leak` holds the var only transitively — that is fine; reading
+    // the var itself after the loop is not expressible through the
+    // Builder, so construct it directly.
+    auto prog = b.finish();
+    auto &loop = static_cast<ForStmt &>(*prog.body.back());
+    prog.body.push_back(std::make_unique<StoreStmt>(
+        loop.var, leak, 0));
+    bool found = false;
+    for (const auto &msg : verify(prog))
+        found |= msg.find("after its loop") != std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+TEST(SirVerifier, RejectsAnyArrayAccesses)
+{
+    // Ordering classification needs a named array; the AnyArray
+    // sentinel must not slip through to the compiler.
+    Program p("bad");
+    p.numRegs = 2;
+    p.regNames = {"a", "v"};
+    p.liveIns = {0, 1};
+    p.memWords = 4;
+    p.arrays = {{"m", 0, 4}};
+    p.body.push_back(
+        std::make_unique<StoreStmt>(0, 1, AnyArray));
+    bool found = false;
+    for (const auto &msg : verify(p))
+        found |= msg.find("declared array") != std::string::npos;
+    EXPECT_TRUE(found);
+}

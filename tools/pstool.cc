@@ -1,0 +1,381 @@
+/**
+ * @file
+ * pstool — the command-line driver for the Pipestitch toolchain.
+ *
+ *   pstool compile <file.sir> [--variant=V] [--unroll=N] [--dot]
+ *       Compile and report: threading decision, per-loop IIs,
+ *       operator counts, fabric fit. --dot prints GraphViz.
+ *
+ *   pstool run <file.sir> [--variant=V] [--depth=N] [--unroll=N]
+ *              [--livein name=value]... [--init arr=v0,v1,...]...
+ *              [--dump arr]... [--report] [--trace]
+ *       Compile, map, simulate, verify against the golden
+ *       interpreter, and print stats (and requested arrays).
+ *
+ *   pstool scalar <file.sir> [--livein ...] [--init ...] [--dump ...]
+ *       Run the sequential interpreter only.
+ *
+ * Variants: riptide, pipestitch (default), pipesb, pipecfin,
+ * pipecfop.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "core/system.hh"
+#include "dfg/dot.hh"
+#include "sim/report.hh"
+#include "sir/parser.hh"
+#include "sir/printer.hh"
+
+using namespace pipestitch;
+
+namespace {
+
+struct Options
+{
+    std::string command;
+    std::string file;
+    compiler::ArchVariant variant =
+        compiler::ArchVariant::Pipestitch;
+    int depth = 4;
+    int unroll = 1;
+    bool dot = false;
+    bool report = false;
+    bool trace = false;
+    bool timeMultiplex = false;
+    bool json = false;
+    std::vector<std::pair<std::string, sir::Word>> liveIns;
+    std::vector<std::pair<std::string, std::vector<sir::Word>>>
+        inits;
+    std::vector<std::string> dumps;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: pstool <compile|run|scalar> <file.sir> [options]\n"
+        "  --variant=riptide|pipestitch|pipesb|pipecfin|pipecfop\n"
+        "  --depth=N --unroll=N --tm --dot --report --trace --json\n"
+        "  --livein name=value     bind a kernel parameter\n"
+        "  --init arr=v0,v1,...    initialize array contents\n"
+        "  --dump arr              print an array after the run\n");
+    std::exit(2);
+}
+
+compiler::ArchVariant
+parseVariant(const std::string &name)
+{
+    if (name == "riptide")
+        return compiler::ArchVariant::RipTide;
+    if (name == "pipestitch")
+        return compiler::ArchVariant::Pipestitch;
+    if (name == "pipesb")
+        return compiler::ArchVariant::PipeSB;
+    if (name == "pipecfin")
+        return compiler::ArchVariant::PipeCFiN;
+    if (name == "pipecfop")
+        return compiler::ArchVariant::PipeCFoP;
+    fatal("unknown variant '%s'", name.c_str());
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    if (argc < 3)
+        usage();
+    Options opts;
+    opts.command = argv[1];
+    opts.file = argv[2];
+    for (int i = 3; i < argc; i++) {
+        std::string arg = argv[i];
+        auto value = [&](const char *prefix) {
+            return arg.substr(std::strlen(prefix));
+        };
+        if (arg.rfind("--variant=", 0) == 0) {
+            opts.variant = parseVariant(value("--variant="));
+        } else if (arg.rfind("--depth=", 0) == 0) {
+            opts.depth = std::atoi(value("--depth=").c_str());
+        } else if (arg.rfind("--unroll=", 0) == 0) {
+            opts.unroll = std::atoi(value("--unroll=").c_str());
+        } else if (arg == "--tm") {
+            opts.timeMultiplex = true;
+        } else if (arg == "--json") {
+            opts.json = true;
+        } else if (arg == "--dot") {
+            opts.dot = true;
+        } else if (arg == "--report") {
+            opts.report = true;
+        } else if (arg == "--trace") {
+            opts.trace = true;
+        } else if (arg == "--livein" && i + 1 < argc) {
+            std::string spec = argv[++i];
+            size_t eq = spec.find('=');
+            if (eq == std::string::npos)
+                usage();
+            opts.liveIns.emplace_back(
+                spec.substr(0, eq),
+                static_cast<sir::Word>(
+                    std::atoll(spec.c_str() + eq + 1)));
+        } else if (arg == "--init" && i + 1 < argc) {
+            std::string spec = argv[++i];
+            size_t eq = spec.find('=');
+            if (eq == std::string::npos)
+                usage();
+            std::vector<sir::Word> values;
+            std::stringstream ss(spec.substr(eq + 1));
+            std::string item;
+            while (std::getline(ss, item, ','))
+                values.push_back(static_cast<sir::Word>(
+                    std::atoll(item.c_str())));
+            opts.inits.emplace_back(spec.substr(0, eq),
+                                    std::move(values));
+        } else if (arg == "--dump" && i + 1 < argc) {
+            opts.dumps.push_back(argv[++i]);
+        } else {
+            usage();
+        }
+    }
+    return opts;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '%s'", path.c_str());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+workloads::KernelInstance
+buildKernel(const Options &opts, const sir::ParseResult &parsed)
+{
+    workloads::KernelInstance kernel;
+    kernel.name = parsed.program.name;
+    kernel.prog = sir::Program(parsed.program.name);
+    // Deep-copy via clone (Program is move-only in spirit).
+    kernel.prog.numRegs = parsed.program.numRegs;
+    kernel.prog.arrays = parsed.program.arrays;
+    kernel.prog.regNames = parsed.program.regNames;
+    kernel.prog.liveIns = parsed.program.liveIns;
+    kernel.prog.memWords = parsed.program.memWords;
+    kernel.prog.body = sir::cloneStmts(parsed.program.body);
+
+    // Bind live-ins by name, defaulting to 0 with a warning.
+    for (sir::Reg r : kernel.prog.liveIns) {
+        const std::string &name =
+            kernel.prog.regNames[static_cast<size_t>(r)];
+        sir::Word value = 0;
+        bool found = false;
+        for (const auto &[n, v] : opts.liveIns) {
+            if (n == name) {
+                value = v;
+                found = true;
+            }
+        }
+        if (!found)
+            warn("live-in '%s' not bound; using 0", name.c_str());
+        kernel.liveIns.push_back(value);
+    }
+
+    kernel.memory = scalar::makeMemory(kernel.prog);
+    for (const auto &[name, values] : opts.inits) {
+        auto it = parsed.arrays.find(name);
+        if (it == parsed.arrays.end())
+            fatal("--init: no array '%s'", name.c_str());
+        const auto &arr = kernel.prog.array(it->second);
+        if (static_cast<int64_t>(values.size()) > arr.words)
+            fatal("--init: %zu values exceed %s[%lld]",
+                  values.size(), name.c_str(),
+                  static_cast<long long>(arr.words));
+        for (size_t i = 0; i < values.size(); i++)
+            kernel.memory[static_cast<size_t>(arr.base) + i] =
+                values[i];
+    }
+    return kernel;
+}
+
+void
+dumpArrays(const Options &opts, const sir::ParseResult &parsed,
+           const scalar::MemImage &mem)
+{
+    for (const auto &name : opts.dumps) {
+        auto it = parsed.arrays.find(name);
+        if (it == parsed.arrays.end())
+            fatal("--dump: no array '%s'", name.c_str());
+        const auto &arr = parsed.program.array(it->second);
+        std::printf("%s =", name.c_str());
+        for (int64_t i = 0; i < arr.words; i++) {
+            std::printf(" %d",
+                        mem[static_cast<size_t>(arr.base + i)]);
+        }
+        std::printf("\n");
+    }
+}
+
+int
+cmdCompile(const Options &opts, const sir::ParseResult &parsed)
+{
+    compiler::CompileOptions copts;
+    copts.variant = opts.variant;
+    copts.unrollFactor = opts.unroll;
+    // Live-ins default to 0 for a structure-only compile.
+    std::vector<sir::Word> liveIns(parsed.program.liveIns.size(),
+                                   0);
+    for (size_t i = 0; i < parsed.program.liveIns.size(); i++) {
+        const std::string &name =
+            parsed.program.regNames[static_cast<size_t>(
+                parsed.program.liveIns[i])];
+        for (const auto &[n, v] : opts.liveIns) {
+            if (n == name)
+                liveIns[i] = v;
+        }
+    }
+    auto res = compiler::compileProgram(parsed.program, liveIns,
+                                        copts);
+    if (opts.dot) {
+        std::printf("%s", dfg::toDot(res.graph).c_str());
+        return 0;
+    }
+    std::printf("program: %s (%s)\n", parsed.program.name.c_str(),
+                compiler::archVariantName(opts.variant));
+    std::printf("threaded: %s", res.threaded ? "yes (loops" : "no");
+    if (res.threaded) {
+        for (int l : res.threadedLoops)
+            std::printf(" L%d[II=%d]", l,
+                        res.loopII[static_cast<size_t>(l)]);
+        std::printf(")");
+    }
+    std::printf("\noperators: %d", res.graph.size());
+    auto counts = res.graph.peClassCounts();
+    fabric::FabricConfig fc;
+    bool fits = true;
+    static const char *names[] = {"arith", "mult", "cf", "mem",
+                                  "stream"};
+    std::printf("\nPE demand:");
+    for (size_t c = 0; c < counts.size(); c++) {
+        std::printf(" %s=%d/%d", names[c], counts[c],
+                    fc.peMix[c]);
+        fits &= counts[c] <= fc.peMix[c];
+    }
+    std::printf("\nfits 8x8 fabric: %s\n", fits ? "yes" : "no");
+    return 0;
+}
+
+int
+cmdRun(const Options &opts, const sir::ParseResult &parsed)
+{
+    auto kernel = buildKernel(opts, parsed);
+    RunConfig cfg;
+    cfg.variant = opts.variant;
+    cfg.bufferDepth = opts.depth;
+    cfg.unrollFactor = opts.unroll;
+    cfg.allowTimeMultiplex = opts.timeMultiplex;
+    if (opts.trace) {
+        // Trace implies an unmapped functional run to keep output
+        // readable.
+        cfg.map = false;
+    }
+    // Plumb trace through the recommended config by re-simulating:
+    // simplest is to rely on runOnFabric for everything but trace.
+    FabricRun run = runOnFabric(kernel, cfg);
+    if (opts.trace) {
+        auto simCfg = run.compiled.simConfig;
+        simCfg.bufferDepth = opts.depth;
+        simCfg.trace = true;
+        auto mem = kernel.memory;
+        mem.resize(static_cast<size_t>(kernel.prog.memWords));
+        sim::simulate(run.compiled.graph, mem, simCfg);
+    }
+
+    if (opts.json) {
+        const auto &st = run.sim.stats;
+        std::printf(
+            "{\"kernel\": \"%s\", \"variant\": \"%s\", "
+            "\"cycles\": %lld, \"seconds\": %.9g, "
+            "\"energy_pj\": %.6g, \"edp_pj_s\": %.6g, "
+            "\"ipc\": %.4f, \"threads\": %lld, "
+            "\"pe_fires\": %lld, \"noc_cf_fires\": %lld, "
+            "\"mem_loads\": %lld, \"mem_stores\": %lld, "
+            "\"buffer_writes\": %lld, \"buffer_reads\": %lld, "
+            "\"bank_conflicts\": %lld, \"mux_switches\": %lld, "
+            "\"threaded\": %s, \"operators\": %d, "
+            "\"avg_hops\": %.3f}\n",
+            kernel.name.c_str(),
+            compiler::archVariantName(opts.variant),
+            static_cast<long long>(run.cycles()), run.seconds,
+            run.energy.totalPj(), run.edp, st.ipc(),
+            static_cast<long long>(st.dispatchSpawns),
+            static_cast<long long>(st.totalPeFires()),
+            static_cast<long long>(st.nocCfFires),
+            static_cast<long long>(st.memLoads),
+            static_cast<long long>(st.memStores),
+            static_cast<long long>(st.bufferWrites),
+            static_cast<long long>(st.bufferReads),
+            static_cast<long long>(st.bankConflictStalls),
+            static_cast<long long>(st.muxSwitches),
+            run.compiled.threaded ? "true" : "false",
+            run.compiled.graph.size(), run.mapping.avgHops);
+    } else {
+        std::printf("%s on %s: %lld cycles @%.1f MHz, %.1f pJ, "
+                    "IPC %.2f, %lld threads\n",
+                    kernel.name.c_str(),
+                    compiler::archVariantName(opts.variant),
+                    static_cast<long long>(run.cycles()),
+                    cfg.fabric.clockMHz, run.energy.totalPj(),
+                    run.sim.stats.ipc(),
+                    static_cast<long long>(
+                        run.sim.stats.dispatchSpawns));
+    }
+    if (opts.report) {
+        fabric::Fabric fab(cfg.fabric);
+        std::printf("\n%s\n%s",
+                    sim::utilizationMap(run.compiled.graph, fab,
+                                        run.mapping, run.sim.stats)
+                        .c_str(),
+                    sim::operatorReport(run.compiled.graph,
+                                        run.sim.stats)
+                        .c_str());
+    }
+    dumpArrays(opts, parsed, run.memory);
+    return 0;
+}
+
+int
+cmdScalar(const Options &opts, const sir::ParseResult &parsed)
+{
+    auto kernel = buildKernel(opts, parsed);
+    ScalarRun run = runOnScalar(kernel);
+    std::printf("%s on %s: %.0f cycles, %.1f pJ, %lld instrs\n",
+                kernel.name.c_str(),
+                scalar::riptideScalarProfile().name.c_str(),
+                run.cycles, run.energy.totalPj(),
+                static_cast<long long>(run.counts.total()));
+    dumpArrays(opts, parsed, run.memory);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts = parseArgs(argc, argv);
+    auto parsed = sir::parseSir(readFile(opts.file), opts.file);
+
+    if (opts.command == "compile")
+        return cmdCompile(opts, parsed);
+    if (opts.command == "run")
+        return cmdRun(opts, parsed);
+    if (opts.command == "scalar")
+        return cmdScalar(opts, parsed);
+    usage();
+}
