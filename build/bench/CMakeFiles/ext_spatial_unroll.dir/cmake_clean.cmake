@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_spatial_unroll.dir/ext_spatial_unroll.cc.o"
+  "CMakeFiles/ext_spatial_unroll.dir/ext_spatial_unroll.cc.o.d"
+  "ext_spatial_unroll"
+  "ext_spatial_unroll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_spatial_unroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

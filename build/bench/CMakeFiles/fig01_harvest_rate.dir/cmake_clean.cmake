@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_harvest_rate.dir/fig01_harvest_rate.cc.o"
+  "CMakeFiles/fig01_harvest_rate.dir/fig01_harvest_rate.cc.o.d"
+  "fig01_harvest_rate"
+  "fig01_harvest_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_harvest_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

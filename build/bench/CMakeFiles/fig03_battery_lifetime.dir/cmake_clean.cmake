@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_battery_lifetime.dir/fig03_battery_lifetime.cc.o"
+  "CMakeFiles/fig03_battery_lifetime.dir/fig03_battery_lifetime.cc.o.d"
+  "fig03_battery_lifetime"
+  "fig03_battery_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_battery_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_dvfs.dir/fig04_dvfs.cc.o"
+  "CMakeFiles/fig04_dvfs.dir/fig04_dvfs.cc.o.d"
+  "fig04_dvfs"
+  "fig04_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

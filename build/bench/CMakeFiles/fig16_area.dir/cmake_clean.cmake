@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_area.dir/fig16_area.cc.o"
+  "CMakeFiles/fig16_area.dir/fig16_area.cc.o.d"
+  "fig16_area"
+  "fig16_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

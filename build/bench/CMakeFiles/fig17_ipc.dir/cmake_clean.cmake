@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_ipc.dir/fig17_ipc.cc.o"
+  "CMakeFiles/fig17_ipc.dir/fig17_ipc.cc.o.d"
+  "fig17_ipc"
+  "fig17_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

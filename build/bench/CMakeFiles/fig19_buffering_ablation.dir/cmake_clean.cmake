@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_buffering_ablation.dir/fig19_buffering_ablation.cc.o"
+  "CMakeFiles/fig19_buffering_ablation.dir/fig19_buffering_ablation.cc.o.d"
+  "fig19_buffering_ablation"
+  "fig19_buffering_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_buffering_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

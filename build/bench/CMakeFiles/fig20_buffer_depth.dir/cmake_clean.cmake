@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_buffer_depth.dir/fig20_buffer_depth.cc.o"
+  "CMakeFiles/fig20_buffer_depth.dir/fig20_buffer_depth.cc.o.d"
+  "fig20_buffer_depth"
+  "fig20_buffer_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_buffer_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_operator_counts.dir/fig21_operator_counts.cc.o"
+  "CMakeFiles/fig21_operator_counts.dir/fig21_operator_counts.cc.o.d"
+  "fig21_operator_counts"
+  "fig21_operator_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_operator_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dither_pipeline.dir/dither_pipeline.cpp.o"
+  "CMakeFiles/dither_pipeline.dir/dither_pipeline.cpp.o.d"
+  "dither_pipeline"
+  "dither_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dither_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_dnn.dir/sparse_dnn.cpp.o"
+  "CMakeFiles/sparse_dnn.dir/sparse_dnn.cpp.o.d"
+  "sparse_dnn"
+  "sparse_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/logging.cc" "src/CMakeFiles/pipestitch.dir/base/logging.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/base/logging.cc.o.d"
+  "/root/repo/src/base/random.cc" "src/CMakeFiles/pipestitch.dir/base/random.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/base/random.cc.o.d"
+  "/root/repo/src/base/table.cc" "src/CMakeFiles/pipestitch.dir/base/table.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/base/table.cc.o.d"
+  "/root/repo/src/compiler/compile.cc" "src/CMakeFiles/pipestitch.dir/compiler/compile.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/compiler/compile.cc.o.d"
+  "/root/repo/src/compiler/fusion.cc" "src/CMakeFiles/pipestitch.dir/compiler/fusion.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/compiler/fusion.cc.o.d"
+  "/root/repo/src/compiler/lower.cc" "src/CMakeFiles/pipestitch.dir/compiler/lower.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/compiler/lower.cc.o.d"
+  "/root/repo/src/compiler/threading.cc" "src/CMakeFiles/pipestitch.dir/compiler/threading.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/compiler/threading.cc.o.d"
+  "/root/repo/src/compiler/timemux.cc" "src/CMakeFiles/pipestitch.dir/compiler/timemux.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/compiler/timemux.cc.o.d"
+  "/root/repo/src/compiler/unroll.cc" "src/CMakeFiles/pipestitch.dir/compiler/unroll.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/compiler/unroll.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/pipestitch.dir/core/system.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/core/system.cc.o.d"
+  "/root/repo/src/dfg/analysis.cc" "src/CMakeFiles/pipestitch.dir/dfg/analysis.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/dfg/analysis.cc.o.d"
+  "/root/repo/src/dfg/dot.cc" "src/CMakeFiles/pipestitch.dir/dfg/dot.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/dfg/dot.cc.o.d"
+  "/root/repo/src/dfg/graph.cc" "src/CMakeFiles/pipestitch.dir/dfg/graph.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/dfg/graph.cc.o.d"
+  "/root/repo/src/dfg/node.cc" "src/CMakeFiles/pipestitch.dir/dfg/node.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/dfg/node.cc.o.d"
+  "/root/repo/src/dfg/verifier.cc" "src/CMakeFiles/pipestitch.dir/dfg/verifier.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/dfg/verifier.cc.o.d"
+  "/root/repo/src/energy/dvfs.cc" "src/CMakeFiles/pipestitch.dir/energy/dvfs.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/energy/dvfs.cc.o.d"
+  "/root/repo/src/energy/model.cc" "src/CMakeFiles/pipestitch.dir/energy/model.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/energy/model.cc.o.d"
+  "/root/repo/src/fabric/area.cc" "src/CMakeFiles/pipestitch.dir/fabric/area.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/fabric/area.cc.o.d"
+  "/root/repo/src/fabric/fabric.cc" "src/CMakeFiles/pipestitch.dir/fabric/fabric.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/fabric/fabric.cc.o.d"
+  "/root/repo/src/harvest/harvest.cc" "src/CMakeFiles/pipestitch.dir/harvest/harvest.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/harvest/harvest.cc.o.d"
+  "/root/repo/src/mapper/mapper.cc" "src/CMakeFiles/pipestitch.dir/mapper/mapper.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/mapper/mapper.cc.o.d"
+  "/root/repo/src/scalar/interpreter.cc" "src/CMakeFiles/pipestitch.dir/scalar/interpreter.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/scalar/interpreter.cc.o.d"
+  "/root/repo/src/scalar/profile.cc" "src/CMakeFiles/pipestitch.dir/scalar/profile.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/scalar/profile.cc.o.d"
+  "/root/repo/src/sim/memsys.cc" "src/CMakeFiles/pipestitch.dir/sim/memsys.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/sim/memsys.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/CMakeFiles/pipestitch.dir/sim/report.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/sim/report.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/pipestitch.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/pipestitch.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sir/analysis.cc" "src/CMakeFiles/pipestitch.dir/sir/analysis.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/sir/analysis.cc.o.d"
+  "/root/repo/src/sir/builder.cc" "src/CMakeFiles/pipestitch.dir/sir/builder.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/sir/builder.cc.o.d"
+  "/root/repo/src/sir/parser.cc" "src/CMakeFiles/pipestitch.dir/sir/parser.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/sir/parser.cc.o.d"
+  "/root/repo/src/sir/printer.cc" "src/CMakeFiles/pipestitch.dir/sir/printer.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/sir/printer.cc.o.d"
+  "/root/repo/src/sir/program.cc" "src/CMakeFiles/pipestitch.dir/sir/program.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/sir/program.cc.o.d"
+  "/root/repo/src/sir/verifier.cc" "src/CMakeFiles/pipestitch.dir/sir/verifier.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/sir/verifier.cc.o.d"
+  "/root/repo/src/workloads/dnn.cc" "src/CMakeFiles/pipestitch.dir/workloads/dnn.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/workloads/dnn.cc.o.d"
+  "/root/repo/src/workloads/kernels.cc" "src/CMakeFiles/pipestitch.dir/workloads/kernels.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/workloads/kernels.cc.o.d"
+  "/root/repo/src/workloads/matrix.cc" "src/CMakeFiles/pipestitch.dir/workloads/matrix.cc.o" "gcc" "src/CMakeFiles/pipestitch.dir/workloads/matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

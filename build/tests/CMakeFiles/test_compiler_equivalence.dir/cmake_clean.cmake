@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compiler_equivalence.dir/test_compiler_equivalence.cc.o"
+  "CMakeFiles/test_compiler_equivalence.dir/test_compiler_equivalence.cc.o.d"
+  "test_compiler_equivalence"
+  "test_compiler_equivalence.pdb"
+  "test_compiler_equivalence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compiler_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

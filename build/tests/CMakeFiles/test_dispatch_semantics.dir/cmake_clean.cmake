@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dispatch_semantics.dir/test_dispatch_semantics.cc.o"
+  "CMakeFiles/test_dispatch_semantics.dir/test_dispatch_semantics.cc.o.d"
+  "test_dispatch_semantics"
+  "test_dispatch_semantics.pdb"
+  "test_dispatch_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dispatch_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy_harvest.dir/test_energy_harvest.cc.o"
+  "CMakeFiles/test_energy_harvest.dir/test_energy_harvest.cc.o.d"
+  "test_energy_harvest"
+  "test_energy_harvest.pdb"
+  "test_energy_harvest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy_harvest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_reference.dir/test_kernel_reference.cc.o"
+  "CMakeFiles/test_kernel_reference.dir/test_kernel_reference.cc.o.d"
+  "test_kernel_reference"
+  "test_kernel_reference.pdb"
+  "test_kernel_reference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sir.dir/test_sir.cc.o"
+  "CMakeFiles/test_sir.dir/test_sir.cc.o.d"
+  "test_sir"
+  "test_sir.pdb"
+  "test_sir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_syncplane_ablation.dir/test_syncplane_ablation.cc.o"
+  "CMakeFiles/test_syncplane_ablation.dir/test_syncplane_ablation.cc.o.d"
+  "test_syncplane_ablation"
+  "test_syncplane_ablation.pdb"
+  "test_syncplane_ablation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_syncplane_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

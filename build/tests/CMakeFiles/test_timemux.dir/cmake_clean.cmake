@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timemux.dir/test_timemux.cc.o"
+  "CMakeFiles/test_timemux.dir/test_timemux.cc.o.d"
+  "test_timemux"
+  "test_timemux.pdb"
+  "test_timemux[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timemux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstool.dir/pstool.cc.o"
+  "CMakeFiles/pstool.dir/pstool.cc.o.d"
+  "pstool"
+  "pstool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
