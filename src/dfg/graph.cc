@@ -15,20 +15,6 @@ Graph::add(Node node)
     return id;
 }
 
-Node &
-Graph::at(NodeId id)
-{
-    ps_assert(id >= 0 && id < size(), "node id %d out of range", id);
-    return nodes[static_cast<size_t>(id)];
-}
-
-const Node &
-Graph::at(NodeId id) const
-{
-    ps_assert(id >= 0 && id < size(), "node id %d out of range", id);
-    return nodes[static_cast<size_t>(id)];
-}
-
 void
 Graph::connect(Port from, NodeId to, int inputIndex)
 {
@@ -83,14 +69,6 @@ Graph::finalize()
         }
     }
     finalized = true;
-}
-
-const std::vector<Consumer> &
-Graph::consumersOf(Port port) const
-{
-    ps_assert(finalized, "graph not finalized");
-    return consumers[static_cast<size_t>(port.node)]
-                    [static_cast<size_t>(port.index)];
 }
 
 int

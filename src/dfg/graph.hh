@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "base/logging.hh"
 #include "dfg/node.hh"
 
 namespace pipestitch::dfg {
@@ -50,8 +51,18 @@ class Graph
     /** Add a node; returns its id. */
     NodeId add(Node node);
 
-    Node &at(NodeId id);
-    const Node &at(NodeId id) const;
+    Node &at(NodeId id)
+    {
+        ps_assert(id >= 0 && id < size(),
+                  "node id %d out of range", id);
+        return nodes[static_cast<size_t>(id)];
+    }
+    const Node &at(NodeId id) const
+    {
+        ps_assert(id >= 0 && id < size(),
+                  "node id %d out of range", id);
+        return nodes[static_cast<size_t>(id)];
+    }
 
     int size() const { return static_cast<int>(nodes.size()); }
 
@@ -68,7 +79,12 @@ class Graph
     void finalize();
 
     /** Consumers of output @p port (valid after finalize()). */
-    const std::vector<Consumer> &consumersOf(Port port) const;
+    const std::vector<Consumer> &consumersOf(Port port) const
+    {
+        ps_assert(finalized, "graph not finalized");
+        return consumers[static_cast<size_t>(port.node)]
+                        [static_cast<size_t>(port.index)];
+    }
 
     bool isFinalized() const { return finalized; }
 

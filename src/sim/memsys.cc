@@ -34,7 +34,10 @@ MemSystem::bankFree(Word addr) const
 void
 MemSystem::claimBank(Word addr)
 {
-    bankClaimed[static_cast<size_t>(bankOf(addr))] = true;
+    int bank = bankOf(addr);
+    ps_assert(!bankClaimed[static_cast<size_t>(bank)],
+              "bank %d claimed twice in one cycle", bank);
+    bankClaimed[static_cast<size_t>(bank)] = true;
 }
 
 void

@@ -60,6 +60,8 @@ class Engine
     Engine(const Graph &graph, MemImage &mem, const SimConfig &cfg)
         : graph(graph), cfg(cfg),
           sourceMode(cfg.buffering == SimConfig::Buffering::Source),
+          readyMode(cfg.scheduler ==
+                    SimConfig::Scheduler::ReadyList),
           memsys(mem, cfg.memBanks, cfg.memLatency)
     {
         init();
@@ -78,9 +80,15 @@ class Engine
     void decideDispatchGroups();
     Blocked canFire(NodeId id);
     void commitFire(NodeId id);
-    void evalNocNodes();
-    bool quiescent() const;
+    void evalNocNodes(bool pruneLive);
+    void stallCensus();
+    bool quiescentSlow() const;
     std::string diagnose() const;
+
+    // --- ready-list bookkeeping -------------------------------------
+    void wake(NodeId id);
+    void wakeConsumers(NodeId id, int port);
+    void markDrainable(NodeId id);
 
     // --- token plumbing ---------------------------------------------
     bool inputAvail(NodeId id, int in) const;
@@ -97,6 +105,7 @@ class Engine
     const Graph &graph;
     SimConfig cfg;
     bool sourceMode;
+    bool readyMode;
     MemSystem memsys;
 
     std::vector<NodeRt> rt;
@@ -113,13 +122,89 @@ class Engine
     std::vector<bool> shareUsed;    ///< per group, this cycle
     std::vector<NodeId> shareLast;  ///< per group, last resident
 
+    // Consumer adjacency flattened into CSR arrays: the wake fan-out
+    // of output port p of node n is
+    //   consFlat[consBase[portBase[n]+p] .. consBase[portBase[n]+p+1])
+    std::vector<int> portBase;
+    std::vector<int> consBase;
+    std::vector<NodeId> consFlat;
+
+    // Ready-list scheduler state. `liveSeq`/`liveNoc` are the
+    // persistent maybe-ready sets (superset of anything that can
+    // fire or count as stalled); `wokenAt` stamps the last wake so
+    // the stall census can retain freshly-woken nodes whose tokens
+    // are still aging (born-stamp rule).
+    std::vector<NodeId> liveSeq, liveNoc;
+    std::vector<uint8_t> inLive;
+    std::vector<int64_t> wokenAt;
+
+    // Dormant stall accounting: a PE that stalled on a missing
+    // operand or on backpressure, and that no event has touched
+    // since, is frozen — its census verdict cannot change until a
+    // wake arrives (inputs only change via deliveries/retires, space
+    // only via pops, and its tokens are fully aged because a node
+    // woken this cycle is retained as active). Such nodes leave the
+    // live set entirely and are billed per cycle through two O(1)
+    // aggregates. Bank-blocked and share-blocked nodes stay active:
+    // their verdicts depend on what *other* nodes do each cycle.
+    enum : uint8_t { DormNone = 0, DormInput = 1, DormSpace = 2 };
+    std::vector<uint8_t> dormantClass;
+    int64_t dormantInput = 0, dormantSpace = 0;
+
+    // Verdict cache: the census reuses the last fixpoint-round
+    // evaluation of a node when no wake arrived after it. Sound for
+    // the same reason dormancy is: a non-fired node's verdict can
+    // only change through a wake event, and within one cycle bank
+    // claims / input levels move monotonically toward the census
+    // state (canFire checks Input before Space before Bank).
+    std::vector<Blocked> lastVerdict;
+    std::vector<int64_t> verdictSerial, wakeSerial;
+    int64_t cycleStartSerial = 0;
+
+    // Incremental SyncPlane: a dispatch group whose gates saw no
+    // event (delivery, fire, drain) keeps its cached choice and
+    // pending flag. `groupDirtyUntil` extends one cycle past the
+    // last event so freshly delivered tokens age past the born
+    // stamp before the group freezes.
+    std::vector<int> gateLoop;            ///< Dispatch gate → loopId
+    std::vector<int64_t> groupDirtyUntil; ///< per loop id
+    std::vector<uint8_t> groupPending;    ///< cached anyPending
+
+    // PE fixpoint rounds: candidates for the current round and the
+    // wakeups collected (during commits) for the next one.
+    std::vector<NodeId> curRound, nextRound;
+    std::vector<int64_t> inRoundAt, inNextAt;
+    int64_t roundSerial = 0;
+    bool inPeFixpoint = false;
+
+    // NoC combinational sweeps within one evalNocNodes call.
+    std::vector<NodeId> nocSweep, nocNextSweep;
+    std::vector<int64_t> inNocNextAt;
+    int64_t nocSweepSerial = 0;
+    bool inNocEval = false;
+    std::vector<int> topoIndex; ///< position in nocTopo (-1 = PE)
+
+    // Nodes with possibly non-empty output buffers (dest mode).
+    std::vector<NodeId> drainList;
+    std::vector<uint8_t> inDrainList;
+
+    std::vector<NodeId> allSeqNodes; ///< dense-scan round candidates
+
+    // Quiescence counters: exact mirrors of the fabric state the
+    // O(n) scan used to inspect (verified against quiescentSlow()
+    // at termination).
+    int64_t tokensInFlight = 0;
+    int triggersPending = 0;
+    int streamsRunning = 0;
+
     int32_t nextThreadTag = 0;
     int64_t cycle = 0;
     int64_t bornStamp = 0; ///< birth cycle applied to pushed tokens
     int64_t lastSyncPlaneCycle = -1;
     bool active = false; ///< any event this cycle
     std::vector<NodeId> fireList;
-    std::vector<bool> nocFired; ///< per-cycle once-only guard
+    std::vector<int64_t> seqFiredAt; ///< per-cycle once-only guards
+    std::vector<int64_t> nocFiredAt;
 
     SimStats stats;
     std::string failure;
@@ -230,6 +315,10 @@ Engine::init()
     }
 
     nocTopo = dfg::nocCfTopoOrder(graph);
+    topoIndex.assign(static_cast<size_t>(n), -1);
+    for (size_t i = 0; i < nocTopo.size(); i++)
+        topoIndex[static_cast<size_t>(nocTopo[i])] =
+            static_cast<int>(i);
 
     dispatchGroups.assign(static_cast<size_t>(graph.numLoops), {});
     for (NodeId id = 0; id < n; id++) {
@@ -254,6 +343,70 @@ Engine::init()
     }
     shareUsed.assign(cfg.shareGroups.size(), false);
     shareLast.assign(cfg.shareGroups.size(), dfg::NoNode);
+
+    // Flatten consumer adjacency into CSR arrays for the wake paths.
+    portBase.assign(static_cast<size_t>(n) + 1, 0);
+    for (NodeId id = 0; id < n; id++) {
+        portBase[static_cast<size_t>(id) + 1] =
+            portBase[static_cast<size_t>(id)] +
+            graph.at(id).numOutputs();
+    }
+    consBase.assign(static_cast<size_t>(portBase.back()) + 1, 0);
+    for (NodeId id = 0; id < n; id++) {
+        for (int port = 0; port < graph.at(id).numOutputs();
+             port++) {
+            consBase[static_cast<size_t>(portBase[static_cast<size_t>(
+                         id)] + port) + 1] =
+                static_cast<int>(
+                    graph.consumersOf({id, port}).size());
+        }
+    }
+    for (size_t i = 1; i < consBase.size(); i++)
+        consBase[i] += consBase[i - 1];
+    consFlat.resize(static_cast<size_t>(consBase.back()));
+    {
+        size_t at = 0;
+        for (NodeId id = 0; id < n; id++) {
+            for (int port = 0; port < graph.at(id).numOutputs();
+                 port++) {
+                for (const auto &c : graph.consumersOf({id, port}))
+                    consFlat[at++] = c.node;
+            }
+        }
+    }
+
+    // Ready-list state: everything starts live; the first stall
+    // census prunes whatever turns out to be inert.
+    inLive.assign(static_cast<size_t>(n), 1);
+    wokenAt.assign(static_cast<size_t>(n), -1);
+    dormantClass.assign(static_cast<size_t>(n), DormNone);
+    lastVerdict.assign(static_cast<size_t>(n), Blocked::Idle);
+    verdictSerial.assign(static_cast<size_t>(n), -1);
+    wakeSerial.assign(static_cast<size_t>(n), -1);
+    gateLoop.assign(static_cast<size_t>(n), -1);
+    for (int l = 0; l < graph.numLoops; l++) {
+        for (NodeId d : dispatchGroups[static_cast<size_t>(l)])
+            gateLoop[static_cast<size_t>(d)] = l;
+    }
+    // Dirty through cycle 1 so the initial trigger wave is seen.
+    groupDirtyUntil.assign(static_cast<size_t>(graph.numLoops), 1);
+    groupPending.assign(static_cast<size_t>(graph.numLoops), 0);
+    inRoundAt.assign(static_cast<size_t>(n), -1);
+    inNextAt.assign(static_cast<size_t>(n), -1);
+    inNocNextAt.assign(static_cast<size_t>(n), -1);
+    inDrainList.assign(static_cast<size_t>(n), 0);
+    seqFiredAt.assign(static_cast<size_t>(n), -1);
+    nocFiredAt.assign(static_cast<size_t>(n), -1);
+    for (NodeId id = 0; id < n; id++) {
+        if (nocNode[static_cast<size_t>(id)]) {
+            liveNoc.push_back(id);
+        } else {
+            liveSeq.push_back(id);
+            allSeqNodes.push_back(id);
+        }
+        if (graph.at(id).kind == NodeKind::Trigger)
+            triggersPending++;
+    }
 }
 
 bool
@@ -262,6 +415,68 @@ Engine::nodeHasOutBufs(const Node &node) const
     // Destination-buffered mode: only CF-on-PE and memory PEs carry
     // output buffers (Sec. 4.7); everything else delivers directly.
     return node.isControlFlow() || node.isMemory();
+}
+
+// ---------------------------------------------------------------------
+// Ready-list bookkeeping
+// ---------------------------------------------------------------------
+
+void
+Engine::wake(NodeId id)
+{
+    wokenAt[static_cast<size_t>(id)] = cycle;
+    if (nocNode[static_cast<size_t>(id)]) {
+        if (!inLive[static_cast<size_t>(id)]) {
+            inLive[static_cast<size_t>(id)] = 1;
+            liveNoc.push_back(id);
+        }
+        if (inNocEval &&
+            inNocNextAt[static_cast<size_t>(id)] != nocSweepSerial) {
+            inNocNextAt[static_cast<size_t>(id)] = nocSweepSerial;
+            nocNextSweep.push_back(id);
+        }
+    } else {
+        wakeSerial[static_cast<size_t>(id)] = roundSerial;
+        if (gateLoop[static_cast<size_t>(id)] >= 0) {
+            groupDirtyUntil[static_cast<size_t>(
+                gateLoop[static_cast<size_t>(id)])] = cycle + 1;
+        }
+        if (dormantClass[static_cast<size_t>(id)] != DormNone) {
+            if (dormantClass[static_cast<size_t>(id)] == DormInput)
+                dormantInput--;
+            else
+                dormantSpace--;
+            dormantClass[static_cast<size_t>(id)] = DormNone;
+        }
+        if (!inLive[static_cast<size_t>(id)]) {
+            inLive[static_cast<size_t>(id)] = 1;
+            liveSeq.push_back(id);
+        }
+        if (inPeFixpoint &&
+            inNextAt[static_cast<size_t>(id)] != roundSerial) {
+            inNextAt[static_cast<size_t>(id)] = roundSerial;
+            nextRound.push_back(id);
+        }
+    }
+}
+
+void
+Engine::wakeConsumers(NodeId id, int port)
+{
+    int p = portBase[static_cast<size_t>(id)] + port;
+    for (int i = consBase[static_cast<size_t>(p)];
+         i < consBase[static_cast<size_t>(p) + 1]; i++) {
+        wake(consFlat[static_cast<size_t>(i)]);
+    }
+}
+
+void
+Engine::markDrainable(NodeId id)
+{
+    if (!inDrainList[static_cast<size_t>(id)]) {
+        inDrainList[static_cast<size_t>(id)] = 1;
+        drainList.push_back(id);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -338,16 +553,26 @@ Engine::consumeInput(NodeId id, int in)
     if (ref.isImm)
         return t;
     if (sourceMode) {
-        rt[static_cast<size_t>(ref.prod)]
-            .outs[static_cast<size_t>(ref.prodPort)]
-            .takeFor(ref.endpoint);
+        int retired = rt[static_cast<size_t>(ref.prod)]
+                          .outs[static_cast<size_t>(ref.prodPort)]
+                          .takeFor(ref.endpoint);
+        tokensInFlight -= retired;
         stats.nocTraversals++;
         stats.bufferReads++;
+        if (retired > 0) {
+            // The producer regained buffer space, and the retired
+            // head exposes the next entry to every other endpoint.
+            wake(ref.prod);
+            wakeConsumers(ref.prod, ref.prodPort);
+        }
     } else {
         rt[static_cast<size_t>(id)]
             .ins[static_cast<size_t>(in)]
             .pop();
+        tokensInFlight--;
         stats.bufferReads++;
+        // The producer port delivering into this fifo has space now.
+        wake(ref.prod);
     }
     stats.portReads[static_cast<size_t>(id)]
                    [static_cast<size_t>(in)]++;
@@ -405,8 +630,10 @@ Engine::deliver(NodeId from, int port, const Token &token)
                   c.node);
         t.born = bornStamp;
         f.push(t);
+        tokensInFlight++;
         stats.bufferWrites++;
         stats.nocTraversals++;
+        wake(c.node);
     }
     active = true;
 }
@@ -421,8 +648,10 @@ Engine::emit(NodeId id, int port, Token token)
         if (sourceMode) {
             token.born = bornStamp;
             r.outs[static_cast<size_t>(port)].push(token);
+            tokensInFlight++;
             stats.bufferWrites++;
             active = true;
+            wakeConsumers(id, port);
         } else {
             // NoC node in destination mode: direct delivery.
             deliver(id, port, token);
@@ -444,8 +673,10 @@ Engine::emit(NodeId id, int port, Token token)
         ps_assert(!f.full(), "emit into full output buffer");
         token.born = bornStamp;
         f.push(token);
+        tokensInFlight++;
         stats.bufferWrites++;
         active = true;
+        markDrainable(id);
     }
 }
 
@@ -481,20 +712,32 @@ Engine::drainOutputBuffers()
     bornStamp = cycle - 1; // these tokens were ready last cycle
     if (sourceMode)
         return; // consumers pull directly from output buffers
-    for (NodeId id = 0; id < graph.size(); id++) {
+    if (drainList.empty())
+        return;
+    // Ascending id order matches the reference full scan.
+    std::sort(drainList.begin(), drainList.end());
+    size_t keep = 0;
+    for (NodeId id : drainList) {
         NodeRt &r = rt[static_cast<size_t>(id)];
-        if (r.outs.empty() || nocNode[static_cast<size_t>(id)])
-            continue;
+        bool nonempty = false;
         for (int port = 0;
              port < static_cast<int>(r.outs.size()); port++) {
             TokenFifo &f = r.outs[static_cast<size_t>(port)];
             if (!f.empty() && consumersAccept(id, port)) {
                 Token t = f.pop();
+                tokensInFlight--;
                 stats.bufferReads++;
+                wake(id); // its output buffer has space again
                 deliver(id, port, t);
             }
+            nonempty |= !f.empty();
         }
+        if (nonempty)
+            drainList[keep++] = id;
+        else
+            inDrainList[static_cast<size_t>(id)] = 0;
     }
+    drainList.resize(keep);
 }
 
 void
@@ -512,9 +755,12 @@ Engine::handleMemCompletions()
             continue;
         }
         r.reservedOut--;
+        wake(load.node); // reservation slot freed
         if (sourceMode) {
             r.outs[static_cast<size_t>(pidx::LoadDataOut)].push(data);
+            tokensInFlight++;
             stats.bufferWrites++;
+            wakeConsumers(load.node, pidx::LoadDataOut);
         } else {
             TokenFifo &f =
                 r.outs[static_cast<size_t>(pidx::LoadDataOut)];
@@ -524,7 +770,9 @@ Engine::handleMemCompletions()
             } else {
                 ps_assert(!f.full(), "load completion overflow");
                 f.push(data);
+                tokensInFlight++;
                 stats.bufferWrites++;
+                markDrainable(load.node);
             }
         }
         active = true;
@@ -539,6 +787,16 @@ Engine::decideDispatchGroups()
     bool anyEval = false;
     for (int l = 0; l < graph.numLoops; l++) {
         const auto &group = dispatchGroups[static_cast<size_t>(l)];
+        if (readyMode && !cfg.greedyDispatch && !group.empty() &&
+            cycle > groupDirtyUntil[static_cast<size_t>(l)]) {
+            // No gate event since the last evaluation, so the
+            // cached choice and pending flag are exactly what a
+            // fresh scan would produce. The choice keeps its value
+            // from the last dirty round.
+            if (groupPending[static_cast<size_t>(l)])
+                anyEval = true;
+            continue;
+        }
         groupChoice[static_cast<size_t>(l)] = GroupChoice::None;
         if (group.empty())
             continue;
@@ -546,16 +804,6 @@ Engine::decideDispatchGroups()
         if (cfg.greedyDispatch) {
             // Fig. 9a ablation: no SyncPlane; each gate fends for
             // itself (decisions made per node in canFire).
-            groupChoice[static_cast<size_t>(l)] =
-                GroupChoice::None;
-            bool anyPending = false;
-            for (NodeId d : group) {
-                anyPending |= inputAvail(d, pidx::DispatchCont) ||
-                              inputAvail(d, pidx::DispatchSpawn);
-            }
-            if (anyPending && lastSyncPlaneCycle != cycle) {
-                // (No SyncPlane energy in greedy mode.)
-            }
             continue;
         }
 
@@ -579,6 +827,7 @@ Engine::decideDispatchGroups()
         }
         if (anyPending)
             anyEval = true;
+        groupPending[static_cast<size_t>(l)] = anyPending;
         if (contAll && contNotFull) {
             groupChoice[static_cast<size_t>(l)] = GroupChoice::Cont;
         } else if (spawnAll && spawnTwoSlots) {
@@ -782,6 +1031,10 @@ Engine::canFire(NodeId id)
 void
 Engine::commitFire(NodeId id)
 {
+    // A dormant node's blocked verdict is frozen until a wake event
+    // clears it, so it can never have been selected to fire.
+    ps_assert(dormantClass[static_cast<size_t>(id)] == DormNone,
+              "dormant node %d fired without a wake", id);
     const Node &node = graph.at(id);
     NodeRt &r = rt[static_cast<size_t>(id)];
 
@@ -801,6 +1054,7 @@ Engine::commitFire(NodeId id)
     switch (node.kind) {
       case NodeKind::Trigger: {
         r.triggerFired = true;
+        triggersPending--;
         emit(id, 0, Token{node.imm, NoTag});
         break;
       }
@@ -898,6 +1152,10 @@ Engine::commitFire(NodeId id)
         break;
       }
       case NodeKind::Dispatch: {
+        // Firing consumes the gate's tokens and fills its output:
+        // the group must be re-evaluated until the dust settles.
+        groupDirtyUntil[static_cast<size_t>(node.loopId)] =
+            cycle + 1;
         GroupChoice choice =
             groupChoice[static_cast<size_t>(node.loopId)];
         if (cfg.greedyDispatch) {
@@ -930,7 +1188,9 @@ Engine::commitFire(NodeId id)
             Token ord = consumeInput(id, pidx::LoadOrder);
             tag = combineTags(id, {tag, ord.tag});
         }
-        memsys.claimBank(addr.value);
+        // The bank port was claimed when the scheduler selected
+        // this node (the claim must be visible to later candidates
+        // within the same round).
         memsys.issueLoad(id, addr.value, tag, cycle);
         if (portHasConsumers(id, pidx::LoadDataOut))
             r.reservedOut++;
@@ -949,7 +1209,7 @@ Engine::commitFire(NodeId id)
             Token ord = consumeInput(id, pidx::StoreOrder);
             tag = combineTags(id, {tag, ord.tag});
         }
-        memsys.claimBank(addr.value);
+        // Bank port claimed at scheduler selection (see Load).
         memsys.store(addr.value, data.value);
         stats.memStores++;
         emit(id, pidx::StoreDoneOut, Token{1, tag});
@@ -972,6 +1232,7 @@ Engine::commitFire(NodeId id)
             r.streamEnd = end.value;
             r.latched.tag = tag;
             r.fsm = NodeRt::Fsm::Run;
+            streamsRunning++;
         }
         int32_t tag = r.latched.tag;
         if (r.streamCur < r.streamEnd) {
@@ -981,6 +1242,7 @@ Engine::commitFire(NodeId id)
         } else {
             emit(id, pidx::StreamCondOut, Token{0, tag});
             r.fsm = NodeRt::Fsm::Init;
+            streamsRunning--;
         }
         break;
       }
@@ -988,35 +1250,222 @@ Engine::commitFire(NodeId id)
 }
 
 void
-Engine::evalNocNodes()
+Engine::evalNocNodes(bool pruneLive)
 {
     // CF ops in routers are combinational: they observe tokens that
     // became visible this cycle and forward them within the cycle,
     // in dependence (topological) order. Each router op handles at
-    // most one token set per cycle (enforced by nocFired: the
+    // most one token set per cycle (enforced by nocFiredAt: the
     // routine runs both before the PE pass — modeling values that
     // settled through the NoC at the end of the previous cycle —
     // and after it, for same-cycle forwarding of fresh PE outputs).
-    for (;;) {
-        bool any = false;
-        for (NodeId id : nocTopo) {
-            if (nocFired[static_cast<size_t>(id)])
+    if (!readyMode) {
+        for (;;) {
+            bool any = false;
+            for (NodeId id : nocTopo) {
+                if (nocFiredAt[static_cast<size_t>(id)] == cycle)
+                    continue;
+                if (canFire(id) == Blocked::No) {
+                    nocFiredAt[static_cast<size_t>(id)] = cycle;
+                    commitFire(id);
+                    any = true;
+                }
+            }
+            // Sweep to a fixpoint: a router op whose consumer freed
+            // its latch later in the same settle can still fire this
+            // cycle.
+            if (!any)
+                break;
+        }
+        return;
+    }
+
+    if (liveNoc.empty())
+        return;
+    auto topoLess = [this](NodeId a, NodeId b) {
+        return topoIndex[static_cast<size_t>(a)] <
+               topoIndex[static_cast<size_t>(b)];
+    };
+    // Firing within a sweep is confluent (ordered dataflow: no two
+    // ops contend for the same token or the same buffer slot), so
+    // sweeping only woken candidates — in topological order —
+    // reaches the same fixpoint as full sweeps.
+    inNocEval = true;
+    nocSweep.assign(liveNoc.begin(), liveNoc.end());
+    std::sort(nocSweep.begin(), nocSweep.end(), topoLess);
+    while (!nocSweep.empty()) {
+        nocSweepSerial++;
+        for (NodeId id : nocSweep) {
+            if (nocFiredAt[static_cast<size_t>(id)] == cycle)
                 continue;
             if (canFire(id) == Blocked::No) {
-                nocFired[static_cast<size_t>(id)] = true;
+                nocFiredAt[static_cast<size_t>(id)] = cycle;
                 commitFire(id);
-                any = true;
             }
         }
-        // Sweep to a fixpoint: a router op whose consumer freed its
-        // latch later in the same settle can still fire this cycle.
-        if (!any)
-            break;
+        nocSweep.swap(nocNextSweep);
+        nocNextSweep.clear();
+        std::sort(nocSweep.begin(), nocSweep.end(), topoLess);
+    }
+    inNocEval = false;
+
+    if (pruneLive) {
+        // End of the cycle's last settle: router ops that neither
+        // fired nor were woken this cycle stay blocked until some
+        // wake event re-adds them.
+        size_t keep = 0;
+        for (NodeId id : liveNoc) {
+            if (nocFiredAt[static_cast<size_t>(id)] == cycle ||
+                wokenAt[static_cast<size_t>(id)] == cycle) {
+                liveNoc[keep++] = id;
+            } else {
+                inLive[static_cast<size_t>(id)] = 0;
+            }
+        }
+        liveNoc.resize(keep);
     }
 }
 
+void
+Engine::stallCensus()
+{
+    // Census for the PEs that never fired this cycle. The ready-list
+    // scheduler doubles this as the live-set prune: a node stays
+    // active while it fired, was woken this cycle (its tokens may
+    // still be aging past the born stamp), is bank-blocked, or is
+    // fire-ready but share-blocked. Input/space-stalled nodes that
+    // nothing touched are frozen — they move to the dormant
+    // aggregates and are billed per cycle without re-evaluation.
+    if (!readyMode || cfg.trace) {
+        // Reference scan (also the trace fallback, so traced runs
+        // report every stall line). Rebuilds the live state from
+        // scratch to keep a traced ReadyList run consistent.
+        liveSeq.clear();
+        std::fill(inLive.begin(), inLive.end(), 0);
+        std::fill(dormantClass.begin(), dormantClass.end(),
+                  static_cast<uint8_t>(DormNone));
+        dormantInput = dormantSpace = 0;
+        for (NodeId id : liveNoc)
+            inLive[static_cast<size_t>(id)] = 1;
+        for (NodeId id : allSeqNodes) {
+            bool retain;
+            if (seqFiredAt[static_cast<size_t>(id)] == cycle) {
+                retain = true; // may fire again next cycle
+            } else {
+                Blocked why = canFire(id);
+                bool counted = false;
+                if (why == Blocked::Input) {
+                    const NodeRt &r = rt[static_cast<size_t>(id)];
+                    bool pending = false;
+                    for (const auto &f : r.ins)
+                        pending |= !f.empty();
+                    if (pending) {
+                        stats.stallNoInput++;
+                        counted = true;
+                    }
+                } else if (why == Blocked::Space) {
+                    stats.stallNoSpace++;
+                    counted = true;
+                } else if (why == Blocked::Bank) {
+                    stats.bankConflictStalls++;
+                    counted = true;
+                }
+                if (cfg.trace && why != Blocked::Idle &&
+                    why != Blocked::No) {
+                    std::fprintf(
+                        stderr, "[%6lld] stall n%-3d %-9s %s (%s)\n",
+                        static_cast<long long>(cycle), id,
+                        nodeKindName(graph.at(id).kind),
+                        graph.at(id).name.c_str(),
+                        why == Blocked::Input    ? "input"
+                        : why == Blocked::Space ? "space"
+                                                : "bank");
+                }
+                retain = counted || why == Blocked::No ||
+                         wokenAt[static_cast<size_t>(id)] == cycle;
+            }
+            if (retain) {
+                inLive[static_cast<size_t>(id)] = 1;
+                liveSeq.push_back(id);
+            }
+        }
+        return;
+    }
+
+    size_t keep = 0;
+    for (NodeId id : liveSeq) {
+        bool retain;
+        if (seqFiredAt[static_cast<size_t>(id)] == cycle) {
+            retain = true; // may fire again next cycle
+        } else {
+            // Reuse the last round's verdict when no wake arrived
+            // after that evaluation (a non-fired node's verdict can
+            // only change via a wake within the cycle).
+            Blocked why =
+                (verdictSerial[static_cast<size_t>(id)] >
+                     cycleStartSerial &&
+                 verdictSerial[static_cast<size_t>(id)] >
+                     wakeSerial[static_cast<size_t>(id)])
+                    ? lastVerdict[static_cast<size_t>(id)]
+                    : canFire(id);
+            bool woken = wokenAt[static_cast<size_t>(id)] == cycle;
+            // A SyncPlane dispatch gate's verdict flips when its
+            // group decides — no wake event — so it never dorms.
+            bool pinned =
+                !cfg.greedyDispatch &&
+                graph.at(id).kind == NodeKind::Dispatch;
+            if (why == Blocked::Input) {
+                const NodeRt &r = rt[static_cast<size_t>(id)];
+                bool pending = false;
+                for (const auto &f : r.ins)
+                    pending |= !f.empty();
+                if (pending) {
+                    if (woken || pinned) {
+                        stats.stallNoInput++;
+                        retain = true;
+                    } else {
+                        dormantClass[static_cast<size_t>(id)] =
+                            DormInput;
+                        dormantInput++;
+                        retain = false;
+                    }
+                } else {
+                    retain = woken || pinned;
+                }
+            } else if (why == Blocked::Space) {
+                if (woken) {
+                    stats.stallNoSpace++;
+                    retain = true;
+                } else {
+                    dormantClass[static_cast<size_t>(id)] =
+                        DormSpace;
+                    dormantSpace++;
+                    retain = false;
+                }
+            } else if (why == Blocked::Bank) {
+                // Bank verdicts change with other nodes' claims;
+                // stay active so next cycle's round 1 re-arbitrates.
+                stats.bankConflictStalls++;
+                retain = true;
+            } else if (why == Blocked::No) {
+                retain = true; // fire-ready but share-blocked
+            } else {
+                retain = woken; // Idle
+            }
+        }
+        if (retain) {
+            liveSeq[keep++] = id;
+        } else {
+            inLive[static_cast<size_t>(id)] = 0;
+        }
+    }
+    liveSeq.resize(keep);
+    stats.stallNoInput += dormantInput;
+    stats.stallNoSpace += dormantSpace;
+}
+
 bool
-Engine::quiescent() const
+Engine::quiescentSlow() const
 {
     if (!memsys.idle())
         return false;
@@ -1077,7 +1526,6 @@ Engine::run()
     for (cycle = 0; cycle < cfg.maxCycles; cycle++) {
         active = false;
         memsys.beginCycle();
-        nocFired.assign(static_cast<size_t>(graph.size()), false);
         shareUsed.assign(shareUsed.size(), false);
 
         drainOutputBuffers();
@@ -1086,7 +1534,7 @@ Engine::run()
         // Router CF settles over tokens left from the previous
         // cycle before the PEs sample their inputs.
         bornStamp = cycle - 1;
-        evalNocNodes();
+        evalNocNodes(false);
 
         // Sequential (PE) firing: iterate to a fixpoint within the
         // cycle. A PE only consumes tokens born in earlier cycles,
@@ -1095,14 +1543,52 @@ Engine::run()
         // cycle — the combinational acknowledge path. Each PE fires
         // at most once per cycle.
         bornStamp = cycle;
-        std::vector<bool> seqFired(static_cast<size_t>(graph.size()),
-                                   false);
+        inPeFixpoint = true;
+        cycleStartSerial = roundSerial;
+        if (readyMode) {
+            curRound.assign(liveSeq.begin(), liveSeq.end());
+        }
         for (;;) {
             decideDispatchGroups();
+            roundSerial++;
+            if (readyMode) {
+                for (NodeId id : curRound)
+                    inRoundAt[static_cast<size_t>(id)] =
+                        roundSerial;
+                auto addCand = [&](NodeId id) {
+                    if (inRoundAt[static_cast<size_t>(id)] !=
+                        roundSerial) {
+                        inRoundAt[static_cast<size_t>(id)] =
+                            roundSerial;
+                        curRound.push_back(id);
+                    }
+                };
+                // A SyncPlane decision fires every gate of the
+                // group, woken or not; share-group residency and
+                // fairness are evaluated (and billed) every round.
+                if (!cfg.greedyDispatch) {
+                    for (int l = 0; l < graph.numLoops; l++) {
+                        if (groupChoice[static_cast<size_t>(l)] ==
+                            GroupChoice::None)
+                            continue;
+                        for (NodeId d :
+                             dispatchGroups[static_cast<size_t>(l)])
+                            addCand(d);
+                    }
+                }
+                for (const auto &group : cfg.shareGroups) {
+                    for (int m : group)
+                        addCand(m);
+                }
+                // Ascending id order matches the reference scan.
+                std::sort(curRound.begin(), curRound.end());
+            }
+            const std::vector<NodeId> &cands =
+                readyMode ? curRound : allSeqNodes;
             fireList.clear();
-            for (NodeId id = 0; id < graph.size(); id++) {
+            for (NodeId id : cands) {
                 if (nocNode[static_cast<size_t>(id)] ||
-                    seqFired[static_cast<size_t>(id)]) {
+                    seqFiredAt[static_cast<size_t>(id)] == cycle) {
                     continue;
                 }
                 int sg = shareGroupOf[static_cast<size_t>(id)];
@@ -1119,8 +1605,8 @@ Engine::run()
                              cfg.shareGroups[static_cast<size_t>(
                                  sg)]) {
                             if (other == id ||
-                                seqFired[static_cast<size_t>(
-                                    other)]) {
+                                seqFiredAt[static_cast<size_t>(
+                                    other)] == cycle) {
                                 continue;
                             }
                             if (canFire(other) == Blocked::No) {
@@ -1134,9 +1620,15 @@ Engine::run()
                         }
                     }
                 }
-                if (canFire(id) == Blocked::No) {
+                Blocked why = canFire(id);
+                if (readyMode) {
+                    lastVerdict[static_cast<size_t>(id)] = why;
+                    verdictSerial[static_cast<size_t>(id)] =
+                        roundSerial;
+                }
+                if (why == Blocked::No) {
                     fireList.push_back(id);
-                    seqFired[static_cast<size_t>(id)] = true;
+                    seqFiredAt[static_cast<size_t>(id)] = cycle;
                     if (sg >= 0) {
                         shareUsed[static_cast<size_t>(sg)] = true;
                         if (shareLast[static_cast<size_t>(sg)] !=
@@ -1172,43 +1664,18 @@ Engine::run()
             }
             if (spawned)
                 nextThreadTag++;
+            if (readyMode) {
+                curRound.swap(nextRound);
+                nextRound.clear();
+            }
         }
+        inPeFixpoint = false;
+        nextRound.clear();
 
-        // Stall census for the PEs that never fired this cycle.
-        for (NodeId id = 0; id < graph.size(); id++) {
-            if (nocNode[static_cast<size_t>(id)] ||
-                seqFired[static_cast<size_t>(id)]) {
-                continue;
-            }
-            Blocked why = canFire(id);
-            if (why == Blocked::Input) {
-                const NodeRt &r = rt[static_cast<size_t>(id)];
-                bool pending = false;
-                for (const auto &f : r.ins)
-                    pending |= !f.empty();
-                if (pending)
-                    stats.stallNoInput++;
-            } else if (why == Blocked::Space) {
-                stats.stallNoSpace++;
-            } else if (why == Blocked::Bank) {
-                stats.stallBank++;
-                stats.bankConflictStalls++;
-            }
-            if (cfg.trace && why != Blocked::Idle &&
-                why != Blocked::No) {
-                std::fprintf(
-                    stderr, "[%6lld] stall n%-3d %-9s %s (%s)\n",
-                    static_cast<long long>(cycle), id,
-                    nodeKindName(graph.at(id).kind),
-                    graph.at(id).name.c_str(),
-                    why == Blocked::Input    ? "input"
-                    : why == Blocked::Space ? "space"
-                                            : "bank");
-            }
-        }
+        stallCensus();
 
         // Pass 3: combinational CF-in-NoC evaluation.
-        evalNocNodes();
+        evalNocNodes(true);
 
         if (!failure.empty()) {
             result.stats = stats;
@@ -1218,7 +1685,12 @@ Engine::run()
             return result;
         }
 
-        if (quiescent()) {
+        if (memsys.idle() && tokensInFlight == 0 &&
+            triggersPending == 0 && streamsRunning == 0) {
+            ps_assert(quiescentSlow(),
+                      "quiescence counters drifted from fabric "
+                      "state at cycle %lld",
+                      static_cast<long long>(cycle));
             stats.cycles = cycle + 1;
             result.stats = stats;
             // A carry/invariant left mid-loop with no tokens in
@@ -1243,6 +1715,10 @@ Engine::run()
         }
 
         if (!active && memsys.idle()) {
+            ps_assert(!quiescentSlow(),
+                      "quiescence counters missed an empty fabric "
+                      "at cycle %lld",
+                      static_cast<long long>(cycle));
             stats.cycles = cycle + 1;
             result.stats = stats;
             result.deadlocked = true;

@@ -48,6 +48,24 @@ struct SimConfig
 
     Buffering buffering = Buffering::Destination;
 
+    enum class Scheduler {
+        /**
+         * Re-evaluate every node in every fixpoint round — the
+         * original O(nodes × rounds) reference scheduler. Kept for
+         * golden-stats verification and as the bench baseline.
+         */
+        DenseScan,
+        /**
+         * Event-driven ready list: only nodes woken by token
+         * delivery, buffer-space frees, memory completions, or
+         * dispatch-group decisions are re-evaluated. Cycle-exact
+         * with DenseScan (enforced by tests/test_golden_stats.cc).
+         */
+        ReadyList,
+    };
+
+    Scheduler scheduler = Scheduler::ReadyList;
+
     /** Token-buffer depth (the paper uses 4; Fig. 20 sweeps 4/8/16). */
     int bufferDepth = 4;
 

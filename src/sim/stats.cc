@@ -65,7 +65,7 @@ summarize(const SimStats &stats)
         static_cast<long long>(stats.dispatchSpawns),
         static_cast<long long>(stats.stallNoInput),
         static_cast<long long>(stats.stallNoSpace),
-        static_cast<long long>(stats.stallBank));
+        static_cast<long long>(stats.bankConflictStalls));
 }
 
 } // namespace pipestitch::sim

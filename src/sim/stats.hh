@@ -39,7 +39,6 @@ struct SimStats
     int64_t nocTraversals = 0; ///< producer→consumer token deliveries
     int64_t memLoads = 0;
     int64_t memStores = 0;
-    int64_t bankConflictStalls = 0;
     int64_t steerDrops = 0;
     int64_t syncPlaneCycles = 0; ///< cycles any dispatch group evaluated
     int64_t dispatchSpawns = 0;  ///< threads launched
@@ -51,7 +50,7 @@ struct SimStats
     // at least one pending input token but did not fire.
     int64_t stallNoInput = 0;   ///< waiting on a missing operand
     int64_t stallNoSpace = 0;   ///< downstream backpressure
-    int64_t stallBank = 0;      ///< memory bank conflict
+    int64_t bankConflictStalls = 0; ///< memory bank conflict
 
     /**
      * Total PE fires / cycles (the paper's IPC definition, Sec. 5.7:

@@ -132,18 +132,25 @@ class TokenFifo
         return q[static_cast<size_t>(offset)];
     }
 
-    /** Advance @p endpoint 's cursor; retires fully-read entries. */
-    void
+    /**
+     * Advance @p endpoint 's cursor; retires fully-read entries.
+     * @return the number of entries retired (0 while another
+     * endpoint still lags behind the head).
+     */
+    int
     takeFor(int endpoint)
     {
         consumed[static_cast<size_t>(endpoint)]++;
         int64_t minC = consumed[0];
         for (int64_t c : consumed)
             minC = std::min(minC, c);
+        int n = 0;
         while (retired < minC) {
             q.pop_front();
             retired++;
+            n++;
         }
+        return n;
     }
     /** @} */
 

@@ -15,10 +15,17 @@
  *   pstool scalar <file.sir> [--livein ...] [--init ...] [--dump ...]
  *       Run the sequential interpreter only.
  *
+ *   pstool bench-sim <file.sir> [--variant=V] [--unroll=N]
+ *                    [--livein ...] [--init ...]
+ *       Time the dense-scan and ready-list simulator schedulers on
+ *       the kernel and print the wall-clock speedup. Both runs must
+ *       retire in the same number of simulated cycles.
+ *
  * Variants: riptide, pipestitch (default), pipesb, pipecfin,
  * pipecfop.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -28,6 +35,7 @@
 #include "core/system.hh"
 #include "dfg/dot.hh"
 #include "sim/report.hh"
+#include "sim/simulator.hh"
 #include "sir/parser.hh"
 #include "sir/printer.hh"
 
@@ -59,7 +67,8 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: pstool <compile|run|scalar> <file.sir> [options]\n"
+        "usage: pstool <compile|run|scalar|bench-sim> <file.sir> "
+        "[options]\n"
         "  --variant=riptide|pipestitch|pipesb|pipecfin|pipecfop\n"
         "  --depth=N --unroll=N --tm --dot --report --trace --json\n"
         "  --livein name=value     bind a kernel parameter\n"
@@ -350,6 +359,67 @@ cmdRun(const Options &opts, const sir::ParseResult &parsed)
 }
 
 int
+cmdBenchSim(const Options &opts, const sir::ParseResult &parsed)
+{
+    auto kernel = buildKernel(opts, parsed);
+    compiler::CompileOptions copts;
+    copts.variant = opts.variant;
+    copts.unrollFactor = opts.unroll;
+    auto res = compiler::compileProgram(kernel.prog, kernel.liveIns,
+                                        copts);
+    auto cfg = res.simConfig;
+    cfg.bufferDepth = opts.depth;
+
+    // Best-of-3 after one warmup run, per scheduler.
+    auto time = [&](sim::SimConfig::Scheduler sched, int64_t &cyc) {
+        cfg.scheduler = sched;
+        double best = 0;
+        for (int rep = 0; rep < 4; rep++) {
+            auto mem = kernel.memory;
+            mem.resize(static_cast<size_t>(kernel.prog.memWords));
+            auto t0 = std::chrono::steady_clock::now();
+            auto r = sim::simulate(res.graph, mem, cfg);
+            auto t1 = std::chrono::steady_clock::now();
+            cyc = r.stats.cycles;
+            double ms = std::chrono::duration<double, std::milli>(
+                            t1 - t0)
+                            .count();
+            if (rep > 0 && (best == 0 || ms < best))
+                best = ms;
+        }
+        return best;
+    };
+    int64_t denseCycles = 0;
+    int64_t readyCycles = 0;
+    double denseMs =
+        time(sim::SimConfig::Scheduler::DenseScan, denseCycles);
+    double readyMs =
+        time(sim::SimConfig::Scheduler::ReadyList, readyCycles);
+    if (denseCycles != readyCycles)
+        fatal("scheduler divergence: dense %lld cycles, "
+              "ready %lld cycles",
+              static_cast<long long>(denseCycles),
+              static_cast<long long>(readyCycles));
+    double speedup = readyMs > 0 ? denseMs / readyMs : 0;
+    if (opts.json) {
+        std::printf("{\"kernel\": \"%s\", \"nodes\": %d, "
+                    "\"cycles\": %lld, \"dense_ms\": %.3f, "
+                    "\"ready_ms\": %.3f, \"speedup\": %.2f}\n",
+                    kernel.name.c_str(), res.graph.size(),
+                    static_cast<long long>(denseCycles), denseMs,
+                    readyMs, speedup);
+    } else {
+        std::printf("%s: %d operators, %lld cycles\n"
+                    "  dense-scan  %9.3f ms\n"
+                    "  ready-list  %9.3f ms  (%.2fx speedup)\n",
+                    kernel.name.c_str(), res.graph.size(),
+                    static_cast<long long>(denseCycles), denseMs,
+                    readyMs, speedup);
+    }
+    return 0;
+}
+
+int
 cmdScalar(const Options &opts, const sir::ParseResult &parsed)
 {
     auto kernel = buildKernel(opts, parsed);
@@ -377,5 +447,7 @@ main(int argc, char **argv)
         return cmdRun(opts, parsed);
     if (opts.command == "scalar")
         return cmdScalar(opts, parsed);
+    if (opts.command == "bench-sim")
+        return cmdBenchSim(opts, parsed);
     usage();
 }
