@@ -42,7 +42,7 @@ run(const workloads::KernelInstance &kernel,
 {
     RunConfig cfg;
     cfg.variant = variant;
-    cfg.bufferDepth = bufferDepth;
+    cfg.sim.bufferDepth = bufferDepth;
     return runOnFabric(kernel, cfg);
 }
 

@@ -16,6 +16,7 @@
 #include "compiler/compile.hh"
 #include "mapper/mapper.hh"
 #include "sim/simulator.hh"
+#include "trace/observer.hh"
 #include "workloads/dnn.hh"
 
 using namespace pipestitch;
@@ -105,6 +106,41 @@ BM_SimulateScheduler(benchmark::State &state)
         static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimulateScheduler)->Arg(0)->Arg(1);
+
+/**
+ * Observer overhead: Arg(0) simulates with no observer (the default
+ * fast path — a null-pointer test per hook site), Arg(1) attaches a
+ * do-nothing observer (which also forces the reference stall census
+ * so event streams stay scheduler-independent). Arg(0) must stay
+ * within noise of BM_SimulateScheduler/1; the Arg(1) cost is the
+ * price of tracing, not of the hooks.
+ */
+void
+BM_SimulateObserver(benchmark::State &state)
+{
+    struct NullObserver final : trace::SimObserver
+    {
+    };
+    const auto &k = spmspvd();
+    compiler::CompileOptions opts;
+    opts.variant = ArchVariant::Pipestitch;
+    auto res = compiler::compileProgram(k.prog, k.liveIns, opts);
+    auto cfg = res.simConfig;
+    cfg.scheduler = sim::SimConfig::Scheduler::ReadyList;
+    NullObserver nullObs;
+    cfg.observer = state.range(0) == 0 ? nullptr : &nullObs;
+    int64_t cycles = 0;
+    for (auto _ : state) {
+        auto mem = k.memory;
+        mem.resize(static_cast<size_t>(k.prog.memWords));
+        auto r = sim::simulate(res.graph, mem, cfg);
+        cycles += r.stats.cycles;
+        benchmark::DoNotOptimize(r.stats.cycles);
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateObserver)->Arg(0)->Arg(1);
 
 void
 BM_ScalarInterp(benchmark::State &state)

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "core/system.hh"
+#include "sim/report.hh"
 #include "sir/builder.hh"
 #include "sir/printer.hh"
 
@@ -112,5 +113,10 @@ main()
     std::printf("  speedup:    %.2fx\n",
                 static_cast<double>(rip.cycles()) /
                     static_cast<double>(pipe.cycles()));
+
+    // The structured counters behind those lines (reportFor gives
+    // the same record pstool emits with --json).
+    std::printf("\n=== counters ===\n  %s\n",
+                sim::reportFor(pipe.sim.stats).toString().c_str());
     return 0;
 }

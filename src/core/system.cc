@@ -16,7 +16,7 @@ runOnFabric(const workloads::KernelInstance &kernel,
     copts.variant = config.variant;
     copts.threading = config.threading;
     copts.useStreams = config.useStreams;
-    copts.bufferDepth = config.bufferDepth;
+    copts.bufferDepth = config.sim.bufferDepth;
     copts.unrollFactor = config.unrollFactor;
     run.compiled =
         compiler::compileProgram(kernel.prog, kernel.liveIns, copts);
@@ -47,10 +47,14 @@ runOnFabric(const workloads::KernelInstance &kernel,
         run.memory.size(),
         static_cast<size_t>(kernel.prog.memWords)));
 
-    auto simCfg = run.compiled.simConfig;
-    simCfg.bufferDepth = config.bufferDepth;
+    // The user's sim config drives the run; only the derived fields
+    // come from elsewhere (variant microarchitecture, fabric
+    // banking, time-multiplexing plan).
+    auto simCfg = config.sim;
+    simCfg.buffering = run.compiled.simConfig.buffering;
+    simCfg.memBypass = run.compiled.simConfig.memBypass;
     simCfg.memBanks = config.fabric.memBanks;
-    simCfg.checkThreadOrder = config.checkThreadOrder;
+    simCfg.shareGroups.clear();
     for (const auto &group : shareGroups) {
         simCfg.shareGroups.emplace_back(group.begin(), group.end());
     }
@@ -77,7 +81,7 @@ runOnFabric(const workloads::KernelInstance &kernel,
             ? fabric::AreaVariant::RipTide
             : fabric::AreaVariant::Pipestitch;
     run.area = fabric::computeArea(fab, areaVariant,
-                                   config.bufferDepth);
+                                   config.sim.bufferDepth);
     run.energy =
         config.map
             ? energy::fabricEnergyMapped(run.sim.stats, run.area,

@@ -10,9 +10,22 @@
  *   auto kernel = workloads::makeSpmv(64, 0.9, seed);
  *   RunConfig cfg;
  *   cfg.variant = compiler::ArchVariant::Pipestitch;
+ *   cfg.sim.bufferDepth = 8;       // simulator knobs live in .sim
  *   FabricRun run = runOnFabric(kernel, cfg);
  *   // run.sim.stats.cycles, run.energy.totalPj(), run.memory...
  * @endcode
+ *
+ * Simulator knobs (buffer depth, scheduler, thread-order checking,
+ * watchdog, observability hooks) live in the embedded
+ * `RunConfig::sim` — a `sim::SimConfig`, the single source of
+ * truth; there are no duplicated fields at the RunConfig level. To
+ * observe a run, attach a `trace::SimObserver` (Chrome-trace or
+ * stall-timeline sink, see trace/observer.hh) via
+ * `cfg.sim.observer`. Fields the toolchain derives itself —
+ * `sim.buffering` / `sim.memBypass` (from the variant),
+ * `sim.memBanks` (from the fabric config), and `sim.shareGroups`
+ * (from the time-multiplexing planner) — are overwritten by
+ * runOnFabric.
  */
 
 #ifndef PIPESTITCH_CORE_SYSTEM_HH
@@ -31,12 +44,12 @@
 
 namespace pipestitch {
 
-/** Configuration of one fabric execution. */
+/** Configuration of one fabric execution. Aggregate-initializable;
+ *  every field has a working default. */
 struct RunConfig
 {
     compiler::ArchVariant variant =
         compiler::ArchVariant::Pipestitch;
-    int bufferDepth = 4;
     fabric::FabricConfig fabric;
     compiler::CompileOptions::Threading threading =
         compiler::CompileOptions::Threading::Heuristic;
@@ -56,14 +69,21 @@ struct RunConfig
      *  counts). Disable for quick functional runs. */
     bool map = true;
 
-    /** Verify the thread-ordering invariant with debug tags. */
-    bool checkThreadOrder = true;
-
     /** Require the final memory image to match the golden scalar
      *  interpreter (cheap insurance; on by default). */
     bool verifyAgainstGolden = true;
 
     uint64_t mapperSeed = 1;
+
+    /**
+     * Simulator configuration — the single source of truth for
+     * `bufferDepth`, `checkThreadOrder`, `scheduler`, `maxCycles`,
+     * `trace`, and `observer`. runOnFabric overwrites the derived
+     * fields: `buffering`/`memBypass` follow the compiled variant,
+     * `memBanks` follows `fabric.memBanks`, and `shareGroups` comes
+     * from the time-multiplexing planner.
+     */
+    sim::SimConfig sim;
 };
 
 /** Everything produced by one fabric execution. */

@@ -6,8 +6,135 @@
 
 #include "base/logging.hh"
 #include "base/table.hh"
+#include "trace/json.hh"
 
 namespace pipestitch::sim {
+
+Report &
+Report::add(const std::string &key, int64_t v)
+{
+    Entry e;
+    e.type = Entry::Type::Int;
+    e.key = key;
+    e.i = v;
+    entries.push_back(std::move(e));
+    return *this;
+}
+
+Report &
+Report::add(const std::string &key, double v)
+{
+    Entry e;
+    e.type = Entry::Type::Real;
+    e.key = key;
+    e.d = v;
+    entries.push_back(std::move(e));
+    return *this;
+}
+
+Report &
+Report::add(const std::string &key, const std::string &v)
+{
+    Entry e;
+    e.type = Entry::Type::Str;
+    e.key = key;
+    e.s = v;
+    entries.push_back(std::move(e));
+    return *this;
+}
+
+Report &
+Report::add(const std::string &key, bool v)
+{
+    Entry e;
+    e.type = Entry::Type::Bool;
+    e.key = key;
+    e.b = v;
+    entries.push_back(std::move(e));
+    return *this;
+}
+
+std::string
+Report::render(const Entry &e) const
+{
+    switch (e.type) {
+      case Entry::Type::Int:
+        return csprintf("%lld", static_cast<long long>(e.i));
+      case Entry::Type::Real: return csprintf("%.6g", e.d);
+      case Entry::Type::Str: return e.s;
+      case Entry::Type::Bool: return e.b ? "true" : "false";
+    }
+    return "";
+}
+
+bool
+Report::has(const std::string &key) const
+{
+    for (const Entry &e : entries) {
+        if (e.key == key)
+            return true;
+    }
+    return false;
+}
+
+std::string
+Report::get(const std::string &key) const
+{
+    for (const Entry &e : entries) {
+        if (e.key == key)
+            return render(e);
+    }
+    return "";
+}
+
+std::string
+Report::toString() const
+{
+    std::string out;
+    for (const Entry &e : entries) {
+        if (!out.empty())
+            out += ' ';
+        out += e.key + '=' + render(e);
+    }
+    return out;
+}
+
+std::string
+Report::toJson() const
+{
+    std::ostringstream out;
+    trace::JsonWriter w(out);
+    w.beginObject();
+    for (const Entry &e : entries) {
+        w.key(e.key);
+        switch (e.type) {
+          case Entry::Type::Int: w.value(e.i); break;
+          case Entry::Type::Real: w.value(e.d); break;
+          case Entry::Type::Str: w.value(e.s); break;
+          case Entry::Type::Bool: w.value(e.b); break;
+        }
+    }
+    w.endObject();
+    return out.str();
+}
+
+Report
+reportFor(const SimStats &stats)
+{
+    Report r;
+    r.add("cycles", stats.cycles);
+    r.add("fires", stats.totalPeFires());
+    r.add("noc_cf_fires", stats.nocCfFires);
+    r.add("ipc", stats.ipc());
+    r.add("loads", stats.memLoads);
+    r.add("stores", stats.memStores);
+    r.add("spawns", stats.dispatchSpawns);
+    r.add("conts", stats.dispatchConts);
+    r.add("stall_input", stats.stallNoInput);
+    r.add("stall_space", stats.stallNoSpace);
+    r.add("stall_bank", stats.bankConflictStalls);
+    return r;
+}
 
 std::string
 operatorReport(const dfg::Graph &graph, const SimStats &stats,
@@ -46,6 +173,42 @@ operatorReport(const dfg::Graph &graph, const SimStats &stats,
                       2)});
     }
     return t.render();
+}
+
+std::string
+operatorReportJson(const dfg::Graph &graph, const SimStats &stats)
+{
+    std::vector<dfg::NodeId> order(
+        static_cast<size_t>(graph.size()));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](dfg::NodeId a, dfg::NodeId b) {
+                  return stats.nodeFires[static_cast<size_t>(a)] >
+                         stats.nodeFires[static_cast<size_t>(b)];
+              });
+
+    std::ostringstream out;
+    trace::JsonWriter w(out);
+    double cycles = std::max<double>(1, stats.cycles);
+    w.beginArray();
+    for (dfg::NodeId id : order) {
+        const auto &n = graph.at(id);
+        w.beginObject();
+        w.key("id").value(id);
+        w.key("kind").value(dfg::nodeKindName(n.kind));
+        w.key("name").value(n.name);
+        w.key("loop").value(n.loopId);
+        w.key("where").value(n.kind == dfg::NodeKind::Trigger
+                                 ? "core"
+                                 : (n.cfInNoc ? "noc" : "pe"));
+        w.key("fires").value(
+            stats.nodeFires[static_cast<size_t>(id)]);
+        w.key("util").value(
+            stats.nodeFires[static_cast<size_t>(id)] / cycles);
+        w.endObject();
+    }
+    w.endArray();
+    return out.str();
 }
 
 std::string

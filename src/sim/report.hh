@@ -1,14 +1,25 @@
 /**
  * @file
- * Human-readable execution reports: per-operator firing/utilization
- * tables and a fabric utilization heat map (which PE did how much
- * work), for debugging kernels and understanding mappings.
+ * Execution reports.
+ *
+ * `Report` is the canonical structured result record: an ordered
+ * list of key/value entries with both a terminal rendering
+ * (`toString()`, "key=value ...") and a machine-readable one
+ * (`toJson()`). `reportFor(stats)` builds the standard simulation
+ * summary; callers append their own entries (kernel name, energy,
+ * trace file...) before emitting. It replaces the old ad-hoc
+ * `summarize()` string.
+ *
+ * The remaining functions are human-readable diagnostics:
+ * per-operator firing/utilization tables (text and JSON) and a
+ * fabric utilization heat map (which PE did how much work).
  */
 
 #ifndef PIPESTITCH_SIM_REPORT_HH
 #define PIPESTITCH_SIM_REPORT_HH
 
 #include <string>
+#include <vector>
 
 #include "dfg/graph.hh"
 #include "fabric/fabric.hh"
@@ -17,6 +28,58 @@
 
 namespace pipestitch::sim {
 
+/** Ordered key/value result record with text and JSON renderings. */
+class Report
+{
+  public:
+    Report &add(const std::string &key, int64_t v);
+    Report &
+    add(const std::string &key, int v)
+    {
+        return add(key, static_cast<int64_t>(v));
+    }
+    Report &add(const std::string &key, double v);
+    Report &add(const std::string &key, const std::string &v);
+    Report &
+    add(const std::string &key, const char *v)
+    {
+        return add(key, std::string(v));
+    }
+    Report &add(const std::string &key, bool v);
+
+    bool has(const std::string &key) const;
+    /** Rendered value of @p key, or "" when absent. */
+    std::string get(const std::string &key) const;
+
+    /** Terminal form: "key=value key=value ...". */
+    std::string toString() const;
+
+    /** One JSON object, keys in insertion order. */
+    std::string toJson() const;
+
+    size_t size() const { return entries.size(); }
+
+  private:
+    struct Entry
+    {
+        enum class Type { Int, Real, Str, Bool };
+        Type type;
+        std::string key;
+        int64_t i = 0;
+        double d = 0;
+        std::string s;
+        bool b = false;
+    };
+
+    std::string render(const Entry &e) const;
+
+    std::vector<Entry> entries;
+};
+
+/** The standard simulation summary (cycles, fires, ipc, memory and
+ *  stall counters) as a Report. */
+Report reportFor(const SimStats &stats);
+
 /**
  * Per-operator table: id, kind, name, loop, placement, fires, and
  * utilization (fires / cycles). Sorted by fire count, capped at
@@ -24,6 +87,14 @@ namespace pipestitch::sim {
  */
 std::string operatorReport(const dfg::Graph &graph,
                            const SimStats &stats, int maxRows = 24);
+
+/**
+ * Machine-readable form of the per-operator table: a JSON array of
+ * {id, kind, name, loop, where, fires, util} objects covering every
+ * node (no row cap), in descending fire order.
+ */
+std::string operatorReportJson(const dfg::Graph &graph,
+                               const SimStats &stats);
 
 /**
  * ASCII heat map of the fabric: one cell per PE showing its class

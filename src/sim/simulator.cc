@@ -6,6 +6,7 @@
 
 #include "base/logging.hh"
 #include "dfg/analysis.hh"
+#include "trace/observer.hh"
 
 namespace pipestitch::sim {
 
@@ -58,7 +59,7 @@ class Engine
 {
   public:
     Engine(const Graph &graph, MemImage &mem, const SimConfig &cfg)
-        : graph(graph), cfg(cfg),
+        : graph(graph), cfg(cfg), obs(cfg.observer),
           sourceMode(cfg.buffering == SimConfig::Buffering::Source),
           readyMode(cfg.scheduler ==
                     SimConfig::Scheduler::ReadyList),
@@ -104,6 +105,7 @@ class Engine
     // ------------------------------------------------------------------
     const Graph &graph;
     SimConfig cfg;
+    trace::SimObserver *obs; ///< null = unobserved (the fast path)
     bool sourceMode;
     bool readyMode;
     MemSystem memsys;
@@ -837,6 +839,8 @@ Engine::decideDispatchGroups()
     if (anyEval && lastSyncPlaneCycle != cycle) {
         stats.syncPlaneCycles++;
         lastSyncPlaneCycle = cycle;
+        if (obs)
+            obs->onSyncPlane(cycle);
     }
 }
 
@@ -1045,6 +1049,8 @@ Engine::commitFire(NodeId id)
     }
     stats.nodeFires[static_cast<size_t>(id)]++;
     active = true;
+    if (obs)
+        obs->onFire(cycle, id);
     if (cfg.trace) {
         std::fprintf(stderr, "[%6lld] fire n%-3d %-9s %s\n",
                      static_cast<long long>(cycle), id,
@@ -1166,6 +1172,8 @@ Engine::commitFire(NodeId id)
         if (choice == GroupChoice::Cont) {
             Token t = consumeInput(id, pidx::DispatchCont);
             stats.dispatchConts++;
+            if (obs)
+                obs->onDispatch(cycle, id, false, t.tag);
             emit(id, 0, t);
         } else {
             Token t = consumeInput(id, pidx::DispatchSpawn);
@@ -1174,6 +1182,8 @@ Engine::commitFire(NodeId id)
             // once per group per cycle (see run()).
             t.tag = nextThreadTag;
             stats.dispatchSpawns++;
+            if (obs)
+                obs->onDispatch(cycle, id, true, t.tag);
             emit(id, 0, t);
         }
         break;
@@ -1195,6 +1205,10 @@ Engine::commitFire(NodeId id)
         if (portHasConsumers(id, pidx::LoadDataOut))
             r.reservedOut++;
         stats.memLoads++;
+        if (obs) {
+            obs->onMemAccess(cycle, id, true, addr.value,
+                             memsys.bankOf(addr.value));
+        }
         emit(id, pidx::LoadDoneOut, Token{1, tag});
         break;
       }
@@ -1212,6 +1226,10 @@ Engine::commitFire(NodeId id)
         // Bank port claimed at scheduler selection (see Load).
         memsys.store(addr.value, data.value);
         stats.memStores++;
+        if (obs) {
+            obs->onMemAccess(cycle, id, false, addr.value,
+                             memsys.bankOf(addr.value));
+        }
         emit(id, pidx::StoreDoneOut, Token{1, tag});
         break;
       }
@@ -1336,10 +1354,12 @@ Engine::stallCensus()
     // fire-ready but share-blocked. Input/space-stalled nodes that
     // nothing touched are frozen — they move to the dormant
     // aggregates and are billed per cycle without re-evaluation.
-    if (!readyMode || cfg.trace) {
-        // Reference scan (also the trace fallback, so traced runs
-        // report every stall line). Rebuilds the live state from
-        // scratch to keep a traced ReadyList run consistent.
+    if (!readyMode || cfg.trace || obs) {
+        // Reference scan (also the trace/observer fallback, so
+        // observed runs attribute every stall per node, and both
+        // schedulers emit identical stall events). Rebuilds the
+        // live state from scratch to keep an observed ReadyList run
+        // consistent.
         liveSeq.clear();
         std::fill(inLive.begin(), inLive.end(), 0);
         std::fill(dormantClass.begin(), dormantClass.end(),
@@ -1362,13 +1382,27 @@ Engine::stallCensus()
                     if (pending) {
                         stats.stallNoInput++;
                         counted = true;
+                        if (obs) {
+                            obs->onStall(
+                                cycle, id,
+                                trace::StallReason::NoInput);
+                        }
                     }
                 } else if (why == Blocked::Space) {
                     stats.stallNoSpace++;
                     counted = true;
+                    if (obs) {
+                        obs->onStall(cycle, id,
+                                     trace::StallReason::NoSpace);
+                    }
                 } else if (why == Blocked::Bank) {
                     stats.bankConflictStalls++;
                     counted = true;
+                    if (obs) {
+                        obs->onStall(
+                            cycle, id,
+                            trace::StallReason::BankConflict);
+                    }
                 }
                 if (cfg.trace && why != Blocked::Idle &&
                     why != Blocked::No) {
@@ -1743,7 +1777,12 @@ SimResult
 simulate(const Graph &graph, MemImage &mem, const SimConfig &config)
 {
     Engine engine(graph, mem, config);
-    return engine.run();
+    if (config.observer)
+        config.observer->onSimBegin(graph, config);
+    SimResult result = engine.run();
+    if (config.observer)
+        config.observer->onSimEnd(result);
+    return result;
 }
 
 } // namespace pipestitch::sim

@@ -36,6 +36,10 @@
 #include "sim/stats.hh"
 #include "sim/token.hh"
 
+namespace pipestitch::trace {
+class SimObserver;
+} // namespace pipestitch::trace
+
 namespace pipestitch::sim {
 
 /** Microarchitecture configuration for one simulation. */
@@ -95,6 +99,16 @@ struct SimConfig
 
     /** Print every fire to stderr (cycle, node, kind, value). */
     bool trace = false;
+
+    /**
+     * Observability hooks (see trace/observer.hh); not owned, must
+     * outlive the simulation. Null (the default) costs nothing on
+     * the hot paths beyond a pointer test. While an observer is
+     * attached the ready-list scheduler falls back to the reference
+     * stall census so that both schedulers report identical event
+     * streams.
+     */
+    trace::SimObserver *observer = nullptr;
 
     /**
      * Time-multiplexing groups (Sec. 6 extension): each inner vector

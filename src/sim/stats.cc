@@ -52,20 +52,4 @@ computeLoopIpc(const dfg::Graph &graph, const SimStats &stats)
     return out;
 }
 
-std::string
-summarize(const SimStats &stats)
-{
-    return csprintf(
-        "cycles=%lld fires=%lld ipc=%.2f loads=%lld stores=%lld "
-        "spawns=%lld stalls(in/space/bank)=%lld/%lld/%lld",
-        static_cast<long long>(stats.cycles),
-        static_cast<long long>(stats.totalPeFires()), stats.ipc(),
-        static_cast<long long>(stats.memLoads),
-        static_cast<long long>(stats.memStores),
-        static_cast<long long>(stats.dispatchSpawns),
-        static_cast<long long>(stats.stallNoInput),
-        static_cast<long long>(stats.stallNoSpace),
-        static_cast<long long>(stats.bankConflictStalls));
-}
-
 } // namespace pipestitch::sim

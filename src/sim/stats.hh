@@ -80,9 +80,6 @@ struct LoopIpc
  */
 LoopIpc computeLoopIpc(const dfg::Graph &graph, const SimStats &stats);
 
-/** One-line human-readable summary. */
-std::string summarize(const SimStats &stats);
-
 } // namespace pipestitch::sim
 
 #endif // PIPESTITCH_SIM_STATS_HH

@@ -1,0 +1,135 @@
+#include "trace/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace pipestitch::trace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::comma()
+{
+    if (pendingKey) {
+        pendingKey = false;
+        return; // the key already emitted the separator
+    }
+    if (!hasElem.empty()) {
+        if (hasElem.back())
+            out << ',';
+        hasElem.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    comma();
+    out << '{';
+    hasElem.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    ps_assert(!hasElem.empty() && !pendingKey,
+              "unbalanced JSON object");
+    hasElem.pop_back();
+    out << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    comma();
+    out << '[';
+    hasElem.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    ps_assert(!hasElem.empty() && !pendingKey,
+              "unbalanced JSON array");
+    hasElem.pop_back();
+    out << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    ps_assert(!pendingKey, "JSON key without a value");
+    comma();
+    out << '"' << jsonEscape(k) << "\":";
+    pendingKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    comma();
+    out << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    comma();
+    if (!std::isfinite(v)) {
+        out << "null"; // JSON has no NaN/Inf
+        return *this;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    comma();
+    out << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    comma();
+    out << '"' << jsonEscape(v) << '"';
+    return *this;
+}
+
+} // namespace pipestitch::trace

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal streaming JSON writer shared by every machine-readable
+ * emitter (sim::Report, the Chrome-trace and stall-timeline sinks,
+ * pstool --json). Produces compact, valid JSON; no parsing, no DOM.
+ *
+ * Usage:
+ *   JsonWriter w(out);
+ *   w.beginObject();
+ *   w.key("cycles").value(int64_t{42});
+ *   w.key("events").beginArray();
+ *   ...
+ *   w.endArray();
+ *   w.endObject();
+ */
+
+#ifndef PIPESTITCH_TRACE_JSON_HH
+#define PIPESTITCH_TRACE_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pipestitch::trace {
+
+/** Escape @p s for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &out) : out(out) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by a value. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(int64_t v);
+    JsonWriter &value(int v) { return value(static_cast<int64_t>(v)); }
+    JsonWriter &value(double v);
+    JsonWriter &value(bool v);
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v) { return value(std::string(v)); }
+
+  private:
+    void comma();
+
+    std::ostream &out;
+    /** Per nesting level: has a first element been written? */
+    std::vector<bool> hasElem;
+    bool pendingKey = false;
+};
+
+} // namespace pipestitch::trace
+
+#endif // PIPESTITCH_TRACE_JSON_HH

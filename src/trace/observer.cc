@@ -1,0 +1,16 @@
+#include "trace/observer.hh"
+
+namespace pipestitch::trace {
+
+const char *
+stallReasonName(StallReason reason)
+{
+    switch (reason) {
+      case StallReason::NoInput: return "no_input";
+      case StallReason::NoSpace: return "no_space";
+      case StallReason::BankConflict: return "bank_conflict";
+    }
+    return "?";
+}
+
+} // namespace pipestitch::trace

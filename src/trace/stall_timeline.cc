@@ -1,0 +1,229 @@
+#include "trace/stall_timeline.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/table.hh"
+#include "sim/simulator.hh"
+#include "trace/json.hh"
+
+namespace pipestitch::trace {
+
+StallTimelineSink::StallTimelineSink(int64_t intervalCycles)
+    : intervalCycles(intervalCycles)
+{
+    ps_assert(intervalCycles >= 1, "interval must be >= 1 cycle");
+}
+
+void
+StallTimelineSink::onSimBegin(const dfg::Graph &g,
+                              const sim::SimConfig &)
+{
+    labels.clear();
+    labels.reserve(static_cast<size_t>(g.size()));
+    for (dfg::NodeId id = 0; id < g.size(); id++) {
+        const dfg::Node &node = g.at(id);
+        labels.push_back({dfg::nodeKindName(node.kind), node.name});
+    }
+    finalCycles = 0;
+    buckets.assign(static_cast<size_t>(g.size()), {});
+}
+
+StallTimelineSink::Bucket &
+StallTimelineSink::bucket(int64_t cycle, dfg::NodeId node)
+{
+    auto &row = buckets[static_cast<size_t>(node)];
+    size_t idx = static_cast<size_t>(cycle / intervalCycles);
+    if (row.size() <= idx)
+        row.resize(idx + 1);
+    return row[idx];
+}
+
+void
+StallTimelineSink::onFire(int64_t cycle, dfg::NodeId node)
+{
+    bucket(cycle, node).fires++;
+}
+
+void
+StallTimelineSink::onStall(int64_t cycle, dfg::NodeId node,
+                           StallReason reason)
+{
+    Bucket &b = bucket(cycle, node);
+    switch (reason) {
+      case StallReason::NoInput: b.noInput++; break;
+      case StallReason::NoSpace: b.noSpace++; break;
+      case StallReason::BankConflict: b.bankConflict++; break;
+    }
+}
+
+void
+StallTimelineSink::onSimEnd(const sim::SimResult &result)
+{
+    finalCycles = result.stats.cycles;
+}
+
+int
+StallTimelineSink::numIntervals() const
+{
+    if (finalCycles == 0)
+        return 0;
+    return static_cast<int>((finalCycles + intervalCycles - 1) /
+                            intervalCycles);
+}
+
+const StallTimelineSink::Bucket &
+StallTimelineSink::at(dfg::NodeId node, int intervalIdx) const
+{
+    static const Bucket empty;
+    const auto &row = buckets[static_cast<size_t>(node)];
+    if (static_cast<size_t>(intervalIdx) >= row.size())
+        return empty;
+    return row[static_cast<size_t>(intervalIdx)];
+}
+
+int64_t
+StallTimelineSink::totalFires() const
+{
+    int64_t total = 0;
+    for (const auto &row : buckets) {
+        for (const Bucket &b : row)
+            total += b.fires;
+    }
+    return total;
+}
+
+int64_t
+StallTimelineSink::totalStalls(StallReason reason) const
+{
+    int64_t total = 0;
+    for (const auto &row : buckets) {
+        for (const Bucket &b : row) {
+            switch (reason) {
+              case StallReason::NoInput: total += b.noInput; break;
+              case StallReason::NoSpace: total += b.noSpace; break;
+              case StallReason::BankConflict:
+                total += b.bankConflict;
+                break;
+            }
+        }
+    }
+    return total;
+}
+
+void
+StallTimelineSink::writeJson(std::ostream &out) const
+{
+    ps_assert(!buckets.empty(),
+              "StallTimelineSink::writeJson before any simulation");
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("interval_cycles").value(intervalCycles);
+    w.key("cycles").value(finalCycles);
+    w.key("nodes").beginArray();
+    for (size_t id = 0; id < buckets.size(); id++) {
+        const auto &row = buckets[id];
+        bool any = false;
+        for (const Bucket &b : row)
+            any |= b.any();
+        if (!any)
+            continue;
+        const NodeLabel &node = labels[id];
+        w.beginObject();
+        w.key("id").value(static_cast<int64_t>(id));
+        w.key("kind").value(node.kind);
+        w.key("name").value(node.name);
+        w.key("intervals").beginArray();
+        for (size_t i = 0; i < row.size(); i++) {
+            const Bucket &b = row[i];
+            if (!b.any())
+                continue;
+            w.beginObject();
+            w.key("t").value(static_cast<int64_t>(i) *
+                             intervalCycles);
+            w.key("fires").value(b.fires);
+            w.key("no_input").value(b.noInput);
+            w.key("no_space").value(b.noSpace);
+            w.key("bank_conflict").value(b.bankConflict);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    out << '\n';
+}
+
+std::string
+StallTimelineSink::toString(int maxRows) const
+{
+    ps_assert(!buckets.empty(),
+              "StallTimelineSink::toString before any simulation");
+    struct RowSummary
+    {
+        size_t id;
+        int64_t fires = 0, noInput = 0, noSpace = 0, bank = 0;
+        int worstInterval = -1;
+        int64_t worstStalls = 0;
+    };
+    std::vector<RowSummary> rows;
+    for (size_t id = 0; id < buckets.size(); id++) {
+        RowSummary r;
+        r.id = id;
+        const auto &row = buckets[id];
+        for (size_t i = 0; i < row.size(); i++) {
+            const Bucket &b = row[i];
+            r.fires += b.fires;
+            r.noInput += b.noInput;
+            r.noSpace += b.noSpace;
+            r.bank += b.bankConflict;
+            int64_t stalls = b.noInput + b.noSpace + b.bankConflict;
+            if (stalls > r.worstStalls) {
+                r.worstStalls = stalls;
+                r.worstInterval = static_cast<int>(i);
+            }
+        }
+        if (r.noInput + r.noSpace + r.bank > 0)
+            rows.push_back(r);
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const RowSummary &a, const RowSummary &b) {
+                  return a.noInput + a.noSpace + a.bank >
+                         b.noInput + b.noSpace + b.bank;
+              });
+
+    Table t({"Op", "Kind", "Name", "Fires", "NoInput", "NoSpace",
+             "Bank", "Worst interval"});
+    int listed = 0;
+    for (const RowSummary &r : rows) {
+        if (listed++ >= maxRows)
+            break;
+        const NodeLabel &node = labels[r.id];
+        t.addRow(
+            {csprintf("n%zu", r.id), node.kind, node.name,
+             csprintf("%lld", static_cast<long long>(r.fires)),
+             csprintf("%lld", static_cast<long long>(r.noInput)),
+             csprintf("%lld", static_cast<long long>(r.noSpace)),
+             csprintf("%lld", static_cast<long long>(r.bank)),
+             r.worstInterval < 0
+                 ? std::string("-")
+                 : csprintf("[%lld..%lld) %lld stalls",
+                            static_cast<long long>(
+                                r.worstInterval * intervalCycles),
+                            static_cast<long long>(
+                                (r.worstInterval + 1) *
+                                intervalCycles),
+                            static_cast<long long>(
+                                r.worstStalls))});
+    }
+    std::ostringstream out;
+    out << "stall attribution (interval = " << intervalCycles
+        << " cycles, " << rows.size() << " nodes stalled)\n"
+        << t.render();
+    return out.str();
+}
+
+} // namespace pipestitch::trace

@@ -91,7 +91,7 @@ runDnnOnFabric(const DnnModel &model, compiler::ArchVariant variant,
 
     RunConfig cfg;
     cfg.variant = variant;
-    cfg.bufferDepth = bufferDepth;
+    cfg.sim.bufferDepth = bufferDepth;
 
     SparseVec act = model.input;
     const size_t layers = model.weights.size();

@@ -112,7 +112,7 @@ TEST(Dispatch, SurvivesMinimalBuffers)
     for (int depth : {2, 3, 4}) {
         RunConfig cfg;
         cfg.variant = ArchVariant::Pipestitch;
-        cfg.bufferDepth = depth;
+        cfg.sim.bufferDepth = depth;
         auto run = runOnFabric(kernel, cfg);
         EXPECT_GT(run.cycles(), 0) << "depth " << depth;
     }
@@ -183,7 +183,7 @@ TEST(Dispatch, OrderInvariantCheckedByDefault)
     auto kernel = imbalancedThreads(work);
     RunConfig cfg;
     cfg.variant = ArchVariant::Pipestitch;
-    cfg.checkThreadOrder = true;
+    cfg.sim.checkThreadOrder = true;
     auto run = runOnFabric(kernel, cfg);
     EXPECT_FALSE(run.sim.deadlocked);
 }

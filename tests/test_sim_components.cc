@@ -164,12 +164,27 @@ TEST(Stats, IpcDefinitionMatchesPaper)
     EXPECT_EQ(s.totalPeFires(), 115);
 }
 
-TEST(Stats, SummaryMentionsKeyCounters)
+TEST(Stats, ReportMentionsKeyCounters)
 {
     SimStats s;
     s.cycles = 7;
     s.memLoads = 3;
-    std::string line = summarize(s);
+    Report r = reportFor(s);
+    std::string line = r.toString();
     EXPECT_NE(line.find("cycles=7"), std::string::npos);
     EXPECT_NE(line.find("loads=3"), std::string::npos);
+    EXPECT_TRUE(r.has("cycles"));
+    EXPECT_EQ(r.get("cycles"), "7");
+}
+
+TEST(Stats, ReportEmitsValidJsonShape)
+{
+    SimStats s;
+    s.cycles = 42;
+    s.memStores = 5;
+    std::string json = reportFor(s).toJson();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"cycles\":42"), std::string::npos);
+    EXPECT_NE(json.find("\"stores\":5"), std::string::npos);
 }

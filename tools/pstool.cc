@@ -2,24 +2,19 @@
  * @file
  * pstool — the command-line driver for the Pipestitch toolchain.
  *
- *   pstool compile <file.sir> [--variant=V] [--unroll=N] [--dot]
- *       Compile and report: threading decision, per-loop IIs,
- *       operator counts, fabric fit. --dot prints GraphViz.
+ * Subcommands are self-registering entries in kCommands (name →
+ * handler + help); `pstool help` prints the generated synopsis.
+ * The global `--json` flag switches every command's primary output
+ * to machine-readable JSON.
  *
- *   pstool run <file.sir> [--variant=V] [--depth=N] [--unroll=N]
- *              [--livein name=value]... [--init arr=v0,v1,...]...
- *              [--dump arr]... [--report] [--trace]
- *       Compile, map, simulate, verify against the golden
- *       interpreter, and print stats (and requested arrays).
- *
- *   pstool scalar <file.sir> [--livein ...] [--init ...] [--dump ...]
- *       Run the sequential interpreter only.
- *
- *   pstool bench-sim <file.sir> [--variant=V] [--unroll=N]
- *                    [--livein ...] [--init ...]
- *       Time the dense-scan and ready-list simulator schedulers on
- *       the kernel and print the wall-clock speedup. Both runs must
- *       retire in the same number of simulated cycles.
+ *   pstool compile <file.sir>   compile and report fit/threading
+ *   pstool run <file.sir>       compile, map, simulate, verify
+ *   pstool scalar <file.sir>    sequential interpreter only
+ *   pstool bench-sim <file.sir> time both simulator schedulers
+ *   pstool trace <file.sir>     simulate under observation; write a
+ *                               Chrome-trace JSON (chrome://tracing
+ *                               or https://ui.perfetto.dev) and a
+ *                               stall-attribution breakdown
  *
  * Variants: riptide, pipestitch (default), pipesb, pipecfin,
  * pipecfop.
@@ -38,6 +33,9 @@
 #include "sim/simulator.hh"
 #include "sir/parser.hh"
 #include "sir/printer.hh"
+#include "trace/chrome_trace.hh"
+#include "trace/observer.hh"
+#include "trace/stall_timeline.hh"
 
 using namespace pipestitch;
 
@@ -56,21 +54,68 @@ struct Options
     bool trace = false;
     bool timeMultiplex = false;
     bool json = false;
+    std::string out;          ///< trace: output file
+    std::string stallsOut;    ///< trace: stall-timeline JSON file
+    int interval = 256;       ///< trace: stall bucket width
     std::vector<std::pair<std::string, sir::Word>> liveIns;
     std::vector<std::pair<std::string, std::vector<sir::Word>>>
         inits;
     std::vector<std::string> dumps;
 };
 
+using ParseResult = sir::ParseResult;
+
+struct Command
+{
+    const char *name;
+    const char *synopsis; ///< command-specific options
+    const char *help;     ///< one-line description
+    int (*handler)(const Options &, const ParseResult &);
+};
+
+int cmdCompile(const Options &, const ParseResult &);
+int cmdRun(const Options &, const ParseResult &);
+int cmdScalar(const Options &, const ParseResult &);
+int cmdBenchSim(const Options &, const ParseResult &);
+int cmdTrace(const Options &, const ParseResult &);
+
+constexpr Command kCommands[] = {
+    {"compile", "[--variant=V --unroll=N --dot]",
+     "compile and report threading/II/operator-count/fabric fit",
+     cmdCompile},
+    {"run",
+     "[--variant=V --depth=N --unroll=N --tm --report --trace]",
+     "compile, map, simulate, verify against the interpreter",
+     cmdRun},
+    {"scalar", "", "run the sequential interpreter only",
+     cmdScalar},
+    {"bench-sim", "[--variant=V --depth=N --unroll=N]",
+     "time the dense-scan and ready-list schedulers (cycle counts "
+     "must agree)",
+     cmdBenchSim},
+    {"trace",
+     "[--variant=V --depth=N --unroll=N --out=F --stalls=F "
+     "--interval=N]",
+     "simulate under observation; write Chrome-trace JSON and "
+     "stall attribution",
+     cmdTrace},
+};
+
 [[noreturn]] void
 usage()
 {
+    std::fprintf(stderr, "usage: pstool <command> <file.sir> "
+                         "[options]\n\ncommands:\n");
+    for (const Command &c : kCommands) {
+        std::fprintf(stderr, "  %-10s %s\n             %s %s\n",
+                     c.name, c.help, c.synopsis,
+                     *c.synopsis ? "" : "(no extra options)");
+    }
     std::fprintf(
         stderr,
-        "usage: pstool <compile|run|scalar|bench-sim> <file.sir> "
-        "[options]\n"
+        "\ncommon options:\n"
         "  --variant=riptide|pipestitch|pipesb|pipecfin|pipecfop\n"
-        "  --depth=N --unroll=N --tm --dot --report --trace --json\n"
+        "  --json                  machine-readable primary output\n"
         "  --livein name=value     bind a kernel parameter\n"
         "  --init arr=v0,v1,...    initialize array contents\n"
         "  --dump arr              print an array after the run\n");
@@ -112,6 +157,13 @@ parseArgs(int argc, char **argv)
             opts.depth = std::atoi(value("--depth=").c_str());
         } else if (arg.rfind("--unroll=", 0) == 0) {
             opts.unroll = std::atoi(value("--unroll=").c_str());
+        } else if (arg.rfind("--out=", 0) == 0) {
+            opts.out = value("--out=");
+        } else if (arg.rfind("--stalls=", 0) == 0) {
+            opts.stallsOut = value("--stalls=");
+        } else if (arg.rfind("--interval=", 0) == 0) {
+            opts.interval =
+                std::atoi(value("--interval=").c_str());
         } else if (arg == "--tm") {
             opts.timeMultiplex = true;
         } else if (arg == "--json") {
@@ -165,7 +217,7 @@ readFile(const std::string &path)
 }
 
 workloads::KernelInstance
-buildKernel(const Options &opts, const sir::ParseResult &parsed)
+buildKernel(const Options &opts, const ParseResult &parsed)
 {
     workloads::KernelInstance kernel;
     kernel.name = parsed.program.name;
@@ -213,7 +265,7 @@ buildKernel(const Options &opts, const sir::ParseResult &parsed)
 }
 
 void
-dumpArrays(const Options &opts, const sir::ParseResult &parsed,
+dumpArrays(const Options &opts, const ParseResult &parsed,
            const scalar::MemImage &mem)
 {
     for (const auto &name : opts.dumps) {
@@ -230,8 +282,22 @@ dumpArrays(const Options &opts, const sir::ParseResult &parsed,
     }
 }
 
+/** Compile the parsed kernel the way bench-sim and trace need it:
+ *  no mapping, recommended sim config with the CLI's depth. */
+compiler::CompileResult
+compileForSim(const Options &opts,
+              const workloads::KernelInstance &kernel)
+{
+    compiler::CompileOptions copts;
+    copts.variant = opts.variant;
+    copts.unrollFactor = opts.unroll;
+    copts.bufferDepth = opts.depth;
+    return compiler::compileProgram(kernel.prog, kernel.liveIns,
+                                    copts);
+}
+
 int
-cmdCompile(const Options &opts, const sir::ParseResult &parsed)
+cmdCompile(const Options &opts, const ParseResult &parsed)
 {
     compiler::CompileOptions copts;
     copts.variant = opts.variant;
@@ -280,59 +346,47 @@ cmdCompile(const Options &opts, const sir::ParseResult &parsed)
 }
 
 int
-cmdRun(const Options &opts, const sir::ParseResult &parsed)
+cmdRun(const Options &opts, const ParseResult &parsed)
 {
     auto kernel = buildKernel(opts, parsed);
     RunConfig cfg;
     cfg.variant = opts.variant;
-    cfg.bufferDepth = opts.depth;
+    cfg.sim.bufferDepth = opts.depth;
     cfg.unrollFactor = opts.unroll;
     cfg.allowTimeMultiplex = opts.timeMultiplex;
     if (opts.trace) {
         // Trace implies an unmapped functional run to keep output
-        // readable.
+        // readable; the stderr dump flows straight through the
+        // unified sim config.
         cfg.map = false;
+        cfg.sim.trace = true;
     }
-    // Plumb trace through the recommended config by re-simulating:
-    // simplest is to rely on runOnFabric for everything but trace.
     FabricRun run = runOnFabric(kernel, cfg);
-    if (opts.trace) {
-        auto simCfg = run.compiled.simConfig;
-        simCfg.bufferDepth = opts.depth;
-        simCfg.trace = true;
-        auto mem = kernel.memory;
-        mem.resize(static_cast<size_t>(kernel.prog.memWords));
-        sim::simulate(run.compiled.graph, mem, simCfg);
-    }
 
     if (opts.json) {
         const auto &st = run.sim.stats;
-        std::printf(
-            "{\"kernel\": \"%s\", \"variant\": \"%s\", "
-            "\"cycles\": %lld, \"seconds\": %.9g, "
-            "\"energy_pj\": %.6g, \"edp_pj_s\": %.6g, "
-            "\"ipc\": %.4f, \"threads\": %lld, "
-            "\"pe_fires\": %lld, \"noc_cf_fires\": %lld, "
-            "\"mem_loads\": %lld, \"mem_stores\": %lld, "
-            "\"buffer_writes\": %lld, \"buffer_reads\": %lld, "
-            "\"bank_conflicts\": %lld, \"mux_switches\": %lld, "
-            "\"threaded\": %s, \"operators\": %d, "
-            "\"avg_hops\": %.3f}\n",
-            kernel.name.c_str(),
-            compiler::archVariantName(opts.variant),
-            static_cast<long long>(run.cycles()), run.seconds,
-            run.energy.totalPj(), run.edp, st.ipc(),
-            static_cast<long long>(st.dispatchSpawns),
-            static_cast<long long>(st.totalPeFires()),
-            static_cast<long long>(st.nocCfFires),
-            static_cast<long long>(st.memLoads),
-            static_cast<long long>(st.memStores),
-            static_cast<long long>(st.bufferWrites),
-            static_cast<long long>(st.bufferReads),
-            static_cast<long long>(st.bankConflictStalls),
-            static_cast<long long>(st.muxSwitches),
-            run.compiled.threaded ? "true" : "false",
-            run.compiled.graph.size(), run.mapping.avgHops);
+        sim::Report r;
+        r.add("kernel", kernel.name)
+            .add("variant",
+                 compiler::archVariantName(opts.variant))
+            .add("cycles", run.cycles())
+            .add("seconds", run.seconds)
+            .add("energy_pj", run.energy.totalPj())
+            .add("edp_pj_s", run.edp)
+            .add("ipc", st.ipc())
+            .add("threads", st.dispatchSpawns)
+            .add("pe_fires", st.totalPeFires())
+            .add("noc_cf_fires", st.nocCfFires)
+            .add("mem_loads", st.memLoads)
+            .add("mem_stores", st.memStores)
+            .add("buffer_writes", st.bufferWrites)
+            .add("buffer_reads", st.bufferReads)
+            .add("bank_conflicts", st.bankConflictStalls)
+            .add("mux_switches", st.muxSwitches)
+            .add("threaded", run.compiled.threaded)
+            .add("operators", run.compiled.graph.size())
+            .add("avg_hops", run.mapping.avgHops);
+        std::printf("%s\n", r.toJson().c_str());
     } else {
         std::printf("%s on %s: %lld cycles @%.1f MHz, %.1f pJ, "
                     "IPC %.2f, %lld threads\n",
@@ -343,6 +397,10 @@ cmdRun(const Options &opts, const sir::ParseResult &parsed)
                     run.sim.stats.ipc(),
                     static_cast<long long>(
                         run.sim.stats.dispatchSpawns));
+        std::printf("%s\n",
+                    sim::reportFor(run.sim.stats)
+                        .toString()
+                        .c_str());
     }
     if (opts.report) {
         fabric::Fabric fab(cfg.fabric);
@@ -359,14 +417,10 @@ cmdRun(const Options &opts, const sir::ParseResult &parsed)
 }
 
 int
-cmdBenchSim(const Options &opts, const sir::ParseResult &parsed)
+cmdBenchSim(const Options &opts, const ParseResult &parsed)
 {
     auto kernel = buildKernel(opts, parsed);
-    compiler::CompileOptions copts;
-    copts.variant = opts.variant;
-    copts.unrollFactor = opts.unroll;
-    auto res = compiler::compileProgram(kernel.prog, kernel.liveIns,
-                                        copts);
+    auto res = compileForSim(opts, kernel);
     auto cfg = res.simConfig;
     cfg.bufferDepth = opts.depth;
 
@@ -402,12 +456,14 @@ cmdBenchSim(const Options &opts, const sir::ParseResult &parsed)
               static_cast<long long>(readyCycles));
     double speedup = readyMs > 0 ? denseMs / readyMs : 0;
     if (opts.json) {
-        std::printf("{\"kernel\": \"%s\", \"nodes\": %d, "
-                    "\"cycles\": %lld, \"dense_ms\": %.3f, "
-                    "\"ready_ms\": %.3f, \"speedup\": %.2f}\n",
-                    kernel.name.c_str(), res.graph.size(),
-                    static_cast<long long>(denseCycles), denseMs,
-                    readyMs, speedup);
+        sim::Report r;
+        r.add("kernel", kernel.name)
+            .add("nodes", res.graph.size())
+            .add("cycles", denseCycles)
+            .add("dense_ms", denseMs)
+            .add("ready_ms", readyMs)
+            .add("speedup", speedup);
+        std::printf("%s\n", r.toJson().c_str());
     } else {
         std::printf("%s: %d operators, %lld cycles\n"
                     "  dense-scan  %9.3f ms\n"
@@ -420,7 +476,86 @@ cmdBenchSim(const Options &opts, const sir::ParseResult &parsed)
 }
 
 int
-cmdScalar(const Options &opts, const sir::ParseResult &parsed)
+cmdTrace(const Options &opts, const ParseResult &parsed)
+{
+    auto kernel = buildKernel(opts, parsed);
+    auto res = compileForSim(opts, kernel);
+    auto cfg = res.simConfig;
+    cfg.bufferDepth = opts.depth;
+
+    trace::ChromeTraceSink chrome;
+    trace::StallTimelineSink stalls(opts.interval);
+    trace::ObserverList sinks;
+    sinks.add(&chrome);
+    sinks.add(&stalls);
+    cfg.observer = &sinks;
+
+    auto mem = kernel.memory;
+    mem.resize(static_cast<size_t>(kernel.prog.memWords));
+    auto r = sim::simulate(res.graph, mem, cfg);
+    if (r.deadlocked) {
+        // Still write the trace — it is exactly what you want for
+        // diagnosing the deadlock — but fail the invocation.
+        warn("simulation did not retire cleanly: %s",
+             r.diagnostic.c_str());
+    }
+
+    // Reconcile the event stream against SimStats before trusting
+    // the trace (tested in tests/test_trace.cc, re-checked on every
+    // invocation because it is cheap and load-bearing).
+    int64_t totalFires = 0;
+    for (int64_t f : r.stats.nodeFires)
+        totalFires += f;
+    int64_t expectInstants = r.stats.dispatchSpawns +
+                             r.stats.dispatchConts +
+                             r.stats.memLoads + r.stats.memStores;
+    if (chrome.spanCount() != totalFires ||
+        chrome.instantCount() != expectInstants) {
+        fatal("trace diverges from SimStats: %lld spans vs %lld "
+              "fires, %lld instants vs %lld dispatch+mem events",
+              static_cast<long long>(chrome.spanCount()),
+              static_cast<long long>(totalFires),
+              static_cast<long long>(chrome.instantCount()),
+              static_cast<long long>(expectInstants));
+    }
+
+    std::string outFile = opts.out.empty()
+                              ? kernel.name + ".trace.json"
+                              : opts.out;
+    {
+        std::ofstream f(outFile);
+        if (!f)
+            fatal("cannot write '%s'", outFile.c_str());
+        chrome.write(f);
+    }
+    if (!opts.stallsOut.empty()) {
+        std::ofstream f(opts.stallsOut);
+        if (!f)
+            fatal("cannot write '%s'", opts.stallsOut.c_str());
+        stalls.writeJson(f);
+    }
+
+    sim::Report report = sim::reportFor(r.stats);
+    report.add("trace_file", outFile)
+        .add("spans", chrome.spanCount())
+        .add("instants", chrome.instantCount())
+        .add("deadlocked", r.deadlocked);
+    if (opts.json) {
+        std::printf("%s\n", report.toJson().c_str());
+    } else {
+        std::printf("%s\n", report.toString().c_str());
+        std::printf("wrote %s (%lld spans, %lld instants); open "
+                    "in chrome://tracing or ui.perfetto.dev\n\n",
+                    outFile.c_str(),
+                    static_cast<long long>(chrome.spanCount()),
+                    static_cast<long long>(chrome.instantCount()));
+        std::printf("%s", stalls.toString().c_str());
+    }
+    return r.deadlocked ? 1 : 0;
+}
+
+int
+cmdScalar(const Options &opts, const ParseResult &parsed)
 {
     auto kernel = buildKernel(opts, parsed);
     ScalarRun run = runOnScalar(kernel);
@@ -440,14 +575,9 @@ main(int argc, char **argv)
 {
     Options opts = parseArgs(argc, argv);
     auto parsed = sir::parseSir(readFile(opts.file), opts.file);
-
-    if (opts.command == "compile")
-        return cmdCompile(opts, parsed);
-    if (opts.command == "run")
-        return cmdRun(opts, parsed);
-    if (opts.command == "scalar")
-        return cmdScalar(opts, parsed);
-    if (opts.command == "bench-sim")
-        return cmdBenchSim(opts, parsed);
+    for (const Command &c : kCommands) {
+        if (opts.command == c.name)
+            return c.handler(opts, parsed);
+    }
     usage();
 }
