@@ -1,59 +1,40 @@
 /**
  * @file
- * Shared helpers for the figure/table benches: the paper's kernel
- * set, per-variant execution, and geometric means.
+ * Shared entry point for the standalone figure binaries.
+ *
+ * All figure logic lives in src/figures (shared with
+ * `pstool figures`); each bench main is a one-line call to
+ * figureMain, which renders one figure on a default Runner. The
+ * output is byte-identical to the same figure rendered by the full
+ * suite — both run the same code.
  */
 
 #ifndef PIPESTITCH_BENCH_COMMON_HH
 #define PIPESTITCH_BENCH_COMMON_HH
 
-#include <cmath>
 #include <cstdio>
-#include <string>
-#include <vector>
 
 #include "base/logging.hh"
 #include "base/table.hh"
-#include "core/system.hh"
-#include "workloads/kernels.hh"
+#include "figures/figures.hh"
 
 namespace pipestitch::bench {
 
 /** Deterministic seed shared by every bench. */
-constexpr uint64_t kSeed = 1;
+constexpr uint64_t kSeed = figures::kSeed;
 
-/** The six kernels at Table 1 parameters; threaded = last four. */
-inline std::vector<workloads::KernelInstance>
-kernels()
+/** Render figure @p id on a fresh runner and print it. */
+inline int
+figureMain(const char *id)
 {
+    const figures::Figure *fig = figures::findFigure(id);
+    ps_assert(fig != nullptr, "unknown figure id");
     setQuiet(true);
-    return workloads::paperKernels(kSeed);
-}
-
-inline bool
-isThreadedKernel(size_t index)
-{
-    return index >= 2; // Dither, SpSlice, SpMSpVd, SpMSpMd
-}
-
-inline FabricRun
-run(const workloads::KernelInstance &kernel,
-    compiler::ArchVariant variant, int bufferDepth = 4)
-{
-    RunConfig cfg;
-    cfg.variant = variant;
-    cfg.sim.bufferDepth = bufferDepth;
-    return runOnFabric(kernel, cfg);
-}
-
-inline double
-geomean(const std::vector<double> &values)
-{
-    ps_assert(!values.empty(), "geomean of nothing");
-    double logSum = 0;
-    for (double v : values)
-        logSum += std::log(v);
-    return std::exp(logSum / static_cast<double>(values.size()));
+    runner::Runner runner;
+    figures::FigureSet set(runner);
+    std::string text = fig->render(set);
+    std::fputs(text.c_str(), stdout);
+    return 0;
 }
 
 } // namespace pipestitch::bench

@@ -2,68 +2,13 @@
  * @file
  * Fig. 1: end-to-end DNN inference rate vs. harvested input power
  * for a Cortex-M33, RipTide, and Pipestitch.
- *
- * Expected shape: rate rises linearly while energy-limited, then
- * plateaus at each platform's performance wall. RipTide strands all
- * power above a few hundred µW; Pipestitch keeps converting energy
- * into frames up to ~2 mW; the M33 stays near zero throughout.
+ * Rendering lives in src/figures; see figures::allFigures().
  */
 
 #include "bench/common.hh"
-#include "harvest/harvest.hh"
-#include "workloads/dnn.hh"
-
-using namespace pipestitch;
-using compiler::ArchVariant;
 
 int
 main()
 {
-    setQuiet(true);
-    auto model = workloads::buildDnn();
-    auto m33 = workloads::runDnnOnScalar(
-        model, scalar::cortexM33Profile());
-    auto rip =
-        workloads::runDnnOnFabric(model, ArchVariant::RipTide);
-    auto pipe =
-        workloads::runDnnOnFabric(model, ArchVariant::Pipestitch);
-
-    harvest::Platform platforms[] = {
-        {"Cortex-M33", m33.seconds, m33.energy.totalPj() * 1e-12},
-        {"RipTide", rip.seconds, rip.energy.totalPj() * 1e-12},
-        {"Pipestitch", pipe.seconds,
-         pipe.energy.totalPj() * 1e-12},
-    };
-
-    std::printf("Fig. 1: End-to-end inference rate vs harvested "
-                "power\n\nPer-inference cost:\n");
-    for (const auto &p : platforms) {
-        std::printf("  %-11s T=%7.2f ms  E=%7.2f uJ  peak=%6.1f "
-                    "Hz\n",
-                    p.name, p.inferenceSeconds * 1e3,
-                    p.inferenceJoules * 1e6,
-                    1.0 / p.inferenceSeconds);
-    }
-
-    Table t({"Power (mW)", "Cortex-M33 (Hz)", "RipTide (Hz)",
-             "Pipestitch (Hz)"});
-    for (int step = 0; step <= 14; step++) {
-        double mw = 0.1 * step;
-        std::vector<std::string> row{Table::fmt(mw, 1)};
-        for (const auto &p : platforms) {
-            row.push_back(Table::fmt(
-                harvest::endToEndRate(p, mw * 1e-3), 1));
-        }
-        t.addRow(row);
-    }
-    std::printf("\n%s\n", t.render().c_str());
-
-    double ratio = (1.0 / pipe.seconds) / (1.0 / rip.seconds);
-    std::printf("Peak-rate gain Pipestitch/RipTide: %.2fx (paper: "
-                "up to ~3x); Pipestitch converts energy to frames "
-                "up to %.2f mW input power (paper: ~2 mW)\n",
-                ratio,
-                platforms[2].inferenceJoules /
-                    platforms[2].inferenceSeconds / 0.8 * 1e3);
-    return 0;
+    return pipestitch::bench::figureMain("fig01");
 }

@@ -2,60 +2,13 @@
  * @file
  * Fig. 3: device lifetime on a primary D-cell battery vs. sustained
  * DNN inference rate.
- *
- * Expected shape: lifetime falls hyperbolically with rate; each
- * platform has a vertical performance wall at its peak rate
- * (RipTide's wall sits far left of Pipestitch's), and the M33
- * burns the battery fastest at any rate it can reach.
+ * Rendering lives in src/figures; see figures::allFigures().
  */
 
 #include "bench/common.hh"
-#include "harvest/harvest.hh"
-#include "workloads/dnn.hh"
-
-using namespace pipestitch;
-using compiler::ArchVariant;
 
 int
 main()
 {
-    setQuiet(true);
-    auto model = workloads::buildDnn();
-    auto m33 = workloads::runDnnOnScalar(
-        model, scalar::cortexM33Profile());
-    auto rip =
-        workloads::runDnnOnFabric(model, ArchVariant::RipTide);
-    auto pipe =
-        workloads::runDnnOnFabric(model, ArchVariant::Pipestitch);
-
-    harvest::Platform platforms[] = {
-        {"Cortex-M33", m33.seconds, m33.energy.totalPj() * 1e-12},
-        {"RipTide", rip.seconds, rip.energy.totalPj() * 1e-12},
-        {"Pipestitch", pipe.seconds,
-         pipe.energy.totalPj() * 1e-12},
-    };
-
-    Table t({"Rate (Hz)", "Cortex-M33 (y)", "RipTide (y)",
-             "Pipestitch (y)"});
-    const double rates[] = {0.5, 1,  2,  5,  10, 20,
-                            30,  40, 60, 80, 100, 130};
-    for (double rate : rates) {
-        std::vector<std::string> row{Table::fmt(rate, 1)};
-        for (const auto &p : platforms) {
-            auto life = harvest::lifetimeYears(p, rate);
-            row.push_back(life ? Table::fmt(*life, 2)
-                               : std::string("wall"));
-        }
-        t.addRow(row);
-    }
-
-    std::printf("Fig. 3: Lifetime on a D-cell vs inference rate\n"
-                "('wall' = rate beyond the platform's peak "
-                "performance)\n\n%s\n",
-                t.render().c_str());
-    for (const auto &p : platforms) {
-        std::printf("  %-11s performance wall at %6.1f Hz\n",
-                    p.name, 1.0 / p.inferenceSeconds);
-    }
-    return 0;
+    return pipestitch::bench::figureMain("fig03");
 }

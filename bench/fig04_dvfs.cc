@@ -1,62 +1,13 @@
 /**
  * @file
- * Fig. 4: first-order DVFS at iso-throughput. Because Pipestitch
- * finishes the same work in fewer cycles, it can clock down (and
- * scale voltage with frequency) while still matching RipTide's
- * rate — saving dynamic energy quadratically. Conversely, RipTide
- * must overclock (and overvolt) to match Pipestitch.
+ * Fig. 4: first-order DVFS at iso-throughput.
+ * Rendering lives in src/figures; see figures::allFigures().
  */
 
 #include "bench/common.hh"
-#include "energy/dvfs.hh"
-
-using namespace pipestitch;
-using compiler::ArchVariant;
 
 int
 main()
 {
-    setQuiet(true);
-    auto ks = bench::kernels();
-    Table t({"Benchmark", "Target rate", "Rip f (MHz)",
-             "Rip E (nJ)", "Pipe f (MHz)", "Pipe E (nJ)",
-             "E saving"});
-
-    const double nominal = 50.0;
-    for (size_t i = 2; i < ks.size(); i++) { // threaded kernels
-        auto rip = bench::run(ks[i], ArchVariant::RipTide);
-        auto pipe = bench::run(ks[i], ArchVariant::Pipestitch);
-        // Leakage power at nominal voltage in pJ/s.
-        double ripLeak = (rip.area.totalUm2() * 1.2e-6) *
-                         nominal * 1e6;
-        double pipeLeak = (pipe.area.totalUm2() * 1.2e-6) *
-                          nominal * 1e6;
-        // Iso-throughput target: RipTide at its nominal rate.
-        double target =
-            1.0 / energy::secondsFor(rip.cycles(), nominal);
-        auto ripPt = energy::scaleToRate(
-            rip.cycles(), rip.energy.totalPj(), ripLeak, nominal,
-            target);
-        auto pipePt = energy::scaleToRate(
-            pipe.cycles(), pipe.energy.totalPj(), pipeLeak, nominal,
-            target);
-        t.addRow({ks[i].name, Table::fmt(target, 0) + " Hz",
-                  Table::fmt(ripPt.freqMHz, 1),
-                  Table::fmt(ripPt.energyPj / 1e3, 1),
-                  Table::fmt(pipePt.freqMHz, 1),
-                  Table::fmt(pipePt.energyPj / 1e3, 1),
-                  Table::fmt((1.0 - pipePt.energyPj /
-                                        ripPt.energyPj) *
-                                 100.0,
-                             0) +
-                      "%"});
-    }
-
-    std::printf("Fig. 4: DVFS at iso-throughput (V scales with f; "
-                "E_dyn scales with f^2)\n\n%s\n"
-                "Pipestitch clocks down to match RipTide's rate, "
-                "trading its cycle-count advantage for voltage "
-                "(and energy) reduction.\n",
-                t.render().c_str());
-    return 0;
+    return pipestitch::bench::figureMain("fig04");
 }

@@ -2,72 +2,13 @@
  * @file
  * Fig. 13: speedup over the scalar core for RipTide and Pipestitch
  * across all seven applications (six kernels + the sparse DNN).
- *
- * Expected shape: Pipestitch ≈ RipTide on DMM/SpMV (unthreaded),
- * large Pipestitch wins on the threaded kernels; paper headline:
- * 3.49× geomean over RipTide on threaded apps, 2.55× over all apps.
+ * Rendering lives in src/figures; see figures::allFigures().
  */
 
 #include "bench/common.hh"
-#include "workloads/dnn.hh"
-
-using namespace pipestitch;
-using compiler::ArchVariant;
 
 int
 main()
 {
-    setQuiet(true);
-    Table t({"Benchmark", "Scalar cyc", "RipTide cyc",
-             "Pipestitch cyc", "RipTide x", "Pipestitch x",
-             "Pipe/Rip"});
-
-    std::vector<double> ratioAll, ratioThreaded;
-    auto ks = bench::kernels();
-    for (size_t i = 0; i < ks.size(); i++) {
-        auto scalarRun = runOnScalar(ks[i]);
-        auto rip = bench::run(ks[i], ArchVariant::RipTide);
-        auto pipe = bench::run(ks[i], ArchVariant::Pipestitch);
-        double su_r =
-            scalarRun.cycles / static_cast<double>(rip.cycles());
-        double su_p =
-            scalarRun.cycles / static_cast<double>(pipe.cycles());
-        double ratio = static_cast<double>(rip.cycles()) /
-                       static_cast<double>(pipe.cycles());
-        ratioAll.push_back(ratio);
-        if (bench::isThreadedKernel(i))
-            ratioThreaded.push_back(ratio);
-        t.addRow({ks[i].name, Table::fmt(scalarRun.cycles, 0),
-                  csprintf("%lld", (long long)rip.cycles()),
-                  csprintf("%lld", (long long)pipe.cycles()),
-                  Table::fmt(su_r, 2), Table::fmt(su_p, 2),
-                  Table::fmt(ratio, 2)});
-    }
-
-    // Full application: the sparse DNN.
-    auto model = workloads::buildDnn();
-    auto dnnScalar = workloads::runDnnOnScalar(
-        model, scalar::riptideScalarProfile());
-    auto dnnRip =
-        workloads::runDnnOnFabric(model, ArchVariant::RipTide);
-    auto dnnPipe =
-        workloads::runDnnOnFabric(model, ArchVariant::Pipestitch);
-    double ratio = dnnRip.cycles / dnnPipe.cycles;
-    ratioAll.push_back(ratio);
-    ratioThreaded.push_back(ratio);
-    t.addRow({"DNN", Table::fmt(dnnScalar.cycles, 0),
-              Table::fmt(dnnRip.cycles, 0),
-              Table::fmt(dnnPipe.cycles, 0),
-              Table::fmt(dnnScalar.cycles / dnnRip.cycles, 2),
-              Table::fmt(dnnScalar.cycles / dnnPipe.cycles, 2),
-              Table::fmt(ratio, 2)});
-
-    std::printf("Fig. 13: Speedup over scalar\n\n%s\n",
-                t.render().c_str());
-    std::printf("Pipestitch over RipTide geomean: %.2fx all apps "
-                "(paper: 2.55x), %.2fx threaded apps (paper: "
-                "3.49x)\n",
-                bench::geomean(ratioAll),
-                bench::geomean(ratioThreaded));
-    return 0;
+    return pipestitch::bench::figureMain("fig13");
 }

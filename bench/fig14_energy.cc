@@ -2,81 +2,13 @@
  * @file
  * Fig. 14: energy normalized to the scalar baseline, with the
  * CGRA / Memory / Scalar / Other breakdown.
- *
- * Expected shape: both CGRAs far below scalar; Pipestitch ≈ 1.05×
- * RipTide on threaded apps and ≈ 1.11× across all apps, with DMM
- * the worst case (destination buffering buys nothing there).
+ * Rendering lives in src/figures; see figures::allFigures().
  */
 
 #include "bench/common.hh"
-#include "workloads/dnn.hh"
-
-using namespace pipestitch;
-using compiler::ArchVariant;
-
-namespace {
-
-std::vector<std::string>
-row(const std::string &bench, const std::string &system,
-    const energy::EnergyBreakdown &e, double scalarTotal)
-{
-    return {bench,
-            system,
-            Table::fmt(e.totalPj() / scalarTotal, 3),
-            Table::fmt(e.cgraPj / scalarTotal, 3),
-            Table::fmt(e.memPj / scalarTotal, 3),
-            Table::fmt(e.scalarPj / scalarTotal, 3),
-            Table::fmt(e.otherPj / scalarTotal, 3)};
-}
-
-} // namespace
 
 int
 main()
 {
-    setQuiet(true);
-    Table t({"Benchmark", "System", "Total", "CGRA", "Memory",
-             "Scalar", "Other"});
-
-    std::vector<double> ratioAll, ratioThreaded;
-    auto ks = bench::kernels();
-    for (size_t i = 0; i < ks.size(); i++) {
-        auto scalarRun = runOnScalar(ks[i]);
-        double base = scalarRun.energy.totalPj();
-        auto rip = bench::run(ks[i], ArchVariant::RipTide);
-        auto pipe = bench::run(ks[i], ArchVariant::Pipestitch);
-        t.addRow(row(ks[i].name, "Scalar", scalarRun.energy, base));
-        t.addRow(row("", "RipTide", rip.energy, base));
-        t.addRow(row("", "Pipestitch", pipe.energy, base));
-        double ratio =
-            pipe.energy.totalPj() / rip.energy.totalPj();
-        ratioAll.push_back(ratio);
-        if (bench::isThreadedKernel(i))
-            ratioThreaded.push_back(ratio);
-    }
-
-    auto model = workloads::buildDnn();
-    auto dnnScalar = workloads::runDnnOnScalar(
-        model, scalar::riptideScalarProfile());
-    double base = dnnScalar.energy.totalPj();
-    auto dnnRip =
-        workloads::runDnnOnFabric(model, ArchVariant::RipTide);
-    auto dnnPipe =
-        workloads::runDnnOnFabric(model, ArchVariant::Pipestitch);
-    t.addRow(row("DNN", "Scalar", dnnScalar.energy, base));
-    t.addRow(row("", "RipTide", dnnRip.energy, base));
-    t.addRow(row("", "Pipestitch", dnnPipe.energy, base));
-    double dnnRatio =
-        dnnPipe.energy.totalPj() / dnnRip.energy.totalPj();
-    ratioAll.push_back(dnnRatio);
-    ratioThreaded.push_back(dnnRatio);
-
-    std::printf("Fig. 14: Energy normalized to scalar\n\n%s\n",
-                t.render().c_str());
-    std::printf("Pipestitch over RipTide energy geomean: %.3fx all "
-                "apps (paper: 1.11x), %.3fx threaded apps (paper: "
-                "1.05x)\n",
-                bench::geomean(ratioAll),
-                bench::geomean(ratioThreaded));
-    return 0;
+    return pipestitch::bench::figureMain("fig14");
 }

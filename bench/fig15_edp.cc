@@ -1,57 +1,13 @@
 /**
  * @file
  * Fig. 15: energy-delay product normalized to RipTide.
- *
- * Expected shape: Pipestitch improves EDP on every threaded app
- * (large speedup, small energy cost; paper geomean 2.29×) and loses
- * slightly on DMM, where it can only match performance while paying
- * the destination-buffering energy.
+ * Rendering lives in src/figures; see figures::allFigures().
  */
 
 #include "bench/common.hh"
-#include "workloads/dnn.hh"
-
-using namespace pipestitch;
-using compiler::ArchVariant;
 
 int
 main()
 {
-    setQuiet(true);
-    Table t({"Benchmark", "RipTide EDP", "Pipestitch EDP",
-             "Pipe/Rip", "EDP gain"});
-
-    std::vector<double> gains;
-    auto ks = bench::kernels();
-    for (size_t i = 0; i < ks.size(); i++) {
-        auto rip = bench::run(ks[i], ArchVariant::RipTide);
-        auto pipe = bench::run(ks[i], ArchVariant::Pipestitch);
-        double ratio = pipe.edp / rip.edp;
-        if (bench::isThreadedKernel(i))
-            gains.push_back(1.0 / ratio);
-        t.addRow({ks[i].name, csprintf("%.3g pJ*s", rip.edp),
-                  csprintf("%.3g pJ*s", pipe.edp),
-                  Table::fmt(ratio, 3),
-                  Table::fmt(1.0 / ratio, 2) + "x"});
-    }
-
-    auto model = workloads::buildDnn();
-    auto dnnRip =
-        workloads::runDnnOnFabric(model, ArchVariant::RipTide);
-    auto dnnPipe =
-        workloads::runDnnOnFabric(model, ArchVariant::Pipestitch);
-    double ripEdp = dnnRip.energy.totalPj() * dnnRip.seconds;
-    double pipeEdp = dnnPipe.energy.totalPj() * dnnPipe.seconds;
-    gains.push_back(ripEdp / pipeEdp);
-    t.addRow({"DNN", csprintf("%.3g pJ*s", ripEdp),
-              csprintf("%.3g pJ*s", pipeEdp),
-              Table::fmt(pipeEdp / ripEdp, 3),
-              Table::fmt(ripEdp / pipeEdp, 2) + "x"});
-
-    std::printf(
-        "Fig. 15: EDP normalized to RipTide\n\n%s\n"
-        "Threaded-app EDP improvement geomean: %.2fx (paper: "
-        "2.29x)\n",
-        t.render().c_str(), bench::geomean(gains));
-    return 0;
+    return pipestitch::bench::figureMain("fig15");
 }

@@ -1,52 +1,14 @@
 /**
  * @file
  * Fig. 16: area breakdown of the Pipestitch system, plus the
- * RipTide-relative fabric overhead (paper: ~1.0 mm² total with
- * PE 23.0 %, NoC 39.9 %, memory 33.2 %, other 2.3 %; fabric 1.10×
- * RipTide's from the added buffering and SyncPlane, Sec. 5.6).
+ * RipTide-relative fabric overhead.
+ * Rendering lives in src/figures; see figures::allFigures().
  */
 
 #include "bench/common.hh"
-#include "fabric/area.hh"
-
-using namespace pipestitch;
 
 int
 main()
 {
-    fabric::Fabric fab;
-    auto pipe =
-        fabric::computeArea(fab, fabric::AreaVariant::Pipestitch);
-    auto rip = fabric::computeArea(fab, fabric::AreaVariant::RipTide);
-
-    std::printf("Fig. 16: Pipestitch area breakdown\n\n%s\n",
-                pipe.table().c_str());
-    std::printf("RipTide baseline breakdown\n\n%s\n",
-                rip.table().c_str());
-
-    double pipeFabric = pipe.peUm2 + pipe.nocUm2;
-    double ripFabric = rip.peUm2 + rip.nocUm2;
-    std::printf("Fabric area: Pipestitch %.3f mm^2 vs RipTide %.3f "
-                "mm^2 -> %.2fx (paper: 1.10x)\n",
-                pipeFabric / 1e6, ripFabric / 1e6,
-                pipeFabric / ripFabric);
-    std::printf("Total Pipestitch system: %.2f mm^2 (paper: ~1.0 "
-                "mm^2)\n",
-                pipe.totalMm2());
-
-    // Buffer-depth area sensitivity (the Fig. 20 tradeoff's cost).
-    Table t({"Buffer depth", "Fabric mm^2", "vs depth 4"});
-    double base = 0;
-    for (int depth : {4, 8, 16}) {
-        auto a = fabric::computeArea(
-            fab, fabric::AreaVariant::Pipestitch, depth);
-        double f = (a.peUm2 + a.nocUm2) / 1e6;
-        if (depth == 4)
-            base = f;
-        t.addRow({csprintf("%d", depth), Table::fmt(f, 3),
-                  Table::fmt(f / base, 2) + "x"});
-    }
-    std::printf("\nBuffering area sensitivity\n\n%s",
-                t.render().c_str());
-    return 0;
+    return pipestitch::bench::figureMain("fig16");
 }

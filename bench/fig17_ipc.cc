@@ -1,41 +1,14 @@
 /**
  * @file
  * Fig. 17: IPC (total PE fires / cycles) for RipTide and Pipestitch
- * across the six kernels. Expected shape: parity on DMM/SpMV,
- * large Pipestitch gains on the threaded four (paper: 2.80× geomean
- * overall, 4.30× on threaded kernels).
+ * across the six kernels.
+ * Rendering lives in src/figures; see figures::allFigures().
  */
 
 #include "bench/common.hh"
 
-using namespace pipestitch;
-using compiler::ArchVariant;
-
 int
 main()
 {
-    setQuiet(true);
-    Table t({"Benchmark", "RipTide IPC", "Pipestitch IPC", "Gain"});
-
-    std::vector<double> gainsAll, gainsThreaded;
-    auto ks = bench::kernels();
-    for (size_t i = 0; i < ks.size(); i++) {
-        auto rip = bench::run(ks[i], ArchVariant::RipTide);
-        auto pipe = bench::run(ks[i], ArchVariant::Pipestitch);
-        double gain = pipe.sim.stats.ipc() / rip.sim.stats.ipc();
-        gainsAll.push_back(gain);
-        if (bench::isThreadedKernel(i))
-            gainsThreaded.push_back(gain);
-        t.addRow({ks[i].name, Table::fmt(rip.sim.stats.ipc(), 2),
-                  Table::fmt(pipe.sim.stats.ipc(), 2),
-                  Table::fmt(gain, 2) + "x"});
-    }
-
-    std::printf("Fig. 17: IPC across kernels\n\n%s\n",
-                t.render().c_str());
-    std::printf("IPC gain geomean: %.2fx all kernels (paper: "
-                "2.80x incl. DNN), %.2fx threaded (paper: 4.30x)\n",
-                bench::geomean(gainsAll),
-                bench::geomean(gainsThreaded));
-    return 0;
+    return pipestitch::bench::figureMain("fig17");
 }

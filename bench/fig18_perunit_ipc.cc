@@ -2,58 +2,13 @@
  * @file
  * Fig. 18: per-unit IPC (loop IPC / #PEs mapped to the loop) split
  * between innermost-loop and outer-loop operators.
- *
- * Expected shape: Pipestitch's big win is inner-loop utilization on
- * the threaded kernels (paper: 3.62× inner, 3.51× outer on
- * threaded benchmarks); outer gains are capped by spawn throughput.
+ * Rendering lives in src/figures; see figures::allFigures().
  */
 
 #include "bench/common.hh"
 
-using namespace pipestitch;
-using compiler::ArchVariant;
-
 int
 main()
 {
-    setQuiet(true);
-    Table t({"Benchmark", "System", "Inner/unit", "Outer/unit",
-             "Inner PEs", "Outer PEs"});
-
-    std::vector<double> innerGain, outerGain;
-    auto ks = bench::kernels();
-    for (size_t i = 0; i < ks.size(); i++) {
-        auto rip = bench::run(ks[i], ArchVariant::RipTide);
-        auto pipe = bench::run(ks[i], ArchVariant::Pipestitch);
-        auto ripIpc =
-            sim::computeLoopIpc(rip.compiled.graph, rip.sim.stats);
-        auto pipeIpc = sim::computeLoopIpc(pipe.compiled.graph,
-                                           pipe.sim.stats);
-        t.addRow({ks[i].name, "RipTide",
-                  Table::fmt(ripIpc.innerPerUnit, 3),
-                  Table::fmt(ripIpc.outerPerUnit, 3),
-                  csprintf("%d", ripIpc.innerPes),
-                  csprintf("%d", ripIpc.outerPes)});
-        t.addRow({"", "Pipestitch",
-                  Table::fmt(pipeIpc.innerPerUnit, 3),
-                  Table::fmt(pipeIpc.outerPerUnit, 3),
-                  csprintf("%d", pipeIpc.innerPes),
-                  csprintf("%d", pipeIpc.outerPes)});
-        if (bench::isThreadedKernel(i)) {
-            if (ripIpc.innerPerUnit > 0)
-                innerGain.push_back(pipeIpc.innerPerUnit /
-                                    ripIpc.innerPerUnit);
-            if (ripIpc.outerPerUnit > 0)
-                outerGain.push_back(pipeIpc.outerPerUnit /
-                                    ripIpc.outerPerUnit);
-        }
-    }
-
-    std::printf("Fig. 18: Per-unit IPC, inner vs outer loops\n\n%s\n",
-                t.render().c_str());
-    std::printf("Threaded-kernel per-unit IPC gain geomean: inner "
-                "%.2fx (paper: 3.62x), outer %.2fx (paper: 3.51x)\n",
-                bench::geomean(innerGain),
-                bench::geomean(outerGain));
-    return 0;
+    return pipestitch::bench::figureMain("fig18");
 }

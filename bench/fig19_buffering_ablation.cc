@@ -1,58 +1,14 @@
 /**
  * @file
  * Fig. 19: normalized runtime of the microarchitectural ablations —
- * RipTide, PipeSB (source-buffered fabric with dispatch/SyncPlane),
- * PipeCFiN (control flow in the NoC when possible) and PipeCFoP
- * (all control flow on PEs).
- *
- * Expected shape: PipeSB slower than RipTide (multicast holds on
- * imbalanced split-joins, paper geomean 1.13× slowdown); CFiN best
- * on unthreaded kernels, CFoP best on threaded kernels (in-PE
- * buffering sustains deep thread pipelines).
+ * RipTide, PipeSB, PipeCFiN, and PipeCFoP.
+ * Rendering lives in src/figures; see figures::allFigures().
  */
 
 #include "bench/common.hh"
 
-using namespace pipestitch;
-using compiler::ArchVariant;
-
 int
 main()
 {
-    setQuiet(true);
-    Table t({"Benchmark", "RipTide", "PipeSB", "PipeCFiN",
-             "PipeCFoP"});
-
-    std::vector<double> sbVsDest, sbVsRip;
-    auto ks = bench::kernels();
-    for (size_t i = 0; i < ks.size(); i++) {
-        double rip = static_cast<double>(
-            bench::run(ks[i], ArchVariant::RipTide).cycles());
-        double sb = static_cast<double>(
-            bench::run(ks[i], ArchVariant::PipeSB).cycles());
-        double cfin = static_cast<double>(
-            bench::run(ks[i], ArchVariant::PipeCFiN).cycles());
-        double cfop = static_cast<double>(
-            bench::run(ks[i], ArchVariant::PipeCFoP).cycles());
-        sbVsDest.push_back(sb / std::min(cfin, cfop));
-        sbVsRip.push_back(sb / rip);
-        t.addRow({ks[i].name, "1.00", Table::fmt(sb / rip, 2),
-                  Table::fmt(cfin / rip, 2),
-                  Table::fmt(cfop / rip, 2)});
-    }
-
-    std::printf("Fig. 19: Normalized time (RipTide = 1.00, lower "
-                "is better)\n\n%s\n",
-                t.render().c_str());
-    std::printf(
-        "Source buffering costs %.2fx geomean vs the best "
-        "destination-buffered config (the Fig. 12 multicast "
-        "hold).\n"
-        "PipeSB vs RipTide geomean: %.2fx (paper: 1.13x slowdown; "
-        "our PipeSB keeps more of the threading win on the "
-        "sparse-sparse kernels, but shows the same Dither-style "
-        "inversions where source buffering erases threading "
-        "entirely).\n",
-        bench::geomean(sbVsDest), bench::geomean(sbVsRip));
-    return 0;
+    return pipestitch::bench::figureMain("fig19");
 }

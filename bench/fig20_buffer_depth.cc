@@ -1,35 +1,14 @@
 /**
  * @file
  * Fig. 20: speedup of the threaded kernels as buffer depth grows
- * from 4 to 8 and 16. Deeper buffers absorb split-join imbalance
- * and admit more in-flight threads, then saturate.
+ * from 4 to 8 and 16.
+ * Rendering lives in src/figures; see figures::allFigures().
  */
 
 #include "bench/common.hh"
 
-using namespace pipestitch;
-using compiler::ArchVariant;
-
 int
 main()
 {
-    setQuiet(true);
-    Table t({"Benchmark", "Depth 4", "Depth 8", "Depth 16"});
-
-    auto ks = bench::kernels();
-    for (size_t i = 2; i < ks.size(); i++) { // threaded kernels
-        double base = static_cast<double>(
-            bench::run(ks[i], ArchVariant::Pipestitch, 4).cycles());
-        double d8 = static_cast<double>(
-            bench::run(ks[i], ArchVariant::Pipestitch, 8).cycles());
-        double d16 = static_cast<double>(
-            bench::run(ks[i], ArchVariant::Pipestitch, 16).cycles());
-        t.addRow({ks[i].name, "1.00", Table::fmt(base / d8, 2),
-                  Table::fmt(base / d16, 2)});
-    }
-
-    std::printf("Fig. 20: Speedup vs buffer depth (threaded "
-                "kernels, depth 4 = 1.00)\n\n%s",
-                t.render().c_str());
-    return 0;
+    return pipestitch::bench::figureMain("fig20");
 }

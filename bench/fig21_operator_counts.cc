@@ -1,107 +1,14 @@
 /**
  * @file
  * Fig. 21: generated-PE counts by category for RipTide, PipeCFiN
- * and PipeCFoP. Control flow in the NoC consumes no PE, so CFiN's
- * increase over RipTide is the dispatch gates (+their support),
- * while CFoP pays for every control-flow operator with a PE.
- *
- * Expected shape (threaded kernels): CFiN ≈ +28 % PEs over RipTide,
- * CFoP ≈ +70 % over RipTide (paper Sec. 5.10).
+ * and PipeCFoP.
+ * Rendering lives in src/figures; see figures::allFigures().
  */
 
 #include "bench/common.hh"
-#include "compiler/compile.hh"
-
-using namespace pipestitch;
-using compiler::ArchVariant;
-using dfg::NodeKind;
-
-namespace {
-
-struct Counts
-{
-    int mem = 0, stream = 0, arith = 0, cf = 0, dispatch = 0;
-
-    int
-    total() const
-    {
-        return mem + stream + arith + cf + dispatch;
-    }
-};
-
-Counts
-countPes(const dfg::Graph &g)
-{
-    Counts c;
-    for (const auto &n : g.nodes) {
-        if (n.cfInNoc || n.kind == NodeKind::Trigger)
-            continue; // in-NoC ops and the start signal use no PE
-        switch (n.peClass()) {
-          case dfg::PeClass::Memory: c.mem++; break;
-          case dfg::PeClass::Stream: c.stream++; break;
-          case dfg::PeClass::Arith:
-          case dfg::PeClass::Multiplier: c.arith++; break;
-          case dfg::PeClass::ControlFlow:
-            if (n.kind == NodeKind::Dispatch)
-                c.dispatch++;
-            else
-                c.cf++;
-            break;
-        }
-    }
-    return c;
-}
-
-Counts
-compileAndCount(const workloads::KernelInstance &k,
-                ArchVariant variant)
-{
-    compiler::CompileOptions opts;
-    opts.variant = variant;
-    auto res = compiler::compileProgram(k.prog, k.liveIns, opts);
-    return countPes(res.graph);
-}
-
-} // namespace
 
 int
 main()
 {
-    setQuiet(true);
-    Table t({"Benchmark", "Config", "Mem", "Stream", "Arith",
-             "CF (no disp)", "Dispatch", "Total PEs"});
-
-    std::vector<double> cfinInc, cfopInc;
-    auto ks = bench::kernels();
-    for (size_t i = 0; i < ks.size(); i++) {
-        Counts rip = compileAndCount(ks[i], ArchVariant::RipTide);
-        Counts cfin = compileAndCount(ks[i], ArchVariant::PipeCFiN);
-        Counts cfop = compileAndCount(ks[i], ArchVariant::PipeCFoP);
-        auto add = [&](const char *name, const char *cfg,
-                       const Counts &c) {
-            t.addRow({name, cfg, csprintf("%d", c.mem),
-                      csprintf("%d", c.stream),
-                      csprintf("%d", c.arith), csprintf("%d", c.cf),
-                      csprintf("%d", c.dispatch),
-                      csprintf("%d", c.total())});
-        };
-        add(ks[i].name.c_str(), "RipTide", rip);
-        add("", "PipeCFiN", cfin);
-        add("", "PipeCFoP", cfop);
-        if (bench::isThreadedKernel(i)) {
-            cfinInc.push_back(static_cast<double>(cfin.total()) /
-                              rip.total());
-            cfopInc.push_back(static_cast<double>(cfop.total()) /
-                              rip.total());
-        }
-    }
-
-    std::printf("Fig. 21: Generated-PE counts\n\n%s\n",
-                t.render().c_str());
-    std::printf("Threaded kernels, PE-count increase over RipTide "
-                "(geomean): PipeCFiN %.0f%% (paper: +28%%), "
-                "PipeCFoP %.0f%% (paper: +70%%)\n",
-                (bench::geomean(cfinInc) - 1.0) * 100.0,
-                (bench::geomean(cfopInc) - 1.0) * 100.0);
-    return 0;
+    return pipestitch::bench::figureMain("fig21");
 }

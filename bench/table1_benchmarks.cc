@@ -3,62 +3,13 @@
  * Table 1: benchmark parameters — input size, sparsity, and whether
  * the II > 1 heuristic selects a threaded compilation. The
  * "Threaded?" column is *measured* from the compiler, not asserted.
+ * Rendering lives in src/figures; see figures::allFigures().
  */
 
 #include "bench/common.hh"
-#include "compiler/compile.hh"
-#include "dfg/analysis.hh"
-#include "workloads/dnn.hh"
-
-using namespace pipestitch;
 
 int
 main()
 {
-    setQuiet(true);
-
-    struct RowInfo
-    {
-        const char *input;
-        const char *sparsity;
-    };
-    const RowInfo info[] = {
-        {"64 x 64", "-"},
-        {"64 x 64", "0.90"},
-        {"128 x 128", "-"},
-        {"64 x 64", "0.89"},
-        {"128 x 128", "0.90 (matrix & vector)"},
-        {"64 x 64", "0.89 (both matrices)"},
-    };
-
-    Table t({"Benchmark", "Input size", "Sparsity", "Threaded?",
-             "Inner II"});
-    auto ks = bench::kernels();
-    for (size_t i = 0; i < ks.size(); i++) {
-        compiler::CompileOptions opts;
-        opts.variant = compiler::ArchVariant::Pipestitch;
-        auto res = compiler::compileProgram(ks[i].prog, ks[i].liveIns,
-                                            opts);
-        // The heuristic's quantity: II of the innermost loop(s).
-        int maxII = 0;
-        auto inner = dfg::innermostLoops(res.graph);
-        for (int loop : inner) {
-            maxII = std::max(maxII,
-                             std::max(1, res.loopII[
-                                 static_cast<size_t>(loop)]));
-        }
-        t.addRow({ks[i].name, info[i].input, info[i].sparsity,
-                  res.threaded ? "yes" : "no",
-                  csprintf("%d", maxII)});
-    }
-
-    auto model = workloads::buildDnn();
-    t.addRow({"DNN", "784 input", "0.75 - 0.97 (4 layers)", "yes",
-              csprintf("(footprint %lld kB)",
-                       static_cast<long long>(
-                           model.footprintBytes() / 1024))});
-
-    std::printf("Table 1: Benchmark parameters\n\n%s\n",
-                t.render().c_str());
-    return 0;
+    return pipestitch::bench::figureMain("table1");
 }

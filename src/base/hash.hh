@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Content hashing for memoization keys.
+ *
+ * A small FNV-1a-based accumulator: feed it scalars, strings, and
+ * vectors in a fixed order and take the 64-bit digest. Stable within
+ * a build (and across builds on the same ABI), which is all the
+ * runner's memo cache needs — keys are recomputed from content on
+ * every lookup, never trusted across toolchain changes (the on-disk
+ * layer embeds a format version for that).
+ */
+
+#ifndef PIPESTITCH_BASE_HASH_HH
+#define PIPESTITCH_BASE_HASH_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace pipestitch {
+
+class Hasher
+{
+  public:
+    /** Digest so far. */
+    uint64_t digest() const { return state; }
+
+    Hasher &
+    bytes(const void *data, size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (size_t i = 0; i < n; i++) {
+            state ^= p[i];
+            state *= kPrime;
+        }
+        return *this;
+    }
+
+    Hasher &
+    u64(uint64_t v)
+    {
+        return bytes(&v, sizeof(v));
+    }
+
+    Hasher &
+    i64(int64_t v)
+    {
+        return u64(static_cast<uint64_t>(v));
+    }
+
+    Hasher &
+    i32(int32_t v)
+    {
+        return i64(v);
+    }
+
+    Hasher &
+    b(bool v)
+    {
+        return u64(v ? 1 : 0);
+    }
+
+    Hasher &
+    f64(double v)
+    {
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        return u64(bits);
+    }
+
+    /** Length-prefixed so "ab","c" != "a","bc". */
+    Hasher &
+    str(const std::string &s)
+    {
+        u64(s.size());
+        return bytes(s.data(), s.size());
+    }
+
+    template <typename T>
+    Hasher &
+    vec(const std::vector<T> &v)
+    {
+        u64(v.size());
+        for (const T &x : v)
+            i64(static_cast<int64_t>(x));
+        return *this;
+    }
+
+  private:
+    static constexpr uint64_t kPrime = 0x100000001b3ull;
+    uint64_t state = 0xcbf29ce484222325ull;
+};
+
+/** Render a digest as the fixed-width hex token used in cache file
+ *  names and diagnostics. */
+inline std::string
+hashHex(uint64_t digest)
+{
+    static const char *hex = "0123456789abcdef";
+    std::string s(16, '0');
+    for (int i = 15; i >= 0; i--) {
+        s[static_cast<size_t>(i)] = hex[digest & 0xf];
+        digest >>= 4;
+    }
+    return s;
+}
+
+} // namespace pipestitch
+
+#endif // PIPESTITCH_BASE_HASH_HH

@@ -1,5 +1,6 @@
 #include "base/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -8,7 +9,17 @@ namespace pipestitch {
 
 namespace {
 
-bool quietMode = false;
+std::atomic<bool> quietMode{false};
+
+/** Nesting depth of live ScopedQuiet instances on this thread. */
+thread_local int scopedQuietDepth = 0;
+
+bool
+quietNow()
+{
+    return scopedQuietDepth > 0 ||
+           quietMode.load(std::memory_order_relaxed);
+}
 
 std::string
 vformat(const char *fmt, va_list args)
@@ -63,7 +74,7 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (quietMode)
+    if (quietNow())
         return;
     va_list args;
     va_start(args, fmt);
@@ -75,7 +86,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (quietMode)
+    if (quietNow())
         return;
     va_list args;
     va_start(args, fmt);
@@ -87,7 +98,25 @@ inform(const char *fmt, ...)
 void
 setQuiet(bool quiet)
 {
-    quietMode = quiet;
+    quietMode.store(quiet, std::memory_order_relaxed);
+}
+
+bool
+isQuiet()
+{
+    return quietNow();
+}
+
+ScopedQuiet::ScopedQuiet(bool enable) : active(enable)
+{
+    if (active)
+        scopedQuietDepth++;
+}
+
+ScopedQuiet::~ScopedQuiet()
+{
+    if (active)
+        scopedQuietDepth--;
 }
 
 } // namespace pipestitch

@@ -34,8 +34,36 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Print an informational message to stderr. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Globally silence warn()/inform() (used by benches for clean tables). */
+/**
+ * Globally silence warn()/inform() (used by benches for clean
+ * tables). Thread-safe: the flag is an atomic, and each message is
+ * emitted with a single stdio call, so concurrent runs never
+ * interleave mid-line. For silencing only the current thread (one
+ * run among many in a thread pool), use ScopedQuiet or
+ * RunConfig::quiet instead of this process-wide switch.
+ */
 void setQuiet(bool quiet);
+
+/** True if warn()/inform() are currently silenced on this thread. */
+bool isQuiet();
+
+/**
+ * RAII per-thread silencer: warn()/inform() emitted by the current
+ * thread are suppressed while any ScopedQuiet is alive, without
+ * touching other threads. Nests; a disabled instance is a no-op.
+ */
+class ScopedQuiet
+{
+  public:
+    explicit ScopedQuiet(bool enable = true);
+    ~ScopedQuiet();
+
+    ScopedQuiet(const ScopedQuiet &) = delete;
+    ScopedQuiet &operator=(const ScopedQuiet &) = delete;
+
+  private:
+    bool active;
+};
 
 } // namespace pipestitch
 

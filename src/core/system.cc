@@ -10,6 +10,7 @@ FabricRun
 runOnFabric(const workloads::KernelInstance &kernel,
             const RunConfig &config)
 {
+    ScopedQuiet scopedQuiet(config.quiet);
     FabricRun run;
 
     compiler::CompileOptions copts;
@@ -18,8 +19,13 @@ runOnFabric(const workloads::KernelInstance &kernel,
     copts.useStreams = config.useStreams;
     copts.bufferDepth = config.sim.bufferDepth;
     copts.unrollFactor = config.unrollFactor;
-    run.compiled =
-        compiler::compileProgram(kernel.prog, kernel.liveIns, copts);
+    if (!config.cache ||
+        !config.cache->lookupCompile(kernel, copts, run.compiled)) {
+        run.compiled = compiler::compileProgram(kernel.prog,
+                                                kernel.liveIns, copts);
+        if (config.cache)
+            config.cache->storeCompile(kernel, copts, run.compiled);
+    }
 
     fabric::Fabric fab(config.fabric);
     compiler::ShareGroups shareGroups;
@@ -32,7 +38,17 @@ runOnFabric(const workloads::KernelInstance &kernel,
         mapper::MapperOptions mopts;
         mopts.seed = config.mapperSeed;
         mopts.shareGroups = shareGroups;
-        run.mapping = mapper::mapGraph(run.compiled.graph, fab, mopts);
+        if (!config.cache ||
+            !config.cache->lookupMapping(run.compiled.graph,
+                                         config.fabric, mopts,
+                                         run.mapping)) {
+            run.mapping =
+                mapper::mapGraph(run.compiled.graph, fab, mopts);
+            if (config.cache)
+                config.cache->storeMapping(run.compiled.graph,
+                                           config.fabric, mopts,
+                                           run.mapping);
+        }
         if (!run.mapping.success) {
             fatal("kernel %s does not map onto the fabric (%s): %s",
                   kernel.name.c_str(),

@@ -44,6 +44,44 @@
 
 namespace pipestitch {
 
+/**
+ * Hook for memoizing the expensive pipeline stages. runOnFabric
+ * consults it (when set on the RunConfig) before compiling or
+ * mapping, and offers the freshly computed result back after a miss.
+ * Implementations own keying and storage — the canonical one is
+ * runner::MemoCache, which content-addresses kernels and graphs and
+ * can persist mapper placements to disk. Implementations must be
+ * thread-safe: sweeps call runOnFabric from many threads against one
+ * shared cache.
+ *
+ * Both stages are deterministic functions of the arguments the
+ * hooks receive, so serving a hit is behavior-preserving by
+ * construction.
+ */
+class PipelineCache
+{
+  public:
+    virtual ~PipelineCache() = default;
+
+    /** @return true and fill @p out on a hit. */
+    virtual bool lookupCompile(const workloads::KernelInstance &kernel,
+                               const compiler::CompileOptions &opts,
+                               compiler::CompileResult &out) = 0;
+    virtual void storeCompile(const workloads::KernelInstance &kernel,
+                              const compiler::CompileOptions &opts,
+                              const compiler::CompileResult &result) = 0;
+
+    /** @return true and fill @p out on a hit. */
+    virtual bool lookupMapping(const dfg::Graph &graph,
+                               const fabric::FabricConfig &fabric,
+                               const mapper::MapperOptions &opts,
+                               mapper::Mapping &out) = 0;
+    virtual void storeMapping(const dfg::Graph &graph,
+                              const fabric::FabricConfig &fabric,
+                              const mapper::MapperOptions &opts,
+                              const mapper::Mapping &mapping) = 0;
+};
+
 /** Configuration of one fabric execution. Aggregate-initializable;
  *  every field has a working default. */
 struct RunConfig
@@ -74,6 +112,20 @@ struct RunConfig
     bool verifyAgainstGolden = true;
 
     uint64_t mapperSeed = 1;
+
+    /**
+     * Memo cache for the compile and map stages (not owned; null
+     * disables memoization). See PipelineCache.
+     */
+    PipelineCache *cache = nullptr;
+
+    /**
+     * Silence warn()/inform() for this run only (on whichever
+     * thread executes it), instead of the process-wide setQuiet().
+     * Parallel sweeps set this so one noisy run cannot silence — or
+     * be silenced by — its neighbors.
+     */
+    bool quiet = false;
 
     /**
      * Simulator configuration — the single source of truth for

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/hash.hh"
 #include "base/logging.hh"
 
 namespace pipestitch::dfg {
@@ -190,6 +191,40 @@ innermostLoops(const Graph &graph)
             out.push_back(l);
     }
     return out;
+}
+
+uint64_t
+graphFingerprint(const Graph &graph)
+{
+    Hasher h;
+    h.str(graph.name);
+    h.i32(graph.numLoops);
+    h.vec(graph.loopParent);
+    h.u64(graph.loopThreaded.size());
+    for (bool t : graph.loopThreaded)
+        h.b(t);
+    h.u64(graph.nodes.size());
+    for (const Node &n : graph.nodes) {
+        h.i32(static_cast<int32_t>(n.kind));
+        h.i32(static_cast<int32_t>(n.op));
+        h.b(n.steerIfTrue);
+        h.i64(n.imm);
+        h.i64(n.streamStep);
+        h.u64(n.inputs.size());
+        for (const Operand &in : n.inputs) {
+            h.i32(static_cast<int32_t>(in.kind));
+            h.i32(in.port.node);
+            h.i32(in.port.index);
+            h.i64(in.imm);
+        }
+        h.i32(n.loopId);
+        h.i32(n.loopDepth);
+        h.b(n.innerLoop);
+        h.b(n.cfInNoc);
+        h.i32(n.array);
+        h.str(n.name);
+    }
+    return h.digest();
 }
 
 } // namespace pipestitch::dfg

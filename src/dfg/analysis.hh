@@ -8,6 +8,7 @@
 #ifndef PIPESTITCH_DFG_ANALYSIS_HH
 #define PIPESTITCH_DFG_ANALYSIS_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "dfg/graph.hh"
@@ -34,6 +35,15 @@ std::vector<NodeId> nocCfTopoOrder(const Graph &graph);
 
 /** Ids of innermost loops (loops that are no other loop's parent). */
 std::vector<int> innermostLoops(const Graph &graph);
+
+/**
+ * Content fingerprint of a graph: covers every semantic node field
+ * (kind, opcode, immediates, wiring, loop structure, CF placement,
+ * array binding) plus the loop tables. Two graphs with equal
+ * fingerprints behave identically under the mapper and simulator;
+ * the runner's memo cache keys mapper results on it.
+ */
+uint64_t graphFingerprint(const Graph &graph);
 
 } // namespace pipestitch::dfg
 

@@ -1,0 +1,305 @@
+#include "runner/memo.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <thread>
+
+#include "base/hash.hh"
+#include "base/logging.hh"
+#include "dfg/analysis.hh"
+#include "sir/printer.hh"
+
+namespace pipestitch::runner {
+
+namespace {
+
+/** Bump when the on-disk mapping format or any key ingredient
+ *  changes; stale files then simply miss. */
+constexpr int kDiskFormatVersion = 1;
+
+void
+hashFabric(Hasher &h, const fabric::FabricConfig &f)
+{
+    h.i32(f.width)
+        .i32(f.height)
+        .vec(f.peMix)
+        .i32(f.routerCfCapacity)
+        .i32(f.linkCapacity)
+        .i64(f.memBytes)
+        .i32(f.memBanks)
+        .f64(f.clockMHz);
+}
+
+} // namespace
+
+MemoCache::MemoCache(std::string cacheDir) : dir(std::move(cacheDir))
+{
+}
+
+uint64_t
+MemoCache::programKey(const workloads::KernelInstance &k)
+{
+    Hasher h;
+    h.str(sir::print(k.prog)).vec(k.liveIns);
+    return h.digest();
+}
+
+uint64_t
+MemoCache::kernelKey(const workloads::KernelInstance &k)
+{
+    Hasher h;
+    h.u64(programKey(k)).vec(k.memory);
+    return h.digest();
+}
+
+uint64_t
+MemoCache::compileKey(const workloads::KernelInstance &k,
+                      const compiler::CompileOptions &opts)
+{
+    Hasher h;
+    h.u64(programKey(k))
+        .i32(static_cast<int32_t>(opts.variant))
+        .i32(static_cast<int32_t>(opts.threading))
+        .b(opts.useStreams)
+        .i32(opts.bufferDepth)
+        .i32(opts.unrollFactor);
+    return h.digest();
+}
+
+uint64_t
+MemoCache::mappingKey(const dfg::Graph &graph,
+                      const fabric::FabricConfig &fabric,
+                      const mapper::MapperOptions &opts)
+{
+    Hasher h;
+    h.u64(dfg::graphFingerprint(graph));
+    hashFabric(h, fabric);
+    h.u64(opts.seed)
+        .i32(opts.annealIterations)
+        .f64(opts.startTemperature);
+    h.u64(opts.shareGroups.size());
+    for (const auto &group : opts.shareGroups)
+        h.vec(group);
+    return h.digest();
+}
+
+uint64_t
+MemoCache::runKey(const workloads::KernelInstance &k,
+                  const RunConfig &cfg)
+{
+    Hasher h;
+    h.u64(kernelKey(k))
+        .i32(static_cast<int32_t>(cfg.variant))
+        .i32(static_cast<int32_t>(cfg.threading))
+        .b(cfg.useStreams)
+        .i32(cfg.unrollFactor)
+        .b(cfg.allowTimeMultiplex)
+        .b(cfg.map)
+        .b(cfg.verifyAgainstGolden)
+        .u64(cfg.mapperSeed);
+    hashFabric(h, cfg.fabric);
+    // SimConfig: only the user-settable fields. The derived ones
+    // (buffering, memBypass, memBanks, shareGroups) are functions of
+    // the inputs above, and quiet/trace/observer do not affect the
+    // result.
+    h.i32(static_cast<int32_t>(cfg.sim.scheduler))
+        .i32(cfg.sim.bufferDepth)
+        .i32(cfg.sim.memLatency)
+        .i64(cfg.sim.maxCycles)
+        .b(cfg.sim.checkThreadOrder)
+        .b(cfg.sim.greedyDispatch);
+    return h.digest();
+}
+
+bool
+MemoCache::lookupCompile(const workloads::KernelInstance &kernel,
+                         const compiler::CompileOptions &opts,
+                         compiler::CompileResult &out)
+{
+    uint64_t key = compileKey(kernel, opts);
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = compiles.find(key);
+    if (it == compiles.end()) {
+        nCompileComputes.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    nCompileHits.fetch_add(1, std::memory_order_relaxed);
+    out = it->second;
+    return true;
+}
+
+void
+MemoCache::storeCompile(const workloads::KernelInstance &kernel,
+                        const compiler::CompileOptions &opts,
+                        const compiler::CompileResult &result)
+{
+    uint64_t key = compileKey(kernel, opts);
+    std::lock_guard<std::mutex> lock(mu);
+    compiles.emplace(key, result);
+}
+
+bool
+MemoCache::lookupMapping(const dfg::Graph &graph,
+                         const fabric::FabricConfig &fabric,
+                         const mapper::MapperOptions &opts,
+                         mapper::Mapping &out)
+{
+    uint64_t key = mappingKey(graph, fabric, opts);
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = mappings.find(key);
+        if (it != mappings.end()) {
+            nMapHits.fetch_add(1, std::memory_order_relaxed);
+            out = it->second;
+            return true;
+        }
+    }
+    if (!dir.empty() && loadMappingFile(key, out)) {
+        nMapDiskHits.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mu);
+        mappings.emplace(key, out);
+        return true;
+    }
+    nMapComputes.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+void
+MemoCache::storeMapping(const dfg::Graph &graph,
+                        const fabric::FabricConfig &fabric,
+                        const mapper::MapperOptions &opts,
+                        const mapper::Mapping &mapping)
+{
+    uint64_t key = mappingKey(graph, fabric, opts);
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        mappings.emplace(key, mapping);
+    }
+    // Failed mappings are cheap to recompute and their error text is
+    // diagnostic, not canonical — only successes go to disk.
+    if (!dir.empty() && mapping.success)
+        saveMappingFile(key, mapping);
+}
+
+MemoStats
+MemoCache::stats() const
+{
+    MemoStats s;
+    s.compileHits = nCompileHits.load(std::memory_order_relaxed);
+    s.compileComputes =
+        nCompileComputes.load(std::memory_order_relaxed);
+    s.mapHits = nMapHits.load(std::memory_order_relaxed);
+    s.mapDiskHits = nMapDiskHits.load(std::memory_order_relaxed);
+    s.mapComputes = nMapComputes.load(std::memory_order_relaxed);
+    return s;
+}
+
+std::string
+MemoCache::mappingPath(uint64_t key) const
+{
+    return dir + "/map-" + hashHex(key) + ".txt";
+}
+
+bool
+MemoCache::loadMappingFile(uint64_t key, mapper::Mapping &out) const
+{
+    FILE *f = std::fopen(mappingPath(key).c_str(), "r");
+    if (!f)
+        return false;
+    mapper::Mapping m;
+    m.success = true;
+    int version = 0;
+    size_t nPe = 0, nRouter = 0, nHops = 0;
+    bool ok =
+        std::fscanf(f, "pipestitch-mapping %d\n", &version) == 1 &&
+        version == kDiskFormatVersion &&
+        std::fscanf(f, "wirelength %" SCNd64 "\n",
+                    &m.totalWireLength) == 1 &&
+        std::fscanf(f, "avghops %la\n", &m.avgHops) == 1 &&
+        std::fscanf(f, "maxlinkload %d\n", &m.maxLinkLoad) == 1 &&
+        std::fscanf(f, "pe %zu\n", &nPe) == 1;
+    if (ok) {
+        m.peOf.resize(nPe);
+        for (size_t i = 0; ok && i < nPe; i++)
+            ok = std::fscanf(f, "%d", &m.peOf[i]) == 1;
+    }
+    ok = ok && std::fscanf(f, "\nrouter %zu\n", &nRouter) == 1;
+    if (ok) {
+        m.routerOf.resize(nRouter);
+        for (size_t i = 0; ok && i < nRouter; i++)
+            ok = std::fscanf(f, "%d", &m.routerOf[i]) == 1;
+    }
+    ok = ok && std::fscanf(f, "\nhops %zu\n", &nHops) == 1;
+    if (ok) {
+        m.hopsOf.resize(nHops);
+        for (size_t i = 0; ok && i < nHops; i++) {
+            size_t nPorts = 0;
+            ok = std::fscanf(f, "%zu", &nPorts) == 1;
+            if (!ok)
+                break;
+            m.hopsOf[i].resize(nPorts);
+            for (size_t j = 0; ok && j < nPorts; j++)
+                ok = std::fscanf(f, "%d", &m.hopsOf[i][j]) == 1;
+        }
+    }
+    std::fclose(f);
+    if (!ok) {
+        warn("ignoring malformed mapping cache file %s",
+             mappingPath(key).c_str());
+        return false;
+    }
+    out = std::move(m);
+    return true;
+}
+
+void
+MemoCache::saveMappingFile(uint64_t key,
+                           const mapper::Mapping &mapping) const
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        warn("cannot create cache dir %s: %s", dir.c_str(),
+             ec.message().c_str());
+        return;
+    }
+    std::string path = mappingPath(key);
+    // Unique tmp name per writer thread, then an atomic rename, so
+    // concurrent processes sharing a cache dir never see torn files.
+    std::string tmp =
+        path + ".tmp." +
+        std::to_string(static_cast<uint64_t>(std::hash<std::thread::id>{}(
+            std::this_thread::get_id())));
+    FILE *f = std::fopen(tmp.c_str(), "w");
+    if (!f) {
+        warn("cannot write mapping cache file %s", tmp.c_str());
+        return;
+    }
+    std::fprintf(f, "pipestitch-mapping %d\n", kDiskFormatVersion);
+    std::fprintf(f, "wirelength %" PRId64 "\n",
+                 mapping.totalWireLength);
+    // %a round-trips the double exactly.
+    std::fprintf(f, "avghops %a\n", mapping.avgHops);
+    std::fprintf(f, "maxlinkload %d\n", mapping.maxLinkLoad);
+    std::fprintf(f, "pe %zu\n", mapping.peOf.size());
+    for (int v : mapping.peOf)
+        std::fprintf(f, "%d ", v);
+    std::fprintf(f, "\nrouter %zu\n", mapping.routerOf.size());
+    for (int v : mapping.routerOf)
+        std::fprintf(f, "%d ", v);
+    std::fprintf(f, "\nhops %zu\n", mapping.hopsOf.size());
+    for (const auto &ports : mapping.hopsOf) {
+        std::fprintf(f, "%zu", ports.size());
+        for (int v : ports)
+            std::fprintf(f, " %d", v);
+        std::fprintf(f, "\n");
+    }
+    std::fclose(f);
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        std::filesystem::remove(tmp, ec);
+}
+
+} // namespace pipestitch::runner

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Content-addressed memo cache for the compile→map→simulate
+ * pipeline.
+ *
+ * Keys are 64-bit content hashes: a kernel is addressed by its
+ * printed SIR plus bound live-ins (and, for whole runs, its initial
+ * memory image), a graph by dfg::graphFingerprint, and every option
+ * struct contributes all of its fields. Identical inputs therefore
+ * hit regardless of which sweep, figure, or process asked first.
+ *
+ * Three layers:
+ *  - compile results, in-memory (compiling is cheap relative to
+ *    mapping but far from free at paper scale);
+ *  - mapper placements, in-memory plus an optional on-disk layer
+ *    (`cacheDir`) so successive figure binaries skip the
+ *    simulated-annealing mapper entirely;
+ *  - whole FabricRuns, deduplicated in-flight by runner::Runner
+ *    (see sweep.hh) rather than here — a run embeds its mutated
+ *    memory image, so only exact-duplicate jobs may share one.
+ *
+ * All methods are thread-safe; counters let tests assert "the warm
+ * rerun computed zero mappings".
+ */
+
+#ifndef PIPESTITCH_RUNNER_MEMO_HH
+#define PIPESTITCH_RUNNER_MEMO_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/system.hh"
+
+namespace pipestitch::runner {
+
+/** Snapshot of cache activity since construction. */
+struct MemoStats
+{
+    int64_t compileHits = 0;
+    int64_t compileComputes = 0;
+    int64_t mapHits = 0;     ///< in-memory mapping hits
+    int64_t mapDiskHits = 0; ///< mapping loaded from cacheDir
+    int64_t mapComputes = 0; ///< mapper actually invoked
+};
+
+class MemoCache final : public PipelineCache
+{
+  public:
+    /** @p cacheDir empty disables the on-disk mapping layer; the
+     *  directory is created on first store. */
+    explicit MemoCache(std::string cacheDir = "");
+
+    bool lookupCompile(const workloads::KernelInstance &kernel,
+                       const compiler::CompileOptions &opts,
+                       compiler::CompileResult &out) override;
+    void storeCompile(const workloads::KernelInstance &kernel,
+                      const compiler::CompileOptions &opts,
+                      const compiler::CompileResult &result) override;
+
+    bool lookupMapping(const dfg::Graph &graph,
+                       const fabric::FabricConfig &fabric,
+                       const mapper::MapperOptions &opts,
+                       mapper::Mapping &out) override;
+    void storeMapping(const dfg::Graph &graph,
+                      const fabric::FabricConfig &fabric,
+                      const mapper::MapperOptions &opts,
+                      const mapper::Mapping &mapping) override;
+
+    MemoStats stats() const;
+
+    const std::string &cacheDir() const { return dir; }
+
+    /** @{ Content keys (exposed for the run-level dedup and tests). */
+    static uint64_t programKey(const workloads::KernelInstance &k);
+    static uint64_t kernelKey(const workloads::KernelInstance &k);
+    static uint64_t compileKey(const workloads::KernelInstance &k,
+                               const compiler::CompileOptions &opts);
+    static uint64_t mappingKey(const dfg::Graph &graph,
+                               const fabric::FabricConfig &fabric,
+                               const mapper::MapperOptions &opts);
+    static uint64_t runKey(const workloads::KernelInstance &k,
+                           const RunConfig &cfg);
+    /** @} */
+
+  private:
+    std::string mappingPath(uint64_t key) const;
+    bool loadMappingFile(uint64_t key, mapper::Mapping &out) const;
+    void saveMappingFile(uint64_t key,
+                         const mapper::Mapping &mapping) const;
+
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, compiler::CompileResult> compiles;
+    std::unordered_map<uint64_t, mapper::Mapping> mappings;
+    std::string dir;
+
+    mutable std::atomic<int64_t> nCompileHits{0};
+    mutable std::atomic<int64_t> nCompileComputes{0};
+    mutable std::atomic<int64_t> nMapHits{0};
+    mutable std::atomic<int64_t> nMapDiskHits{0};
+    mutable std::atomic<int64_t> nMapComputes{0};
+};
+
+} // namespace pipestitch::runner
+
+#endif // PIPESTITCH_RUNNER_MEMO_HH

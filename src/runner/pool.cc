@@ -1,0 +1,61 @@
+#include "runner/pool.hh"
+
+#include <algorithm>
+
+namespace pipestitch::runner {
+
+int
+defaultJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    int n = threads <= 0 ? defaultJobs() : threads;
+    workers.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; i++)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::post(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        queue.push_back(std::move(job));
+    }
+    cv.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cv.wait(lock,
+                    [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping and drained
+            job = std::move(queue.front());
+            queue.pop_front();
+        }
+        job();
+    }
+}
+
+} // namespace pipestitch::runner

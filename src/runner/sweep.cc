@@ -1,0 +1,92 @@
+#include "runner/sweep.hh"
+
+namespace pipestitch::runner {
+
+Runner::Runner(const RunnerOptions &options)
+    : opts(options), memo(options.memoize ? options.cacheDir : ""),
+      workers(options.jobs)
+{
+}
+
+std::shared_future<FabricRun>
+Runner::enqueue(KernelPtr kernel, const RunConfig &config)
+{
+    RunConfig cfg = config;
+    if (opts.memoize)
+        cfg.cache = &memo;
+    if (opts.quietRuns)
+        cfg.quiet = true;
+
+    // Observed or traced runs exist for their side effects — never
+    // collapse them onto another job's execution. Stage memoization
+    // still applies.
+    bool dedupable = opts.memoize && !cfg.sim.observer &&
+                     !cfg.sim.trace;
+    uint64_t key = dedupable ? MemoCache::runKey(*kernel, cfg) : 0;
+    if (dedupable) {
+        std::lock_guard<std::mutex> lock(inflightMu);
+        auto it = inflight.find(key);
+        if (it != inflight.end()) {
+            nDedupHits++;
+            return it->second;
+        }
+    }
+
+    std::shared_future<FabricRun> fut =
+        workers
+            .submit(
+                [kernel = std::move(kernel), cfg] {
+                    return runOnFabric(*kernel, cfg);
+                })
+            .share();
+    if (dedupable) {
+        std::lock_guard<std::mutex> lock(inflightMu);
+        inflight.emplace(key, fut);
+    }
+    return fut;
+}
+
+FabricRun
+Runner::run(KernelPtr kernel, const RunConfig &config)
+{
+    return enqueue(std::move(kernel), config).get();
+}
+
+int64_t
+Runner::dedupHits() const
+{
+    std::lock_guard<std::mutex> lock(inflightMu);
+    return nDedupHits;
+}
+
+size_t
+Sweep::add(KernelPtr kernel, const RunConfig &config)
+{
+    SweepJob job;
+    job.kernel = kernel;
+    job.config = config;
+    job.result = owner.enqueue(std::move(kernel), config);
+    jobs.push_back(std::move(job));
+    return jobs.size() - 1;
+}
+
+void
+Sweep::addGrid(const std::vector<KernelPtr> &kernels,
+               const std::vector<RunConfig> &configs)
+{
+    for (const auto &kernel : kernels)
+        for (const auto &config : configs)
+            add(kernel, config);
+}
+
+std::vector<FabricRun>
+Sweep::run()
+{
+    std::vector<FabricRun> results;
+    results.reserve(jobs.size());
+    for (const SweepJob &job : jobs)
+        results.push_back(job.result.get());
+    return results;
+}
+
+} // namespace pipestitch::runner

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Concurrent execution of (kernel × variant × config) grids.
+ *
+ * Runner owns a ThreadPool and a MemoCache and executes runOnFabric
+ * jobs on worker threads; every job shares the cache, so a compile
+ * or mapping computed for one job is a hit for all later ones. On
+ * top of that, exact-duplicate jobs (same kernel content, same
+ * RunConfig) collapse to a single execution via a shared_future —
+ * the figure suite re-runs many identical (kernel, variant) points
+ * across figures, and each is simulated once.
+ *
+ * Sweep is the grid layer: add jobs one at a time or as a
+ * kernels×configs cross product, then run() them concurrently.
+ * Results come back in submission order regardless of completion
+ * order, so output is deterministic for any --jobs value.
+ *
+ * Enqueue jobs only from outside the pool (enqueue() is not
+ * reentrant from a worker): a job that blocked on a nested future
+ * could deadlock a fully-busy pool. Compound workloads (e.g. the
+ * DNN) should be submitted as one job that calls runOnFabric
+ * internally — they still share the stage cache.
+ */
+
+#ifndef PIPESTITCH_RUNNER_SWEEP_HH
+#define PIPESTITCH_RUNNER_SWEEP_HH
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "runner/memo.hh"
+#include "runner/pool.hh"
+
+namespace pipestitch::runner {
+
+/**
+ * Kernels are shared read-only between the submitting thread and
+ * the workers (KernelInstance is move-only — its SIR statements are
+ * unique_ptrs — and copying megabyte memory images per job would be
+ * wasteful anyway).
+ */
+using KernelPtr = std::shared_ptr<const workloads::KernelInstance>;
+
+/** Wrap a freshly built kernel for submission. */
+inline KernelPtr
+share(workloads::KernelInstance &&kernel)
+{
+    return std::make_shared<const workloads::KernelInstance>(
+        std::move(kernel));
+}
+
+struct RunnerOptions
+{
+    /** Worker threads; <= 0 means hardware concurrency. */
+    int jobs = 0;
+
+    /** On-disk mapping cache directory ("" disables). */
+    std::string cacheDir;
+
+    /** Master switch for stage memoization and run dedup. */
+    bool memoize = true;
+
+    /** Silence warn()/inform() inside pooled runs (keeps parallel
+     *  output readable; direct runOnFabric calls are unaffected). */
+    bool quietRuns = true;
+};
+
+class Runner
+{
+  public:
+    explicit Runner(const RunnerOptions &options = RunnerOptions{});
+
+    ThreadPool &pool() { return workers; }
+    MemoCache &cache() { return memo; }
+    const RunnerOptions &options() const { return opts; }
+
+    /**
+     * Queue one runOnFabric job. @p config is captured by value with
+     * the runner's cache and quiet policy applied. Duplicate jobs
+     * share one execution. Call from outside the pool only.
+     */
+    std::shared_future<FabricRun> enqueue(KernelPtr kernel,
+                                          const RunConfig &config);
+
+    /** Convenience: enqueue and wait. */
+    FabricRun run(KernelPtr kernel, const RunConfig &config);
+
+    /** Submit an arbitrary job to the pool (see ThreadPool). */
+    template <typename F>
+    auto
+    submit(F &&fn)
+    {
+        return workers.submit(std::forward<F>(fn));
+    }
+
+    /** Exact-duplicate jobs served from an earlier enqueue. */
+    int64_t dedupHits() const;
+
+  private:
+    RunnerOptions opts;
+    MemoCache memo;
+    ThreadPool workers;
+
+    mutable std::mutex inflightMu;
+    std::map<uint64_t, std::shared_future<FabricRun>> inflight;
+    int64_t nDedupHits = 0;
+};
+
+/** One grid point plus its future result. */
+struct SweepJob
+{
+    KernelPtr kernel;
+    RunConfig config;
+    std::shared_future<FabricRun> result;
+};
+
+class Sweep
+{
+  public:
+    explicit Sweep(Runner &runner) : owner(runner) {}
+
+    /** Add one point; returns its submission index. */
+    size_t add(KernelPtr kernel, const RunConfig &config);
+
+    /** Cross product: every kernel under every config. */
+    void addGrid(const std::vector<KernelPtr> &kernels,
+                 const std::vector<RunConfig> &configs);
+
+    size_t size() const { return jobs.size(); }
+    const SweepJob &job(size_t i) const { return jobs[i]; }
+
+    /** Wait for all points; results in submission order. */
+    std::vector<FabricRun> run();
+
+  private:
+    Runner &owner;
+    std::vector<SweepJob> jobs;
+};
+
+} // namespace pipestitch::runner
+
+#endif // PIPESTITCH_RUNNER_SWEEP_HH

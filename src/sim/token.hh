@@ -14,7 +14,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "base/logging.hh"
@@ -48,16 +47,29 @@ struct Token
  * more than the buffer depth therefore stalls the producer — the
  * imbalanced split-join penalty of source buffering (Fig. 12a) —
  * while small phase offsets between endpoints are absorbed.
+ *
+ * Storage is a fixed-capacity ring buffer sized once from the
+ * configured depth, inline for the paper's depths (4–16) with a
+ * one-time heap fallback beyond that. This is the simulator's
+ * hottest data structure — one instance per buffered port, pushed
+ * and popped every fire — and the previous std::deque paid a block
+ * allocation per FIFO up front plus allocator traffic whenever a
+ * push crossed a block boundary (see BM_TokenFifo).
  */
 class TokenFifo
 {
   public:
-    explicit TokenFifo(int depth = 0) : depth(depth) {}
+    explicit TokenFifo(int depth = 0) { setDepth(depth); }
 
+    /** Set capacity. Only valid while the FIFO is empty. */
     void
     setDepth(int d)
     {
+        ps_assert(count == 0, "resizing a non-empty token fifo");
         depth = d;
+        if (depth > kInlineCap)
+            overflow.assign(static_cast<size_t>(depth), Token{});
+        head_ = 0;
     }
 
     /** Configure multicast endpoints (source-buffer mode). */
@@ -67,31 +79,33 @@ class TokenFifo
         consumed.assign(static_cast<size_t>(n), 0);
     }
 
-    bool empty() const { return q.empty(); }
-    bool full() const { return size() >= depth; }
-    int size() const { return static_cast<int>(q.size()); }
-    int freeSlots() const { return depth - size(); }
+    bool empty() const { return count == 0; }
+    bool full() const { return count >= depth; }
+    int size() const { return count; }
+    int freeSlots() const { return depth - count; }
     int capacity() const { return depth; }
 
     const Token &
     head() const
     {
-        return q.front();
+        return at(0);
     }
 
     void
     push(const Token &t)
     {
         ps_assert(!full(), "token fifo overflow");
-        q.push_back(t);
+        slot(count) = t;
+        count++;
     }
 
     /** Single-consumer pop (destination-buffer mode). */
     Token
     pop()
     {
-        Token t = q.front();
-        q.pop_front();
+        ps_assert(count > 0, "token fifo underflow");
+        Token t = slot(0);
+        advanceHead();
         retired++;
         return t;
     }
@@ -108,7 +122,7 @@ class TokenFifo
     {
         int64_t offset =
             consumed[static_cast<size_t>(endpoint)] - retired;
-        return offset < static_cast<int64_t>(q.size());
+        return offset < static_cast<int64_t>(count);
     }
 
     /**
@@ -120,7 +134,7 @@ class TokenFifo
     bool
     availHeadFor(int endpoint) const
     {
-        return !q.empty() &&
+        return count > 0 &&
                consumed[static_cast<size_t>(endpoint)] == retired;
     }
 
@@ -129,7 +143,7 @@ class TokenFifo
     {
         int64_t offset =
             consumed[static_cast<size_t>(endpoint)] - retired;
-        return q[static_cast<size_t>(offset)];
+        return at(static_cast<int>(offset));
     }
 
     /**
@@ -146,7 +160,7 @@ class TokenFifo
             minC = std::min(minC, c);
         int n = 0;
         while (retired < minC) {
-            q.pop_front();
+            advanceHead();
             retired++;
             n++;
         }
@@ -155,8 +169,41 @@ class TokenFifo
     /** @} */
 
   private:
-    std::deque<Token> q;
-    int depth;
+    /** Depths the paper evaluates (4/8/16) stay allocation-free. */
+    static constexpr int kInlineCap = 16;
+
+    const Token &
+    at(int i) const
+    {
+        int idx = head_ + i;
+        int cap = std::max(depth, 1);
+        if (idx >= cap)
+            idx -= cap;
+        const Token *buf = overflow.empty() ? inlineBuf
+                                            : overflow.data();
+        return buf[idx];
+    }
+
+    Token &
+    slot(int i)
+    {
+        return const_cast<Token &>(at(i));
+    }
+
+    void
+    advanceHead()
+    {
+        head_++;
+        count--;
+        if (head_ >= std::max(depth, 1))
+            head_ = 0;
+    }
+
+    Token inlineBuf[kInlineCap];
+    std::vector<Token> overflow; ///< storage when depth > inline cap
+    int depth = 0;
+    int head_ = 0;  ///< ring index of the oldest entry
+    int count = 0;  ///< live entries
     std::vector<int64_t> consumed; ///< per-endpoint read counts
     int64_t retired = 0;
 };

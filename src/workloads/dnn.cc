@@ -86,12 +86,17 @@ DnnInference
 runDnnOnFabric(const DnnModel &model, compiler::ArchVariant variant,
                int bufferDepth)
 {
-    DnnInference total;
-    total.system = compiler::archVariantName(variant);
-
     RunConfig cfg;
     cfg.variant = variant;
     cfg.sim.bufferDepth = bufferDepth;
+    return runDnnOnFabric(model, cfg);
+}
+
+DnnInference
+runDnnOnFabric(const DnnModel &model, const RunConfig &cfg)
+{
+    DnnInference total;
+    total.system = compiler::archVariantName(cfg.variant);
 
     SparseVec act = model.input;
     const size_t layers = model.weights.size();

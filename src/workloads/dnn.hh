@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "compiler/compile.hh"
+#include "core/system.hh"
 #include "energy/model.hh"
 #include "workloads/matrix.hh"
 
@@ -62,6 +63,14 @@ struct DnnInference
 DnnInference runDnnOnFabric(const DnnModel &model,
                             compiler::ArchVariant variant,
                             int bufferDepth = 4);
+
+/**
+ * Same, under an explicit RunConfig (the layer runs inherit its
+ * cache/quiet/fabric settings; `variant` and `sim.bufferDepth`
+ * come from the config itself).
+ */
+DnnInference runDnnOnFabric(const DnnModel &model,
+                            const RunConfig &config);
 
 /** Run one inference on a scalar core profile. */
 DnnInference runDnnOnScalar(const DnnModel &model,

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests of the runner subsystem: thread pool, sweep determinism
+ * (results must not depend on --jobs or on cache temperature), and
+ * the content-addressed memo cache (in-memory and on-disk).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "base/hash.hh"
+#include "core/system.hh"
+#include "figures/figures.hh"
+#include "runner/memo.hh"
+#include "runner/pool.hh"
+#include "runner/sweep.hh"
+#include "sim/report.hh"
+#include "workloads/kernels.hh"
+
+using namespace pipestitch;
+using compiler::ArchVariant;
+
+namespace {
+
+/** Canonical serialization of one run for byte-level comparison. */
+std::string
+runJson(const FabricRun &run)
+{
+    Hasher mem;
+    mem.vec(run.memory);
+    sim::Report r;
+    r.add("cycles", run.cycles())
+        .add("energy_pj", run.energy.totalPj())
+        .add("edp", run.edp)
+        .add("wirelength", run.mapping.totalWireLength)
+        .add("mem_hash", hashHex(mem.digest()));
+    return r.toJson();
+}
+
+/** A small (kernel × variant) grid exercising threaded + spatial
+ *  kernels. */
+void
+buildGrid(runner::Sweep &sweep)
+{
+    std::vector<runner::KernelPtr> kernels;
+    kernels.push_back(
+        runner::share(workloads::makeSpmv(16, 0.8, figures::kSeed)));
+    kernels.push_back(runner::share(
+        workloads::makeSpMSpVd(16, 0.8, figures::kSeed + 1)));
+    std::vector<RunConfig> configs;
+    for (ArchVariant v :
+         {ArchVariant::RipTide, ArchVariant::Pipestitch}) {
+        RunConfig cfg;
+        cfg.variant = v;
+        configs.push_back(cfg);
+    }
+    sweep.addGrid(kernels, configs);
+}
+
+std::vector<std::string>
+sweepJsons(runner::Runner &runner)
+{
+    runner::Sweep sweep(runner);
+    buildGrid(sweep);
+    std::vector<std::string> out;
+    for (const FabricRun &run : sweep.run())
+        out.push_back(runJson(run));
+    return out;
+}
+
+struct TempDir
+{
+    std::filesystem::path path;
+    TempDir()
+    {
+        path = std::filesystem::temp_directory_path() /
+               ("ps_runner_test_" + std::to_string(::getpid()));
+        std::filesystem::remove_all(path);
+    }
+    ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+} // namespace
+
+TEST(ThreadPool, RunsJobsAndPreservesFutureOrder)
+{
+    runner::ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4);
+    std::vector<std::future<int>> futs;
+    for (int i = 0; i < 64; i++)
+        futs.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 64; i++)
+        EXPECT_EQ(futs[i].get(), i * i);
+    EXPECT_GE(runner::defaultJobs(), 1);
+}
+
+TEST(MemoCache, KeysSeparateIngredients)
+{
+    auto k1 = workloads::makeSpmv(16, 0.8, figures::kSeed);
+    auto k2 = workloads::makeSpmv(16, 0.8, figures::kSeed + 1);
+    // Same program text + live-ins => same program key even from a
+    // distinct instance...
+    auto k1b = workloads::makeSpmv(16, 0.8, figures::kSeed);
+    EXPECT_EQ(runner::MemoCache::programKey(k1),
+              runner::MemoCache::programKey(k1b));
+    // ...but the kernel key also covers the memory image, which the
+    // sparsity seed changes.
+    EXPECT_NE(runner::MemoCache::kernelKey(k1),
+              runner::MemoCache::kernelKey(k2));
+    compiler::CompileOptions a, b;
+    b.variant = ArchVariant::RipTide;
+    EXPECT_NE(runner::MemoCache::compileKey(k1, a),
+              runner::MemoCache::compileKey(k1, b));
+}
+
+TEST(Runner, DedupsIdenticalRuns)
+{
+    runner::RunnerOptions opts;
+    opts.jobs = 2;
+    runner::Runner runner(opts);
+    auto kernel = runner::share(
+        workloads::makeSpmv(16, 0.8, figures::kSeed));
+    RunConfig cfg;
+    auto f1 = runner.enqueue(kernel, cfg);
+    auto f2 = runner.enqueue(kernel, cfg);
+    EXPECT_EQ(runner.dedupHits(), 1);
+    EXPECT_EQ(runJson(f1.get()), runJson(f2.get()));
+    // A different config is a different run.
+    cfg.variant = ArchVariant::RipTide;
+    runner.enqueue(kernel, cfg);
+    EXPECT_EQ(runner.dedupHits(), 1);
+}
+
+TEST(Sweep, ResultsIndependentOfJobCount)
+{
+    std::vector<std::string> serial, parallel;
+    {
+        runner::RunnerOptions opts;
+        opts.jobs = 1;
+        runner::Runner runner(opts);
+        serial = sweepJsons(runner);
+    }
+    {
+        runner::RunnerOptions opts;
+        opts.jobs = 8;
+        runner::Runner runner(opts);
+        parallel = sweepJsons(runner);
+    }
+    ASSERT_EQ(serial.size(), 4u);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); i++)
+        EXPECT_EQ(serial[i], parallel[i]) << "job " << i;
+}
+
+TEST(Sweep, ResultsIndependentOfCacheTemperature)
+{
+    TempDir tmp;
+    std::vector<std::string> cold, warmMem, warmDisk;
+    {
+        runner::RunnerOptions opts;
+        opts.jobs = 4;
+        opts.cacheDir = tmp.path.string();
+        runner::Runner runner(opts);
+        cold = sweepJsons(runner);
+        auto stats = runner.cache().stats();
+        EXPECT_GT(stats.mapComputes, 0);
+        EXPECT_EQ(stats.mapDiskHits, 0);
+        // Second sweep on the same runner: every stage memoized,
+        // every run deduplicated.
+        warmMem = sweepJsons(runner);
+        EXPECT_EQ(runner.cache().stats().mapComputes,
+                  stats.mapComputes);
+        EXPECT_GE(runner.dedupHits(), 4);
+    }
+    {
+        // Fresh process state, warm disk: the mapper never runs.
+        runner::RunnerOptions opts;
+        opts.jobs = 4;
+        opts.cacheDir = tmp.path.string();
+        runner::Runner runner(opts);
+        warmDisk = sweepJsons(runner);
+        auto stats = runner.cache().stats();
+        EXPECT_EQ(stats.mapComputes, 0);
+        EXPECT_GT(stats.mapDiskHits, 0);
+    }
+    ASSERT_EQ(cold.size(), 4u);
+    EXPECT_EQ(cold, warmMem);
+    EXPECT_EQ(cold, warmDisk);
+}
+
+TEST(Figures, SmokeRenderIndependentOfJobsAndCache)
+{
+    TempDir tmp;
+    figures::FigureOptions fopts;
+    fopts.smoke = true;
+    auto renderAll = [&](int jobs, const std::string &cacheDir) {
+        runner::RunnerOptions opts;
+        opts.jobs = jobs;
+        opts.cacheDir = cacheDir;
+        runner::Runner runner(opts);
+        figures::FigureSet set(runner, fopts);
+        std::string all;
+        for (const auto &fig : figures::allFigures())
+            all += fig.render(set);
+        return all;
+    };
+    std::string serial = renderAll(1, "");
+    std::string parallelCold = renderAll(8, tmp.path.string());
+    std::string parallelWarm = renderAll(8, tmp.path.string());
+    EXPECT_EQ(serial, parallelCold);
+    EXPECT_EQ(serial, parallelWarm);
+}

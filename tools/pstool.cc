@@ -15,6 +15,10 @@
  *                               Chrome-trace JSON (chrome://tracing
  *                               or https://ui.perfetto.dev) and a
  *                               stall-attribution breakdown
+ *   pstool figures              reproduce every paper figure in one
+ *                               process, concurrently (takes no
+ *                               .sir file; see --jobs/--smoke/
+ *                               --cache-dir/--out-dir/--only)
  *
  * Variants: riptide, pipestitch (default), pipesb, pipecfin,
  * pipecfop.
@@ -23,12 +27,15 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "base/logging.hh"
 #include "core/system.hh"
 #include "dfg/dot.hh"
+#include "figures/figures.hh"
+#include "runner/sweep.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
 #include "sir/parser.hh"
@@ -111,6 +118,13 @@ usage()
                      c.name, c.help, c.synopsis,
                      *c.synopsis ? "" : "(no extra options)");
     }
+    std::fprintf(
+        stderr,
+        "  %-10s %s\n             %s\n", "figures",
+        "reproduce every paper figure in one process "
+        "(takes no .sir file)",
+        "[--jobs=N --smoke --cache-dir=D --out-dir=D "
+        "--only=id,id --json]");
     std::fprintf(
         stderr,
         "\ncommon options:\n"
@@ -554,6 +568,127 @@ cmdTrace(const Options &opts, const ParseResult &parsed)
     return r.deadlocked ? 1 : 0;
 }
 
+/**
+ * `pstool figures` — the whole evaluation in one process. Every
+ * figure renders from src/figures on a shared runner::Runner, so
+ * simulations common to several figures run once, mapper placements
+ * memoize (optionally on disk via --cache-dir), and independent
+ * runs execute concurrently (--jobs). Figure text is byte-identical
+ * to the standalone bench binaries for every job count and cache
+ * state.
+ */
+int
+cmdFigures(int argc, char **argv)
+{
+    runner::RunnerOptions ropts;
+    figures::FigureOptions fopts;
+    std::string outDir;
+    std::vector<std::string> only;
+    bool json = false;
+    for (int i = 2; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg.rfind("--jobs=", 0) == 0) {
+            ropts.jobs = std::atoi(arg.c_str() + 7);
+        } else if (arg == "--smoke") {
+            fopts.smoke = true;
+        } else if (arg.rfind("--cache-dir=", 0) == 0) {
+            ropts.cacheDir = arg.substr(12);
+        } else if (arg.rfind("--out-dir=", 0) == 0) {
+            outDir = arg.substr(10);
+        } else if (arg.rfind("--only=", 0) == 0) {
+            std::stringstream ss(arg.substr(7));
+            std::string id;
+            while (std::getline(ss, id, ','))
+                only.push_back(id);
+        } else if (arg == "--no-memo") {
+            ropts.memoize = false;
+        } else if (arg == "--json") {
+            json = true;
+        } else {
+            usage();
+        }
+    }
+    for (const auto &id : only) {
+        if (!figures::findFigure(id))
+            fatal("unknown figure '%s'", id.c_str());
+    }
+    if (!outDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(outDir, ec);
+        if (ec)
+            fatal("cannot create '%s': %s", outDir.c_str(),
+                  ec.message().c_str());
+    }
+
+    setQuiet(true);
+    runner::Runner runner(ropts);
+    figures::FigureSet set(runner, fopts);
+
+    auto t0 = std::chrono::steady_clock::now();
+    if (only.empty()) {
+        // Rendering everything: enqueue the full grid up front so
+        // the pool is saturated from the start.
+        set.prefetch();
+    }
+    int rendered = 0;
+    for (const auto &fig : figures::allFigures()) {
+        if (!only.empty() &&
+            std::find(only.begin(), only.end(), fig.id) ==
+                only.end()) {
+            continue;
+        }
+        std::string text = fig.render(set);
+        if (!json) {
+            if (rendered > 0)
+                std::printf("\n");
+            std::fputs(text.c_str(), stdout);
+        }
+        if (!outDir.empty()) {
+            std::string path = outDir + "/" + fig.id + ".out";
+            std::ofstream f(path);
+            if (!f)
+                fatal("cannot write '%s'", path.c_str());
+            f << text;
+        }
+        rendered++;
+    }
+    double wallMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+
+    auto stats = runner.cache().stats();
+    if (json) {
+        sim::Report r;
+        r.add("figures", rendered)
+            .add("jobs", runner.pool().threadCount())
+            .add("smoke", fopts.smoke)
+            .add("wall_ms", wallMs)
+            .add("compile_hits", stats.compileHits)
+            .add("compile_computes", stats.compileComputes)
+            .add("map_hits", stats.mapHits)
+            .add("map_disk_hits", stats.mapDiskHits)
+            .add("map_computes", stats.mapComputes)
+            .add("run_dedup_hits", runner.dedupHits());
+        std::printf("%s\n", r.toJson().c_str());
+    } else {
+        std::fprintf(
+            stderr,
+            "\nrendered %d figure(s) in %.1f s with %d job(s); "
+            "compile %lld hit/%lld computed, mapping %lld hit "
+            "(%lld from disk)/%lld computed, %lld duplicate runs "
+            "shared\n",
+            rendered, wallMs / 1e3, runner.pool().threadCount(),
+            static_cast<long long>(stats.compileHits),
+            static_cast<long long>(stats.compileComputes),
+            static_cast<long long>(stats.mapHits +
+                                   stats.mapDiskHits),
+            static_cast<long long>(stats.mapDiskHits),
+            static_cast<long long>(stats.mapComputes),
+            static_cast<long long>(runner.dedupHits()));
+    }
+    return 0;
+}
+
 int
 cmdScalar(const Options &opts, const ParseResult &parsed)
 {
@@ -573,6 +708,9 @@ cmdScalar(const Options &opts, const ParseResult &parsed)
 int
 main(int argc, char **argv)
 {
+    // `figures` takes no .sir file; dispatch before parseArgs.
+    if (argc >= 2 && std::string(argv[1]) == "figures")
+        return cmdFigures(argc, argv);
     Options opts = parseArgs(argc, argv);
     auto parsed = sir::parseSir(readFile(opts.file), opts.file);
     for (const Command &c : kCommands) {
