@@ -1,0 +1,915 @@
+#include "analysis/analyzer.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "base/logging.hh"
+#include "trace/json.hh"
+
+namespace pipestitch::analysis {
+
+namespace {
+
+using dfg::Graph;
+using dfg::Node;
+using dfg::NodeId;
+using dfg::NodeKind;
+namespace pidx = dfg::port_idx;
+
+class Analyzer
+{
+  public:
+    Analyzer(const Graph &graph, const AnalysisOptions &options,
+             AnalysisReport &report)
+        : graph(graph), options(options), report(report)
+    {}
+
+    void
+    run()
+    {
+        if (options.structural)
+            structuralPass();
+        if (options.deadlock)
+            deadlockPass();
+        if (options.balance)
+            balancePass();
+    }
+
+  private:
+    Diagnostic &
+    diag(const char *rule, NodeId node, std::string message,
+         std::string hint)
+    {
+        Diagnostic d;
+        d.rule = rule;
+        const RuleInfo *info = findRule(d.rule);
+        ps_assert(info != nullptr, "unknown rule %s", rule);
+        d.severity = info->severity;
+        d.node = node;
+        if (node != dfg::NoNode)
+            d.nodes.push_back(node);
+        d.message = std::move(message);
+        d.hint = std::move(hint);
+        report.add(std::move(d));
+        return report.diags.back();
+    }
+
+    bool
+    has(const Node &n, int idx) const
+    {
+        return idx < n.numInputs() &&
+               !n.inputs[static_cast<size_t>(idx)].isNone();
+    }
+
+    bool
+    isWire(const Node &n, int idx) const
+    {
+        return idx < n.numInputs() &&
+               n.inputs[static_cast<size_t>(idx)].isWire();
+    }
+
+    void
+    requireWire(NodeId id, int idx, const char *what)
+    {
+        if (!isWire(graph.at(id), idx)) {
+            diag("PS-S04", id,
+                 csprintf("%s must be a wire input", what),
+                 csprintf("connect a producer to input %d", idx));
+        }
+    }
+
+    void
+    requirePresent(NodeId id, int idx, const char *what)
+    {
+        if (!has(graph.at(id), idx)) {
+            diag("PS-S04", id, csprintf("%s input missing", what),
+                 csprintf("supply input %d as a wire or immediate",
+                          idx));
+        }
+    }
+
+    // ---- structural pass (PS-S01..S06) -------------------------------
+
+    void
+    structuralPass()
+    {
+        for (NodeId id = 0; id < graph.size(); id++)
+            checkNode(id);
+        checkNocCycles();
+    }
+
+    void
+    checkNode(NodeId id)
+    {
+        const Node &n = graph.at(id);
+        if (n.kind != NodeKind::Trigger && !n.hasWireInput()) {
+            diag("PS-S01", id,
+                 "has no wire input; it could never fire",
+                 "drive one input with a wire or delete the node");
+        }
+        if (n.cfInNoc && !n.isControlFlow()) {
+            diag("PS-S02", id,
+                 "only control-flow ops may map into the NoC",
+                 "clear cfInNoc or place the node on a PE");
+        }
+        if (n.cfInNoc && n.kind == NodeKind::Dispatch) {
+            diag("PS-S03", id,
+                 "dispatch requires an output buffer; it must "
+                 "map to a PE",
+                 "clear cfInNoc on the dispatch gate");
+        }
+
+        switch (n.kind) {
+          case NodeKind::Trigger:
+            if (n.numInputs() != 0) {
+                diag("PS-S04", id, "trigger takes no inputs",
+                     "remove the trigger's inputs");
+            }
+            break;
+          case NodeKind::Const:
+            requireWire(id, 0, "region token");
+            break;
+          case NodeKind::Arith: {
+            int want = sir::numOperands(n.op);
+            for (int i = 0; i < want; i++)
+                requirePresent(id, i, "operand");
+            break;
+          }
+          case NodeKind::Steer:
+            requireWire(id, pidx::SteerDecider, "decider");
+            requirePresent(id, pidx::SteerValue, "value");
+            break;
+          case NodeKind::Carry:
+            requireWire(id, pidx::CarryInit, "init");
+            requireWire(id, pidx::CarryCont, "cont");
+            requireWire(id, pidx::CarryDecider, "decider");
+            break;
+          case NodeKind::Invariant:
+            requireWire(id, pidx::InvValue, "value");
+            requireWire(id, pidx::InvDecider, "decider");
+            break;
+          case NodeKind::Merge:
+            requireWire(id, pidx::MergeDecider, "decider");
+            requirePresent(id, pidx::MergeTrue, "true side");
+            requirePresent(id, pidx::MergeFalse, "false side");
+            break;
+          case NodeKind::Dispatch:
+            requireWire(id, pidx::DispatchSpawn, "spawn");
+            requireWire(id, pidx::DispatchCont, "cont");
+            if (n.loopId < 0 || n.loopId >= graph.numLoops) {
+                diag("PS-S05", id, "dispatch outside any loop",
+                     "dispatch gates belong to threaded loop "
+                     "headers");
+            } else if (!graph.loopThreaded[
+                           static_cast<size_t>(n.loopId)]) {
+                diag("PS-S05", id,
+                     "dispatch in a non-threaded loop",
+                     "mark the loop threaded or lower a carry "
+                     "instead");
+            }
+            break;
+          case NodeKind::Load:
+            requirePresent(id, pidx::LoadAddr, "address");
+            break;
+          case NodeKind::Store:
+            requirePresent(id, pidx::StoreAddr, "address");
+            requirePresent(id, pidx::StoreData, "data");
+            break;
+          case NodeKind::Stream: {
+            if (n.streamStep <= 0) {
+                diag("PS-S04", id, "stream step must be positive",
+                     "use a positive streamStep");
+            }
+            requirePresent(id, pidx::StreamBegin, "begin");
+            requirePresent(id, pidx::StreamEnd, "end");
+            bool beginWire = isWire(n, pidx::StreamBegin);
+            bool endWire = isWire(n, pidx::StreamEnd);
+            if (!beginWire && !endWire &&
+                !isWire(n, pidx::StreamTrigger)) {
+                diag("PS-S04", id,
+                     "stream with immediate bounds needs a "
+                     "trigger wire",
+                     "wire the stream trigger input");
+            }
+            break;
+          }
+        }
+    }
+
+    /**
+     * CF-in-NoC nodes evaluate combinationally; a cycle composed
+     * entirely of such nodes is a combinational hardware loop
+     * (Sec. 4.8). Iterative DFS over the cfInNoc-only subgraph.
+     */
+    void
+    checkNocCycles()
+    {
+        auto inCycleScope = [this](NodeId id) {
+            return graph.at(id).cfInNoc;
+        };
+        findCombinationalCycles(inCycleScope, "PS-S06",
+                                "combinational cycle through "
+                                "CF-in-NoC operators",
+                                "map one member onto a PE to break "
+                                "the loop");
+    }
+
+    /**
+     * Report each wire cycle whose members all satisfy @p inScope,
+     * following every wire input (backedges included: a router has
+     * no buffer to break even a loop-carried wire).
+     */
+    template <typename ScopePred>
+    void
+    findCombinationalCycles(ScopePred inScope, const char *rule,
+                            const char *message, const char *hint)
+    {
+        const int n = graph.size();
+        // 0 = unvisited, 1 = on stack, 2 = done
+        std::vector<int> state(static_cast<size_t>(n), 0);
+        for (NodeId start = 0; start < n; start++) {
+            if (!inScope(start) ||
+                state[static_cast<size_t>(start)] != 0) {
+                continue;
+            }
+            std::vector<std::pair<NodeId, int>> dfs;
+            dfs.emplace_back(start, 0);
+            state[static_cast<size_t>(start)] = 1;
+            while (!dfs.empty()) {
+                NodeId id = dfs.back().first;
+                int edge = dfs.back().second;
+                const Node &node = graph.at(id);
+                bool descended = false;
+                while (edge < node.numInputs()) {
+                    const auto &in =
+                        node.inputs[static_cast<size_t>(edge)];
+                    edge++;
+                    if (!in.isWire() || !inScope(in.port.node))
+                        continue;
+                    NodeId next = in.port.node;
+                    int s = state[static_cast<size_t>(next)];
+                    if (s == 1) {
+                        diag(rule, id, message, hint);
+                        continue;
+                    }
+                    if (s == 0) {
+                        dfs.back().second = edge;
+                        state[static_cast<size_t>(next)] = 1;
+                        dfs.emplace_back(next, 0);
+                        descended = true;
+                        break;
+                    }
+                }
+                if (!descended) {
+                    state[static_cast<size_t>(id)] = 2;
+                    dfs.pop_back();
+                }
+            }
+        }
+    }
+
+    // ---- deadlock pass (PS-D01..D03) ---------------------------------
+
+    void
+    deadlockPass()
+    {
+        spawnReserveCheck();
+        zeroSlackCycleCheck();
+        dispatchRegionCheck();
+    }
+
+    /** PS-D02: a spawn set needs two free output slots at every
+     *  gate (Fig. 10); with depth < 2 no spawn can ever win. */
+    void
+    spawnReserveCheck()
+    {
+        std::vector<NodeId> gates;
+        for (NodeId id = 0; id < graph.size(); id++) {
+            if (graph.at(id).kind == NodeKind::Dispatch)
+                gates.push_back(id);
+        }
+        if (gates.empty() || options.bufferDepth >= 2)
+            return;
+        Diagnostic &d = diag(
+            "PS-D02", gates.front(),
+            csprintf("buffer depth %d cannot hold the 2-slot spawn "
+                     "reserve; no spawn set can ever dispatch",
+                     options.bufferDepth),
+            "raise bufferDepth to at least 2");
+        d.nodes.assign(gates.begin(), gates.end());
+    }
+
+    /**
+     * PS-D01: a wire cycle that avoids every backedge port has zero
+     * slack — each member needs a head token produced inside the
+     * cycle before it can fire, so no token ever enters and any
+     * token trapped inside jams permanently. Buffer depth only
+     * scales the (never-filled) capacity; no bubble can drain it.
+     *
+     * DFS from consumers to producers, skipping the canonical
+     * cycle-breaking ports (Graph::isBackedgeInput). Stack frames
+     * remember the parent input used to descend so the diagnostic
+     * can carry the exact cycle.
+     */
+    void
+    zeroSlackCycleCheck()
+    {
+        struct Frame
+        {
+            NodeId node;
+            int nextInput;
+            /** Input index of the previous frame's node through
+             *  which this node was reached. */
+            int viaInput;
+        };
+        const int n = graph.size();
+        std::vector<int> state(static_cast<size_t>(n), 0);
+        std::set<std::vector<NodeId>> seenCycles;
+
+        for (NodeId start = 0; start < n; start++) {
+            if (state[static_cast<size_t>(start)] != 0)
+                continue;
+            std::vector<Frame> dfs;
+            dfs.push_back({start, 0, -1});
+            state[static_cast<size_t>(start)] = 1;
+            while (!dfs.empty()) {
+                Frame &top = dfs.back();
+                const Node &node = graph.at(top.node);
+                bool descended = false;
+                while (top.nextInput < node.numInputs()) {
+                    int i = top.nextInput++;
+                    const auto &in =
+                        node.inputs[static_cast<size_t>(i)];
+                    if (!in.isWire() ||
+                        Graph::isBackedgeInput(node, i)) {
+                        continue;
+                    }
+                    NodeId producer = in.port.node;
+                    int s = state[static_cast<size_t>(producer)];
+                    if (s == 1) {
+                        reportZeroSlackCycle(dfs, producer, i,
+                                             seenCycles);
+                        continue;
+                    }
+                    if (s == 0) {
+                        state[static_cast<size_t>(producer)] = 1;
+                        dfs.push_back({producer, 0, i});
+                        descended = true;
+                        break;
+                    }
+                }
+                if (!descended) {
+                    state[static_cast<size_t>(dfs.back().node)] = 2;
+                    dfs.pop_back();
+                }
+            }
+        }
+    }
+
+    template <typename Frames>
+    void
+    reportZeroSlackCycle(const Frames &dfs, NodeId producer,
+                         int closingInput,
+                         std::set<std::vector<NodeId>> &seenCycles)
+    {
+        // The stack runs consumer → producer; the cycle is the
+        // segment from `producer` to the top.
+        size_t pos = dfs.size();
+        while (pos > 0 && dfs[pos - 1].node != producer)
+            pos--;
+        ps_assert(pos > 0, "gray node missing from DFS stack");
+        pos--;
+
+        std::vector<NodeId> members;
+        std::vector<EdgeRef> edges;
+        for (size_t k = pos; k < dfs.size(); k++) {
+            members.push_back(dfs[k].node);
+            if (k + 1 < dfs.size()) {
+                // dfs[k+1].node produces input viaInput of dfs[k].
+                edges.push_back({dfs[k + 1].node,
+                                 graph.at(dfs[k].node)
+                                     .inputs[static_cast<size_t>(
+                                         dfs[k + 1].viaInput)]
+                                     .port.index,
+                                 dfs[k].node, dfs[k + 1].viaInput});
+            }
+        }
+        // Closing wire: producer feeds input closingInput of the
+        // stack top.
+        NodeId top = dfs.back().node;
+        edges.push_back(
+            {producer,
+             graph.at(top)
+                 .inputs[static_cast<size_t>(closingInput)]
+                 .port.index,
+             top, closingInput});
+
+        std::vector<NodeId> key = members;
+        std::sort(key.begin(), key.end());
+        if (!seenCycles.insert(key).second)
+            return;
+
+        Diagnostic &d = diag(
+            "PS-D01", producer,
+            csprintf("wire cycle of %zu operators avoids every "
+                     "backedge port; each member waits on a token "
+                     "from inside the cycle, so the %zu-slot FIFO "
+                     "capacity stays empty and no bubble can drain "
+                     "it",
+                     members.size(),
+                     members.size() *
+                         static_cast<size_t>(
+                             std::max(options.bufferDepth, 1))),
+            "break the cycle through a carry, invariant, or "
+            "dispatch backedge port");
+        d.nodes = std::move(members);
+        d.edges = std::move(edges);
+    }
+
+    /** Loop ids on the chain from @p loopId to the top region,
+     *  inclusive of @p loopId and the -1 sentinel. */
+    std::set<int>
+    loopChain(int loopId) const
+    {
+        std::set<int> chain;
+        int l = loopId;
+        while (l >= 0 && l < graph.numLoops) {
+            if (!chain.insert(l).second)
+                break; // defensive: corrupt parent links
+            l = graph.loopParent[static_cast<size_t>(l)];
+        }
+        chain.insert(-1);
+        return chain;
+    }
+
+    int
+    loopParentOf(int loopId) const
+    {
+        if (loopId < 0 || loopId >= graph.numLoops)
+            return -1;
+        return graph.loopParent[static_cast<size_t>(loopId)];
+    }
+
+    /** True when @p node generates its loop's iteration clock. */
+    static bool
+    isRateGate(const Node &node)
+    {
+        switch (node.kind) {
+          case NodeKind::Carry:
+          case NodeKind::Invariant:
+          case NodeKind::Dispatch:
+          case NodeKind::Stream:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /** Nesting depth of @p loopId (number of enclosing loops). */
+    int
+    chainDepth(int loopId) const
+    {
+        int d = 0;
+        int l = loopId;
+        while (l >= 0 && l < graph.numLoops && d <= graph.numLoops) {
+            d++;
+            l = graph.loopParent[static_cast<size_t>(l)];
+        }
+        return d;
+    }
+
+    /** Deepest loop on both @p a's and @p b's chains (-1 = top). */
+    int
+    commonAncestor(int a, int b) const
+    {
+        if (a == b)
+            return a;
+        std::set<int> ca = loopChain(a);
+        int l = b;
+        while (l >= 0 && l < graph.numLoops) {
+            if (ca.count(l))
+                return l;
+            l = graph.loopParent[static_cast<size_t>(l)];
+        }
+        return -1;
+    }
+
+    /**
+     * Effective firing clock per node. A node's lexical loopId is
+     * *not* its rate — entry-guard steers are stamped inside the
+     * loop they guard but fire once per entry. Instead, rates are
+     * defined by the gates (carry/invariant/dispatch/stream emit
+     * once per iteration of their loop, -1 is the top-region clock)
+     * and propagate forward through the non-backedge DAG:
+     *
+     *  - a steer emits a *conditional* subclock of its value's
+     *    clock — statically it may stand for the loop's exit rate
+     *    (once per entry) or any conditional subset, so it is the
+     *    sanctioned rate adapter;
+     *  - every other operator fires on the deepest clock among its
+     *    unconditional inputs (those pin the rate) and inherits
+     *    conditionality from any conditional input.
+     */
+    struct RateInfo
+    {
+        /** Loop whose iteration clock the node fires on (-1 top). */
+        int rate = -1;
+        /** Fires on a conditional subset of that clock. */
+        bool cond = false;
+    };
+
+    /** Memoized computeEffectiveRates (both rate-aware passes use
+     *  the same clocks). */
+    const std::vector<RateInfo> &
+    effectiveRates()
+    {
+        if (ratesCache.empty() && graph.size() > 0)
+            ratesCache = computeEffectiveRates();
+        return ratesCache;
+    }
+
+    std::vector<RateInfo>
+    computeEffectiveRates() const
+    {
+        std::vector<RateInfo> eff(static_cast<size_t>(graph.size()));
+        for (NodeId id = 0; id < graph.size(); id++) {
+            if (isRateGate(graph.at(id)))
+                eff[static_cast<size_t>(id)].rate =
+                    graph.at(id).loopId;
+        }
+        // Non-backedge edges form a DAG (PS-D01 flags the rest), so
+        // a bounded fixpoint converges; the cap guards corrupt
+        // graphs.
+        for (int pass = 0; pass < graph.size() + 1; pass++) {
+            bool changed = false;
+            for (NodeId id = 0; id < graph.size(); id++) {
+                const Node &n = graph.at(id);
+                if (isRateGate(n) || n.kind == NodeKind::Trigger)
+                    continue;
+                RateInfo next;
+                if (n.kind == NodeKind::Steer) {
+                    // Value clock (an immediate value falls back
+                    // to the decider's), always conditional.
+                    int port = isWire(n, pidx::SteerValue)
+                                   ? pidx::SteerValue
+                                   : pidx::SteerDecider;
+                    if (isWire(n, port)) {
+                        next.rate =
+                            eff[static_cast<size_t>(
+                                    n.inputs[static_cast<size_t>(
+                                                 port)]
+                                        .port.node)]
+                                .rate;
+                    }
+                    next.cond = true;
+                } else {
+                    // Unconditional inputs pin the clock (deepest
+                    // wins; a mismatch among them is flagged by the
+                    // balance pass). Conditional clocks can adapt
+                    // up their chain, so on their own they join at
+                    // their deepest common ancestor.
+                    int bestUncond = -1;
+                    int condJoin = -1;
+                    bool anyUncond = false;
+                    bool anyCond = false;
+                    for (int i = 0; i < n.numInputs(); i++) {
+                        const auto &in =
+                            n.inputs[static_cast<size_t>(i)];
+                        if (!in.isWire() ||
+                            Graph::isBackedgeInput(n, i)) {
+                            continue;
+                        }
+                        const RateInfo &r =
+                            eff[static_cast<size_t>(in.port.node)];
+                        if (r.cond) {
+                            next.cond = true;
+                            condJoin = anyCond
+                                           ? commonAncestor(
+                                                 condJoin, r.rate)
+                                           : r.rate;
+                            anyCond = true;
+                        } else {
+                            anyUncond = true;
+                            if (chainDepth(r.rate) >
+                                chainDepth(bestUncond)) {
+                                bestUncond = r.rate;
+                            }
+                        }
+                    }
+                    next.rate = anyUncond ? bestUncond : condJoin;
+                }
+                RateInfo &cur = eff[static_cast<size_t>(id)];
+                if (next.rate != cur.rate ||
+                    next.cond != cur.cond) {
+                    cur = next;
+                    changed = true;
+                }
+            }
+            if (!changed)
+                break;
+        }
+        return eff;
+    }
+
+    /**
+     * PS-D03: a dispatch gate's spawn set must arrive at the rate
+     * the loop is *entered* and its continuation set at the rate it
+     * *iterates* — otherwise the SyncPlane group can never agree on
+     * a full set and the whole group jams (Sec. 4.4).
+     */
+    void
+    dispatchRegionCheck()
+    {
+        const std::vector<RateInfo> &eff = effectiveRates();
+        for (NodeId id = 0; id < graph.size(); id++) {
+            const Node &n = graph.at(id);
+            if (n.kind != NodeKind::Dispatch)
+                continue;
+            if (n.loopId < 0 || n.loopId >= graph.numLoops)
+                continue; // PS-S05 already fired
+            if (isWire(n, pidx::DispatchSpawn)) {
+                NodeId p = n.inputs[pidx::DispatchSpawn].port.node;
+                const RateInfo &r = eff[static_cast<size_t>(p)];
+                // An unconditional producer clocked inside the
+                // gated loop floods the spawn port; conditional
+                // (steered) producers may stand for exit rates.
+                if (!r.cond && loopChain(r.rate).count(n.loopId)) {
+                    Diagnostic &d = diag(
+                        "PS-D03", id,
+                        csprintf("spawn set fires at the rate of "
+                                 "loop %d, inside the loop %d it "
+                                 "gates; spawn tokens must arrive "
+                                 "at loop-entry rate",
+                                 r.rate, n.loopId),
+                        "feed the spawn input from the enclosing "
+                        "region");
+                    d.nodes.push_back(p);
+                }
+            }
+            if (isWire(n, pidx::DispatchCont)) {
+                NodeId p = n.inputs[pidx::DispatchCont].port.node;
+                const RateInfo &r = eff[static_cast<size_t>(p)];
+                if (!loopChain(r.rate).count(n.loopId)) {
+                    Diagnostic &d = diag(
+                        "PS-D03", id,
+                        csprintf("continuation set fires at the "
+                                 "rate of loop %d, outside the "
+                                 "loop %d it gates; cont tokens "
+                                 "must arrive at iteration rate",
+                                 r.rate, n.loopId),
+                        "feed the cont input from inside the loop "
+                        "body");
+                    d.nodes.push_back(p);
+                }
+            }
+        }
+    }
+
+    // ---- balance pass (PS-B01/B02) -----------------------------------
+
+    /**
+     * True when the firing clock of @p n was derived from
+     * conditional sources only (see computeEffectiveRates): its
+     * ports drain on an *adaptable* clock — statically the stream
+     * may stand for any rate on its chain, exactly like a
+     * conditional producer. A steer adapts when its rate-defining
+     * value input is conditional (an exit value gated into an if
+     * region, say); any other node adapts only when no
+     * unconditional input pins its clock.
+     */
+    bool
+    clockIsAdaptable(const Node &n,
+                     const std::vector<RateInfo> &eff) const
+    {
+        if (n.kind == NodeKind::Steer) {
+            int port = isWire(n, pidx::SteerValue)
+                           ? pidx::SteerValue
+                           : pidx::SteerDecider;
+            if (!isWire(n, port))
+                return false;
+            return eff[static_cast<size_t>(
+                           n.inputs[static_cast<size_t>(port)]
+                               .port.node)]
+                .cond;
+        }
+        bool anyCond = false;
+        for (int i = 0; i < n.numInputs(); i++) {
+            const auto &in = n.inputs[static_cast<size_t>(i)];
+            if (!in.isWire() || Graph::isBackedgeInput(n, i))
+                continue;
+            if (!eff[static_cast<size_t>(in.port.node)].cond)
+                return false; // an unconditional input pins it
+            anyCond = true;
+        }
+        return anyCond;
+    }
+
+    /**
+     * SDF-style rate check per wire, on effective rates (see
+     * computeEffectiveRates). Each input port consumes at a known
+     * clock: once-per-entry gate ports at the parent region's
+     * clock, every other port at its node's firing clock. A
+     * non-steer producer must emit on exactly that clock — steers
+     * are the sanctioned rate adapter (conditional emit) in both
+     * directions and are exempt. Adaptable clocks pair up loosely:
+     * two conditional streams always meet at their deepest common
+     * ancestor region, and an exact producer feeds an adaptable
+     * port whenever its clock lies on the port's chain. A producer
+     * whose clock nests strictly inside the port's clock floods
+     * the channel (unbounded queue growth, PS-B01); any other
+     * mismatch — slower producer or divergent sibling clock —
+     * starves it (PS-B02).
+     */
+    void
+    balancePass()
+    {
+        const std::vector<RateInfo> &eff = effectiveRates();
+        for (NodeId id = 0; id < graph.size(); id++) {
+            const Node &c = graph.at(id);
+            if (c.kind == NodeKind::Dispatch)
+                continue; // PS-D03 owns both dispatch ports
+            for (int i = 0; i < c.numInputs(); i++) {
+                const auto &in =
+                    c.inputs[static_cast<size_t>(i)];
+                if (!in.isWire() || Graph::isBackedgeInput(c, i))
+                    continue;
+                NodeId pid = in.port.node;
+                int want;
+                bool wantCond = false;
+                if (isRateGate(c)) {
+                    // Gate ports are either backedges (skipped) or
+                    // once-per-entry: consumed at the parent
+                    // region's clock.
+                    if (c.loopId < 0 || c.loopId >= graph.numLoops)
+                        continue; // structurally broken already
+                    want = loopParentOf(c.loopId);
+                } else {
+                    want = eff[static_cast<size_t>(id)].rate;
+                    wantCond = clockIsAdaptable(c, eff);
+                }
+                const RateInfo &rp = eff[static_cast<size_t>(pid)];
+                if (rp.cond) {
+                    // A conditional producer may stand for the
+                    // exit rate of any loop on its clock's chain;
+                    // an adaptable port always meets it at the
+                    // common ancestor, and only a clock an exact
+                    // port can't be derived from is a definite
+                    // starvation.
+                    if (!wantCond &&
+                        !loopChain(rp.rate).count(want)) {
+                        Diagnostic &d = diag(
+                            "PS-B02", id,
+                            csprintf("input %d consumes at the "
+                                     "rate of loop %d but node %d "
+                                     "emits a conditional clock "
+                                     "of loop %d that cannot "
+                                     "reach it; the channel "
+                                     "starves",
+                                     i, want, pid, rp.rate),
+                            "derive the value inside the "
+                            "consuming loop's region");
+                        d.nodes.push_back(pid);
+                        d.edges.push_back(
+                            {pid, in.port.index, id, i});
+                    }
+                    continue;
+                }
+                if (rp.rate == want)
+                    continue;
+                // An adaptable port drains any exact clock on its
+                // own chain (e.g. a top-level if decider gating a
+                // loop's exit value: both streams carry one token
+                // per region entry).
+                if (wantCond && loopChain(want).count(rp.rate))
+                    continue;
+                if (loopChain(rp.rate).count(want)) {
+                    // Producer's clock nests inside the port's:
+                    // one token per inner iteration, drained once
+                    // per outer — the channel grows without bound.
+                    Diagnostic &d = diag(
+                        "PS-B01", pid,
+                        csprintf("emits at the rate of loop %d "
+                                 "but input %d of node %d drains "
+                                 "at the rate of loop %d; the "
+                                 "channel grows without bound",
+                                 rp.rate, i, id, want),
+                        "route values leaving a loop through an "
+                        "exit steer");
+                    d.nodes.push_back(id);
+                    d.edges.push_back({pid, in.port.index, id, i});
+                } else {
+                    Diagnostic &d = diag(
+                        "PS-B02", id,
+                        csprintf("input %d consumes at the rate "
+                                 "of loop %d but node %d emits at "
+                                 "the rate of loop %d; the "
+                                 "channel starves",
+                                 i, want, pid, rp.rate),
+                        "enter loops through carry/invariant/"
+                        "dispatch gates or stream bounds");
+                    d.nodes.push_back(pid);
+                    d.edges.push_back({pid, in.port.index, id, i});
+                }
+            }
+        }
+    }
+
+    const Graph &graph;
+    const AnalysisOptions &options;
+    AnalysisReport &report;
+    std::vector<RateInfo> ratesCache;
+};
+
+} // namespace
+
+int
+AnalysisReport::errorCount() const
+{
+    int n = 0;
+    for (const auto &d : diags)
+        n += d.isError() ? 1 : 0;
+    return n;
+}
+
+int
+AnalysisReport::warningCount() const
+{
+    return static_cast<int>(diags.size()) - errorCount();
+}
+
+void
+AnalysisReport::add(Diagnostic d)
+{
+    if (d.isError() && d.rule.size() >= 4) {
+        switch (d.rule[3]) {
+          case 'S':
+            structureOk = false;
+            deadlockFree = false;
+            break;
+          case 'D':
+            deadlockFree = false;
+            break;
+          case 'B':
+            balanced = false;
+            // An unbalanced channel eventually fills or starves:
+            // the run cannot drain, so certification is off too.
+            deadlockFree = false;
+            break;
+          case 'P':
+            placementOk = false;
+            break;
+        }
+    }
+    diags.push_back(std::move(d));
+}
+
+std::string
+AnalysisReport::toString(const dfg::Graph &graph) const
+{
+    std::string s;
+    for (const auto &d : diags) {
+        s += analysis::toString(d, graph);
+        s += '\n';
+    }
+    s += csprintf("%d error(s), %d warning(s); structure=%s "
+                  "deadlock-free=%s balanced=%s placement=%s",
+                  errorCount(), warningCount(),
+                  structureOk ? "ok" : "FAIL",
+                  deadlockFree ? "yes" : "NO",
+                  balanced ? "yes" : "NO",
+                  placementOk ? "ok" : "FAIL");
+    return s;
+}
+
+std::string
+AnalysisReport::toJson(const dfg::Graph &graph) const
+{
+    std::ostringstream out;
+    trace::JsonWriter w(out);
+    w.beginObject();
+    w.key("graph").value(graph.name);
+    w.key("structureOk").value(structureOk);
+    w.key("deadlockFree").value(deadlockFree);
+    w.key("balanced").value(balanced);
+    w.key("placementOk").value(placementOk);
+    w.key("errors").value(errorCount());
+    w.key("warnings").value(warningCount());
+    w.key("diagnostics").beginArray();
+    for (const auto &d : diags)
+        writeJson(w, d, graph);
+    w.endArray();
+    w.endObject();
+    return out.str();
+}
+
+AnalysisReport
+analyzeGraph(const dfg::Graph &graph, const AnalysisOptions &options)
+{
+    AnalysisReport report;
+    Analyzer(graph, options, report).run();
+    return report;
+}
+
+} // namespace pipestitch::analysis

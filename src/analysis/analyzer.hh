@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Multi-pass static analyzer for compiled dataflow graphs.
+ *
+ * Pipestitch's correctness argument is static (Sec. 4.8): bubble
+ * flow control guarantees forward progress only if every graph the
+ * compiler emits is structurally sound, free of zero-slack
+ * backpressure cycles, and rate-balanced. The analyzer proves those
+ * properties per graph, on every compile, and reports violations as
+ * structured diagnostics (analysis/diagnostics.hh).
+ *
+ * Passes:
+ *  - structural (PS-S01..S06): operand/ISA contracts, CF-in-NoC
+ *    eligibility, combinational NoC cycles. dfg::verify() is a thin
+ *    wrapper over this pass.
+ *  - deadlock freedom (PS-D01..D03): buffer-aware cycle analysis.
+ *    Loop backedges (Graph::isBackedgeInput) are the only ports that
+ *    decouple a cycle — carry/invariant/dispatch emit before they
+ *    consume them. Any wire cycle avoiding all backedge ports needs
+ *    a token on every edge before any member can fire, so no buffer
+ *    depth and no bubble can drain it (PS-D01). The dispatch spawn
+ *    reserve needs two free slots per gate, so depth < 2 statically
+ *    deadlocks every spawn (PS-D02, Fig. 10). Gate spawn/cont inputs
+ *    must come from entry-rate/iteration-rate regions respectively or
+ *    the SyncPlane group jams (PS-D03).
+ *  - token balance (PS-B01/B02): SDF-style rate check per wire. A
+ *    producer nested deeper than the edge's common loop emits once
+ *    per inner iteration while the consumer drains at the outer rate
+ *    — unbounded queue growth unless the producer is a steer (the
+ *    sanctioned conditional exit). A consumer nested deeper starves
+ *    unless the port is consumed once per loop entry (carry init,
+ *    invariant value, dispatch spawn, stream bounds).
+ *
+ * Placement lint (PS-P*) lives in analysis/placement.hh — it needs
+ * the fabric and mapping, not just the graph.
+ */
+
+#ifndef PIPESTITCH_ANALYSIS_ANALYZER_HH
+#define PIPESTITCH_ANALYSIS_ANALYZER_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hh"
+#include "dfg/graph.hh"
+
+namespace pipestitch::analysis {
+
+struct AnalysisOptions
+{
+    /** TokenFifo depth the deadlock pass models (paper default 4). */
+    int bufferDepth = 4;
+
+    bool structural = true;
+    bool deadlock = true;
+    bool balance = true;
+};
+
+/** Result of analyzing one graph (plus, optionally, its placement). */
+struct AnalysisReport
+{
+    std::vector<Diagnostic> diags;
+
+    /** No PS-S* errors. */
+    bool structureOk = true;
+    /** structureOk and no PS-D* errors: the analyzer certifies the
+     *  graph cannot deadlock; the simulator must agree. */
+    bool deadlockFree = true;
+    /** No PS-B* errors: token rates balance on every wire. */
+    bool balanced = true;
+    /** No PS-P* errors (meaningful only after lintPlacement). */
+    bool placementOk = true;
+
+    int errorCount() const;
+    int warningCount() const;
+    bool ok() const { return errorCount() == 0; }
+
+    void add(Diagnostic d);
+
+    /** One line per diagnostic (see analysis::toString). */
+    std::string toString(const dfg::Graph &graph) const;
+
+    /** JSON object: verdicts plus a diagnostics array. */
+    std::string toJson(const dfg::Graph &graph) const;
+};
+
+/** Run the graph-level passes selected in @p options. */
+AnalysisReport analyzeGraph(const dfg::Graph &graph,
+                            const AnalysisOptions &options = {});
+
+} // namespace pipestitch::analysis
+
+#endif // PIPESTITCH_ANALYSIS_ANALYZER_HH

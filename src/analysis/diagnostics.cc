@@ -1,0 +1,118 @@
+#include "analysis/diagnostics.hh"
+
+#include "base/logging.hh"
+#include "trace/json.hh"
+
+namespace pipestitch::analysis {
+
+const char *
+severityName(Severity s)
+{
+    return s == Severity::Error ? "error" : "warning";
+}
+
+const std::vector<RuleInfo> &
+ruleRegistry()
+{
+    static const std::vector<RuleInfo> rules = {
+        {"PS-S01", "operator can never fire", Severity::Error,
+         "Fig. 6 (ordered-dataflow firing rule)"},
+        {"PS-S02", "non-control-flow operator mapped into the NoC",
+         Severity::Error, "Sec. 4.8 (CF-in-NoC)"},
+        {"PS-S03", "dispatch mapped into the NoC", Severity::Error,
+         "Sec. 4.4, Sec. 4.7 (dispatch needs an output buffer)"},
+        {"PS-S04", "malformed operand wiring", Severity::Error,
+         "Fig. 6 (operator contracts)"},
+        {"PS-S05", "dispatch outside a threaded loop", Severity::Error,
+         "Sec. 4.2 (threads are loop iterations)"},
+        {"PS-S06", "combinational cycle through CF-in-NoC operators",
+         Severity::Error, "Sec. 4.8 (router evaluation is combinational)"},
+        {"PS-D01", "zero-slack backpressure cycle", Severity::Error,
+         "Sec. 4.8, Fig. 20 (buffer depths bound backpressure)"},
+        {"PS-D02", "dispatch spawn reserve exceeds buffer depth",
+         Severity::Error, "Sec. 4.4, Fig. 10 (bubble flow control)"},
+        {"PS-D03", "dispatch gate wired across loop regions",
+         Severity::Error, "Sec. 4.4 (SyncPlane group consistency)"},
+        {"PS-B01", "token flood: producer outruns consumer",
+         Severity::Error,
+         "Sec. 4.2 (ordered dataflow; SDF rate balance)"},
+        {"PS-B02", "token starvation: consumer outruns producer",
+         Severity::Error,
+         "Sec. 4.2 (ordered dataflow; SDF rate balance)"},
+        {"PS-P01", "operator placed on an incompatible PE",
+         Severity::Error, "Sec. 5.1 (heterogeneous PE mix)"},
+        {"PS-P02", "router control-flow capacity exceeded",
+         Severity::Error, "Sec. 4.8 (router CF slots)"},
+        {"PS-P03", "combinational cycle through router-hosted operators",
+         Severity::Error, "Sec. 4.8 (CF-in-NoC routing)"},
+        {"PS-P04", "dispatch gate not reachable by the SyncPlane",
+         Severity::Error, "Sec. 4.4 (SyncPlane spans the PE grid)"},
+        {"PS-P05", "route congestion exceeds link capacity",
+         Severity::Error, "Sec. 5.1 (statically-routed NoC)"},
+    };
+    return rules;
+}
+
+const RuleInfo *
+findRule(const std::string &id)
+{
+    for (const auto &r : ruleRegistry()) {
+        if (id == r.id)
+            return &r;
+    }
+    return nullptr;
+}
+
+std::string
+toString(const Diagnostic &d, const dfg::Graph &graph)
+{
+    std::string s = d.rule + " " + severityName(d.severity);
+    if (d.node != dfg::NoNode) {
+        const dfg::Node &n = graph.at(d.node);
+        s += csprintf(" node %d (%s %s)", d.node,
+                      dfg::nodeKindName(n.kind), n.name.c_str());
+    }
+    s += ": " + d.message;
+    if (!d.hint.empty())
+        s += " [hint: " + d.hint + "]";
+    return s;
+}
+
+void
+writeJson(trace::JsonWriter &w, const Diagnostic &d,
+          const dfg::Graph &graph)
+{
+    w.beginObject();
+    w.key("rule").value(d.rule);
+    w.key("severity").value(severityName(d.severity));
+    if (const RuleInfo *info = findRule(d.rule)) {
+        w.key("title").value(info->title);
+        w.key("citation").value(info->citation);
+    }
+    if (d.node != dfg::NoNode) {
+        const dfg::Node &n = graph.at(d.node);
+        w.key("node").value(d.node);
+        w.key("kind").value(dfg::nodeKindName(n.kind));
+        w.key("name").value(n.name);
+    }
+    w.key("message").value(d.message);
+    if (!d.hint.empty())
+        w.key("hint").value(d.hint);
+    w.key("nodes").beginArray();
+    for (dfg::NodeId id : d.nodes)
+        w.value(id);
+    w.endArray();
+    w.key("edges").beginArray();
+    for (const EdgeRef &e : d.edges) {
+        w.beginObject();
+        w.key("from").value(e.from);
+        w.key("port").value(e.port);
+        w.key("to").value(e.to);
+        w.key("input").value(e.input);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace pipestitch::analysis

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Structured diagnostics for the static dataflow analyzer.
+ *
+ * Every finding carries a stable rule ID (documented with its paper
+ * citation in docs/static-analysis.md), a severity, the offending
+ * nodes/edges, and a fix hint — instead of the flat strings the old
+ * dfg::verify() emitted. The rule registry is the single source of
+ * truth for IDs, titles and citations; tests and docs key off it.
+ *
+ * Rule families:
+ *   PS-S* structural   — operand wiring / ISA contracts (Fig. 6)
+ *   PS-D* deadlock     — buffer-aware cycle + spawn-reserve checks
+ *                        (Sec. 4.4 Fig. 10, Sec. 4.8 Fig. 20)
+ *   PS-B* token balance — SDF-style production/consumption rates
+ *   PS-P* placement    — post-map fabric lint (Sec. 4.8, Sec. 5.1)
+ */
+
+#ifndef PIPESTITCH_ANALYSIS_DIAGNOSTICS_HH
+#define PIPESTITCH_ANALYSIS_DIAGNOSTICS_HH
+
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hh"
+
+namespace pipestitch::trace {
+class JsonWriter;
+} // namespace pipestitch::trace
+
+namespace pipestitch::analysis {
+
+enum class Severity { Error, Warning };
+
+const char *severityName(Severity s);
+
+/** One wire in the graph: (producer, output port) → (consumer, input). */
+struct EdgeRef
+{
+    dfg::NodeId from = dfg::NoNode;
+    int port = 0;
+    dfg::NodeId to = dfg::NoNode;
+    int input = 0;
+
+    bool operator==(const EdgeRef &other) const = default;
+};
+
+/** One analyzer finding. */
+struct Diagnostic
+{
+    /** Stable rule ID, e.g. "PS-D01". */
+    std::string rule;
+    Severity severity = Severity::Error;
+
+    /** Primary offending node (NoNode for graph-level findings). */
+    dfg::NodeId node = dfg::NoNode;
+    /** All involved nodes (cycle members, group members...). */
+    std::vector<dfg::NodeId> nodes;
+    /** Involved edges (cycle wires, overloaded routes...). */
+    std::vector<EdgeRef> edges;
+
+    /** What is wrong (without node prefix; rendering adds it). */
+    std::string message;
+    /** How to fix it. */
+    std::string hint;
+
+    bool isError() const { return severity == Severity::Error; }
+};
+
+/** Registry entry: one row per rule ID. */
+struct RuleInfo
+{
+    const char *id;
+    const char *title;
+    Severity severity;
+    /** Paper citation backing the rule. */
+    const char *citation;
+};
+
+/** All known rules, in ID order. */
+const std::vector<RuleInfo> &ruleRegistry();
+
+/** Registry row for @p id, or nullptr. */
+const RuleInfo *findRule(const std::string &id);
+
+/**
+ * Terminal rendering:
+ *   "PS-S01 error node 3 (steer exit): <message> [hint: ...]"
+ */
+std::string toString(const Diagnostic &d, const dfg::Graph &graph);
+
+/** Emit @p d as one JSON object on @p w. */
+void writeJson(trace::JsonWriter &w, const Diagnostic &d,
+               const dfg::Graph &graph);
+
+} // namespace pipestitch::analysis
+
+#endif // PIPESTITCH_ANALYSIS_DIAGNOSTICS_HH

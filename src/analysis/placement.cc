@@ -1,0 +1,361 @@
+#include "analysis/placement.hh"
+
+#include <map>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace pipestitch::analysis {
+
+namespace {
+
+using dfg::Graph;
+using dfg::Node;
+using dfg::NodeId;
+using dfg::NodeKind;
+using fabric::Coord;
+using fabric::Fabric;
+using mapper::Mapping;
+
+class PlacementLint
+{
+  public:
+    PlacementLint(const Graph &graph, const Fabric &fab,
+                  const Mapping &mapping,
+                  const PlacementLintOptions &options,
+                  AnalysisReport &report)
+        : graph(graph), fab(fab), mapping(mapping),
+          options(options), report(report)
+    {}
+
+    void
+    run()
+    {
+        checkPeAssignments();
+        checkRouterCapacity();
+        checkRouterCycles();
+        checkSyncPlane();
+        checkCongestion();
+    }
+
+  private:
+    Diagnostic &
+    diag(const char *rule, NodeId node, std::string message,
+         std::string hint)
+    {
+        Diagnostic d;
+        d.rule = rule;
+        const RuleInfo *info = findRule(d.rule);
+        ps_assert(info != nullptr, "unknown rule %s", rule);
+        d.severity = info->severity;
+        d.node = node;
+        if (node != dfg::NoNode)
+            d.nodes.push_back(node);
+        d.message = std::move(message);
+        d.hint = std::move(hint);
+        report.add(std::move(d));
+        return report.diags.back();
+    }
+
+    int peOf(NodeId id) const
+    {
+        return mapping.peOf[static_cast<size_t>(id)];
+    }
+
+    int routerOf(NodeId id) const
+    {
+        return mapping.routerOf[static_cast<size_t>(id)];
+    }
+
+    /** Grid position used for a node's traffic (trigger: injected
+     *  from the scalar-core corner, matching the mapper). */
+    Coord
+    posOf(NodeId id) const
+    {
+        int pos = peOf(id) >= 0 ? peOf(id) : routerOf(id);
+        if (pos < 0)
+            return {0, 0};
+        return fab.coordOf(pos);
+    }
+
+    /** PS-P01: every PE-resident operator sits on a PE of its
+     *  class, and no PE hosts two operators unless they share a
+     *  declared time-multiplexing group. */
+    void
+    checkPeAssignments()
+    {
+        // Group representative per node (itself when ungrouped).
+        std::vector<NodeId> repOf(
+            static_cast<size_t>(graph.size()), dfg::NoNode);
+        for (const auto &group : options.shareGroups) {
+            for (NodeId id : group)
+                repOf[static_cast<size_t>(id)] = group.front();
+        }
+
+        std::map<int, NodeId> occupant;
+        for (NodeId id = 0; id < graph.size(); id++) {
+            const Node &n = graph.at(id);
+            if (n.kind == NodeKind::Trigger || n.cfInNoc)
+                continue;
+            int pe = peOf(id);
+            if (pe < 0 || pe >= fab.numPes()) {
+                diag("PS-P01", id, "not placed on any PE",
+                     "re-run the mapper or drop the stale cached "
+                     "placement");
+                continue;
+            }
+            if (fab.classAt(pe) != n.peClass()) {
+                diag("PS-P01", id,
+                     csprintf("placed on a %s PE at %d but needs "
+                              "a %s PE",
+                              dfg::peClassName(fab.classAt(pe)), pe,
+                              dfg::peClassName(n.peClass())),
+                     "re-run the mapper; class demand may exceed "
+                     "the fabric mix");
+                continue;
+            }
+            auto [it, inserted] = occupant.emplace(pe, id);
+            if (!inserted) {
+                NodeId other = it->second;
+                NodeId repA = repOf[static_cast<size_t>(id)];
+                NodeId repB = repOf[static_cast<size_t>(other)];
+                bool shared =
+                    repA != dfg::NoNode && repA == repB;
+                if (!shared) {
+                    Diagnostic &d = diag(
+                        "PS-P01", id,
+                        csprintf("shares PE %d with node %d "
+                                 "without a time-multiplexing "
+                                 "group",
+                                 pe, other),
+                        "declare a share group or give each "
+                        "operator its own PE");
+                    d.nodes.push_back(other);
+                }
+            }
+        }
+    }
+
+    /** PS-P02: every CF-in-NoC operator has a hosting router, and
+     *  no router absorbs more than its CF slot budget. */
+    void
+    checkRouterCapacity()
+    {
+        std::map<int, std::vector<NodeId>> load;
+        for (NodeId id = 0; id < graph.size(); id++) {
+            if (!graph.at(id).cfInNoc)
+                continue;
+            int r = routerOf(id);
+            if (r < 0 || r >= fab.numPes()) {
+                diag("PS-P02", id,
+                     "CF-in-NoC operator is not hosted by any "
+                     "router",
+                     "re-run the mapper or place the operator on "
+                     "a PE");
+                continue;
+            }
+            load[r].push_back(id);
+        }
+        int capacity = fab.config().routerCfCapacity;
+        for (const auto &[router, nodes] : load) {
+            if (static_cast<int>(nodes.size()) <= capacity)
+                continue;
+            Coord c = fab.coordOf(router);
+            Diagnostic &d = diag(
+                "PS-P02", nodes.front(),
+                csprintf("router (%d,%d) hosts %zu control-flow "
+                         "ops but has %d slots",
+                         c.x, c.y, nodes.size(), capacity),
+                "spread CF operators across more routers or onto "
+                "PEs");
+            d.nodes = nodes;
+        }
+    }
+
+    /**
+     * PS-P03: router-hosted operators evaluate combinationally, so
+     * a wire cycle whose members are all router-hosted is a
+     * combinational hardware loop. Unlike PS-S06 this reads the
+     * mapping, not the compiler's cfInNoc intent — it catches
+     * stale or hand-corrupted placements.
+     */
+    void
+    checkRouterCycles()
+    {
+        auto hosted = [this](NodeId id) {
+            return routerOf(id) >= 0;
+        };
+        const int n = graph.size();
+        std::vector<int> state(static_cast<size_t>(n), 0);
+        for (NodeId start = 0; start < n; start++) {
+            if (!hosted(start) ||
+                state[static_cast<size_t>(start)] != 0) {
+                continue;
+            }
+            std::vector<std::pair<NodeId, int>> dfs;
+            dfs.emplace_back(start, 0);
+            state[static_cast<size_t>(start)] = 1;
+            while (!dfs.empty()) {
+                NodeId id = dfs.back().first;
+                int edge = dfs.back().second;
+                const Node &node = graph.at(id);
+                bool descended = false;
+                while (edge < node.numInputs()) {
+                    const auto &in =
+                        node.inputs[static_cast<size_t>(edge)];
+                    edge++;
+                    if (!in.isWire() || !hosted(in.port.node))
+                        continue;
+                    NodeId next = in.port.node;
+                    int s = state[static_cast<size_t>(next)];
+                    if (s == 1) {
+                        diag("PS-P03", id,
+                             "combinational cycle through "
+                             "router-hosted operators",
+                             "host one member on a PE to break "
+                             "the loop");
+                        continue;
+                    }
+                    if (s == 0) {
+                        dfs.back().second = edge;
+                        state[static_cast<size_t>(next)] = 1;
+                        dfs.emplace_back(next, 0);
+                        descended = true;
+                        break;
+                    }
+                }
+                if (!descended) {
+                    state[static_cast<size_t>(id)] = 2;
+                    dfs.pop_back();
+                }
+            }
+        }
+    }
+
+    /** PS-P04: the SyncPlane spans the PE grid; a dispatch gate in
+     *  a router (or unplaced) can never join its group's
+     *  spawn/continue agreement. */
+    void
+    checkSyncPlane()
+    {
+        for (NodeId id = 0; id < graph.size(); id++) {
+            if (graph.at(id).kind != NodeKind::Dispatch)
+                continue;
+            if (peOf(id) < 0 || routerOf(id) >= 0) {
+                diag("PS-P04", id,
+                     "dispatch gate is not placed on a PE; the "
+                     "SyncPlane cannot reach it",
+                     "place every dispatch gate on a control-flow "
+                     "PE");
+            }
+        }
+    }
+
+    /**
+     * PS-P05: re-route every edge with the NoC's dimension-ordered
+     * X-Y multicast (shared-prefix links claimed once per output)
+     * and flag links whose load exceeds the wire capacity. This is
+     * an independent reimplementation of the mapper's final check
+     * so a mapper regression cannot hide its own overload.
+     */
+    void
+    checkCongestion()
+    {
+        const int w = fab.config().width;
+        const int h = fab.config().height;
+        // Link: [y][x][dir], dir: 0=+x 1=-x 2=+y 3=-y
+        auto linkIdx = [&](int x, int y, int dir) {
+            return static_cast<size_t>(((y * w) + x) * 4 + dir);
+        };
+        std::vector<int> load(static_cast<size_t>(w * h * 4), 0);
+        std::vector<std::vector<EdgeRef>> users(load.size());
+
+        std::vector<bool> claimed(load.size(), false);
+        for (NodeId src = 0; src < graph.size(); src++) {
+            const Node &node = graph.at(src);
+            for (int port = 0; port < node.numOutputs(); port++) {
+                const auto &consumers =
+                    graph.consumersOf({src, port});
+                if (consumers.empty())
+                    continue;
+                std::vector<size_t> touched;
+                Coord s = posOf(src);
+                for (const auto &c : consumers) {
+                    Coord dst = posOf(c.node);
+                    int x = s.x, y = s.y;
+                    auto claim = [&](int dir) {
+                        size_t l = linkIdx(x, y, dir);
+                        if (!claimed[l]) {
+                            claimed[l] = true;
+                            touched.push_back(l);
+                            load[l]++;
+                            users[l].push_back({src, port, c.node,
+                                                c.inputIndex});
+                        }
+                    };
+                    while (x != dst.x) {
+                        claim(dst.x > x ? 0 : 1);
+                        x += dst.x > x ? 1 : -1;
+                    }
+                    while (y != dst.y) {
+                        claim(dst.y > y ? 2 : 3);
+                        y += dst.y > y ? 1 : -1;
+                    }
+                }
+                for (size_t l : touched)
+                    claimed[l] = false;
+            }
+        }
+
+        static const char *dirName[4] = {"+x", "-x", "+y", "-y"};
+        int capacity = fab.config().linkCapacity;
+        for (int y = 0; y < h; y++) {
+            for (int x = 0; x < w; x++) {
+                for (int dir = 0; dir < 4; dir++) {
+                    size_t l = linkIdx(x, y, dir);
+                    if (load[l] <= capacity)
+                        continue;
+                    Diagnostic &d = diag(
+                        "PS-P05", dfg::NoNode,
+                        csprintf("link (%d,%d)%s carries %d "
+                                 "circuit-switched routes but has "
+                                 "%d wires",
+                                 x, y, dirName[dir], load[l],
+                                 capacity),
+                        "re-map with a different seed or raise "
+                        "linkCapacity");
+                    d.edges = users[l];
+                    for (const EdgeRef &e : d.edges) {
+                        d.nodes.push_back(e.from);
+                        d.nodes.push_back(e.to);
+                    }
+                }
+            }
+        }
+    }
+
+    const Graph &graph;
+    const Fabric &fab;
+    const Mapping &mapping;
+    const PlacementLintOptions &options;
+    AnalysisReport &report;
+};
+
+} // namespace
+
+void
+lintPlacement(const dfg::Graph &graph, const fabric::Fabric &fabric,
+              const mapper::Mapping &mapping, AnalysisReport &report,
+              const PlacementLintOptions &options)
+{
+    ps_assert(graph.isFinalized(), "lintPlacement needs a finalized "
+                                   "graph");
+    ps_assert(mapping.peOf.size() ==
+                      static_cast<size_t>(graph.size()) &&
+                  mapping.routerOf.size() ==
+                      static_cast<size_t>(graph.size()),
+              "mapping does not cover the graph");
+    PlacementLint(graph, fabric, mapping, options, report).run();
+}
+
+} // namespace pipestitch::analysis

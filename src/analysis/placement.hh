@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Post-map placement lint (PS-P01..P05).
+ *
+ * The mapper promises class-compatible placement, bounded router
+ * control-flow occupancy, and congestion-free circuit-switched
+ * routes — but cached placements can go stale and mapper changes can
+ * regress silently. The lint re-derives every promise from the
+ * mapping itself: PE-class compatibility and exclusive PE occupancy
+ * (modulo declared time-multiplexing groups), router CF capacity,
+ * combinational cycles among router-hosted operators, SyncPlane
+ * reachability of every dispatch gate (the plane spans PEs, not
+ * routers — Sec. 4.4), and an independent re-route of every edge
+ * with the same dimension-ordered X-Y multicast the NoC uses,
+ * checked against link capacity.
+ */
+
+#ifndef PIPESTITCH_ANALYSIS_PLACEMENT_HH
+#define PIPESTITCH_ANALYSIS_PLACEMENT_HH
+
+#include <vector>
+
+#include "analysis/analyzer.hh"
+#include "fabric/fabric.hh"
+#include "mapper/mapper.hh"
+
+namespace pipestitch::analysis {
+
+struct PlacementLintOptions
+{
+    /** Time-multiplexing groups: members legally share one PE. */
+    std::vector<std::vector<dfg::NodeId>> shareGroups;
+};
+
+/** Append PS-P* findings for @p mapping to @p report. The graph
+ *  must be finalized (routing follows consumer lists). */
+void lintPlacement(const dfg::Graph &graph,
+                   const fabric::Fabric &fabric,
+                   const mapper::Mapping &mapping,
+                   AnalysisReport &report,
+                   const PlacementLintOptions &options = {});
+
+} // namespace pipestitch::analysis
+
+#endif // PIPESTITCH_ANALYSIS_PLACEMENT_HH

@@ -1,5 +1,6 @@
 #include "core/system.hh"
 
+#include "analysis/placement.hh"
 #include "base/logging.hh"
 #include "compiler/timemux.hh"
 #include "scalar/interpreter.hh"
@@ -25,6 +26,19 @@ runOnFabric(const workloads::KernelInstance &kernel,
                                                 kernel.liveIns, copts);
         if (config.cache)
             config.cache->storeCompile(kernel, copts, run.compiled);
+    }
+
+    if (config.analyze) {
+        analysis::AnalysisOptions aopts;
+        aopts.bufferDepth = config.sim.bufferDepth;
+        run.analysis = analysis::analyzeGraph(run.compiled.graph,
+                                              aopts);
+        if (!run.analysis.ok()) {
+            fatal("kernel %s fails static analysis on %s:\n%s",
+                  kernel.name.c_str(),
+                  compiler::archVariantName(config.variant),
+                  run.analysis.toString(run.compiled.graph).c_str());
+        }
     }
 
     fabric::Fabric fab(config.fabric);
@@ -56,6 +70,20 @@ runOnFabric(const workloads::KernelInstance &kernel,
                   run.mapping.error.c_str());
         }
         avgHops = run.mapping.avgHops;
+        if (config.analyze) {
+            analysis::PlacementLintOptions popts;
+            popts.shareGroups = shareGroups;
+            analysis::lintPlacement(run.compiled.graph, fab,
+                                    run.mapping, run.analysis,
+                                    popts);
+            if (!run.analysis.ok()) {
+                fatal("kernel %s fails placement lint on %s:\n%s",
+                      kernel.name.c_str(),
+                      compiler::archVariantName(config.variant),
+                      run.analysis.toString(run.compiled.graph)
+                          .c_str());
+            }
+        }
     }
 
     run.memory = kernel.memory;
@@ -76,6 +104,23 @@ runOnFabric(const workloads::KernelInstance &kernel,
     }
     run.sim = sim::simulate(run.compiled.graph, run.memory, simCfg);
     if (run.sim.deadlocked) {
+        // Cross-check: every quiescence deadlock reaching this
+        // point contradicts the analyzer (errors already fatal'd
+        // above), so name the disagreement — one of the two models
+        // is wrong, which is a different bug than a bad kernel.
+        // Watchdog expiry is exempt: the fabric was still making
+        // progress, and termination is input-dependent — outside
+        // what static certification claims.
+        if (config.analyze && run.analysis.deadlockFree &&
+            !run.sim.watchdogExpired) {
+            fatal("kernel %s on %s: static analyzer certified the "
+                  "graph deadlock-free but the simulator "
+                  "deadlocked — analyzer and simulator disagree:"
+                  "\n%s",
+                  kernel.name.c_str(),
+                  compiler::archVariantName(config.variant),
+                  run.sim.diagnostic.c_str());
+        }
         fatal("kernel %s deadlocked on %s:\n%s", kernel.name.c_str(),
               compiler::archVariantName(config.variant),
               run.sim.diagnostic.c_str());

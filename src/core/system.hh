@@ -33,6 +33,7 @@
 
 #include <string>
 
+#include "analysis/analyzer.hh"
 #include "compiler/compile.hh"
 #include "energy/model.hh"
 #include "fabric/area.hh"
@@ -111,6 +112,19 @@ struct RunConfig
      *  interpreter (cheap insurance; on by default). */
     bool verifyAgainstGolden = true;
 
+    /**
+     * Run the static analyzer on every compiled graph (deadlock /
+     * balance passes, analysis/analyzer.hh) and every mapping
+     * (placement lint, analysis/placement.hh); fatal() on any error
+     * diagnostic. The analyzer's verdict is also cross-checked
+     * against the simulator: a graph certified deadlock-free that
+     * nonetheless deadlocks in simulation fails the run with a
+     * disagreement diagnosis instead of a plain deadlock report.
+     * On by default so every sweep verifies every graph it
+     * compiles; the report lands in FabricRun::analysis.
+     */
+    bool analyze = true;
+
     uint64_t mapperSeed = 1;
 
     /**
@@ -143,6 +157,9 @@ struct FabricRun
 {
     compiler::CompileResult compiled;
     mapper::Mapping mapping;
+    /** Static-analyzer findings (empty when RunConfig::analyze is
+     *  off; placement rules only when mapping ran). */
+    analysis::AnalysisReport analysis;
     sim::SimResult sim;
     fabric::AreaBreakdown area;
     energy::EnergyBreakdown energy;

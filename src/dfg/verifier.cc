@@ -1,209 +1,36 @@
 #include "dfg/verifier.hh"
 
+#include "analysis/analyzer.hh"
 #include "base/logging.hh"
 
 namespace pipestitch::dfg {
 
-namespace {
-
-class Verifier
-{
-  public:
-    explicit Verifier(const Graph &graph) : graph(graph) {}
-
-    std::vector<std::string>
-    run()
-    {
-        for (NodeId id = 0; id < graph.size(); id++)
-            checkNode(id);
-        checkNocCycles();
-        return std::move(problems);
-    }
-
-  private:
-    void
-    problem(NodeId id, const std::string &msg)
-    {
-        const Node &n = graph.at(id);
-        problems.push_back(csprintf("node %d (%s %s): %s", id,
-                                    nodeKindName(n.kind),
-                                    n.name.c_str(), msg.c_str()));
-    }
-
-    bool
-    has(const Node &n, int idx)
-    {
-        return idx < n.numInputs() &&
-               !n.inputs[static_cast<size_t>(idx)].isNone();
-    }
-
-    bool
-    isWire(const Node &n, int idx)
-    {
-        return idx < n.numInputs() &&
-               n.inputs[static_cast<size_t>(idx)].isWire();
-    }
-
-    void
-    requireWire(NodeId id, int idx, const char *what)
-    {
-        if (!isWire(graph.at(id), idx))
-            problem(id, csprintf("%s must be a wire input", what));
-    }
-
-    void
-    requirePresent(NodeId id, int idx, const char *what)
-    {
-        if (!has(graph.at(id), idx))
-            problem(id, csprintf("%s input missing", what));
-    }
-
-    void
-    checkNode(NodeId id)
-    {
-        const Node &n = graph.at(id);
-        if (n.kind != NodeKind::Trigger && !n.hasWireInput()) {
-            problem(id, "has no wire input; it could never fire");
-        }
-        if (n.cfInNoc && !n.isControlFlow())
-            problem(id, "only control-flow ops may map into the NoC");
-        if (n.cfInNoc && n.kind == NodeKind::Dispatch)
-            problem(id, "dispatch requires an output buffer; it must "
-                        "map to a PE");
-
-        switch (n.kind) {
-          case NodeKind::Trigger:
-            if (n.numInputs() != 0)
-                problem(id, "trigger takes no inputs");
-            break;
-          case NodeKind::Const:
-            requireWire(id, 0, "region token");
-            break;
-          case NodeKind::Arith: {
-            int want = sir::numOperands(n.op);
-            for (int i = 0; i < want; i++)
-                requirePresent(id, i, "operand");
-            break;
-          }
-          case NodeKind::Steer:
-            requireWire(id, port_idx::SteerDecider, "decider");
-            requirePresent(id, port_idx::SteerValue, "value");
-            break;
-          case NodeKind::Carry:
-            requireWire(id, port_idx::CarryInit, "init");
-            requireWire(id, port_idx::CarryCont, "cont");
-            requireWire(id, port_idx::CarryDecider, "decider");
-            break;
-          case NodeKind::Invariant:
-            requireWire(id, port_idx::InvValue, "value");
-            requireWire(id, port_idx::InvDecider, "decider");
-            break;
-          case NodeKind::Merge:
-            requireWire(id, port_idx::MergeDecider, "decider");
-            requirePresent(id, port_idx::MergeTrue, "true side");
-            requirePresent(id, port_idx::MergeFalse, "false side");
-            break;
-          case NodeKind::Dispatch:
-            requireWire(id, port_idx::DispatchSpawn, "spawn");
-            requireWire(id, port_idx::DispatchCont, "cont");
-            if (n.loopId < 0 || n.loopId >= graph.numLoops) {
-                problem(id, "dispatch outside any loop");
-            } else if (!graph.loopThreaded[
-                           static_cast<size_t>(n.loopId)]) {
-                problem(id, "dispatch in a non-threaded loop");
-            }
-            break;
-          case NodeKind::Load:
-            requirePresent(id, port_idx::LoadAddr, "address");
-            break;
-          case NodeKind::Store:
-            requirePresent(id, port_idx::StoreAddr, "address");
-            requirePresent(id, port_idx::StoreData, "data");
-            break;
-          case NodeKind::Stream: {
-            if (n.streamStep <= 0)
-                problem(id, "stream step must be positive");
-            requirePresent(id, port_idx::StreamBegin, "begin");
-            requirePresent(id, port_idx::StreamEnd, "end");
-            bool beginWire = isWire(n, port_idx::StreamBegin);
-            bool endWire = isWire(n, port_idx::StreamEnd);
-            if (!beginWire && !endWire &&
-                !isWire(n, port_idx::StreamTrigger)) {
-                problem(id, "stream with immediate bounds needs a "
-                            "trigger wire");
-            }
-            break;
-          }
-        }
-    }
-
-    /**
-     * CF-in-NoC nodes evaluate combinationally; a cycle composed
-     * entirely of such nodes is a combinational hardware loop.
-     */
-    void
-    checkNocCycles()
-    {
-        const int n = graph.size();
-        // 0 = unvisited, 1 = on stack, 2 = done
-        std::vector<int> state(static_cast<size_t>(n), 0);
-
-        auto isNoc = [&](NodeId id) { return graph.at(id).cfInNoc; };
-
-        // Iterative DFS over the cfInNoc-only subgraph following
-        // wire inputs (direction is irrelevant for cycle existence).
-        for (NodeId start = 0; start < n; start++) {
-            if (!isNoc(start) ||
-                state[static_cast<size_t>(start)] != 0) {
-                continue;
-            }
-            std::vector<std::pair<NodeId, int>> dfs;
-            dfs.emplace_back(start, 0);
-            state[static_cast<size_t>(start)] = 1;
-            while (!dfs.empty()) {
-                NodeId id = dfs.back().first;
-                int edge = dfs.back().second;
-                const Node &node = graph.at(id);
-                bool descended = false;
-                while (edge < node.numInputs()) {
-                    const Operand &in =
-                        node.inputs[static_cast<size_t>(edge)];
-                    edge++;
-                    if (!in.isWire() || !isNoc(in.port.node))
-                        continue;
-                    NodeId next = in.port.node;
-                    int s = state[static_cast<size_t>(next)];
-                    if (s == 1) {
-                        problem(id, "combinational cycle through "
-                                    "CF-in-NoC operators");
-                        continue;
-                    }
-                    if (s == 0) {
-                        dfs.back().second = edge;
-                        state[static_cast<size_t>(next)] = 1;
-                        dfs.emplace_back(next, 0);
-                        descended = true;
-                        break;
-                    }
-                }
-                if (!descended) {
-                    state[static_cast<size_t>(id)] = 2;
-                    dfs.pop_back();
-                }
-            }
-        }
-    }
-
-    const Graph &graph;
-    std::vector<std::string> problems;
-};
-
-} // namespace
-
 std::vector<std::string>
 verify(const Graph &graph)
 {
-    return Verifier(graph).run();
+    // The structural rules (PS-S01..S06) live in the analysis
+    // engine; this wrapper keeps the historical flat-string shape
+    // for callers that predate structured diagnostics.
+    analysis::AnalysisOptions opts;
+    opts.deadlock = false;
+    opts.balance = false;
+    analysis::AnalysisReport report =
+        analysis::analyzeGraph(graph, opts);
+
+    std::vector<std::string> problems;
+    problems.reserve(report.diags.size());
+    for (const auto &d : report.diags) {
+        if (d.node != NoNode) {
+            const Node &n = graph.at(d.node);
+            problems.push_back(csprintf("node %d (%s %s): %s",
+                                        d.node, nodeKindName(n.kind),
+                                        n.name.c_str(),
+                                        d.message.c_str()));
+        } else {
+            problems.push_back(d.message);
+        }
+    }
+    return problems;
 }
 
 void

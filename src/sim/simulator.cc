@@ -1767,6 +1767,7 @@ Engine::run()
     stats.cycles = cfg.maxCycles;
     result.stats = stats;
     result.deadlocked = true;
+    result.watchdogExpired = true;
     result.diagnostic = "watchdog: maxCycles exceeded\n" + diagnose();
     return result;
 }

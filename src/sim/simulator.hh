@@ -124,6 +124,14 @@ struct SimResult
 {
     SimStats stats;
     bool deadlocked = false;
+    /**
+     * The run ended because `maxCycles` elapsed while the fabric was
+     * still making progress — a non-terminating (or merely slow)
+     * execution, not a quiesced deadlock. Static deadlock
+     * certification (analysis/analyzer.hh) says nothing about
+     * termination, so cross-checks must exempt this case.
+     */
+    bool watchdogExpired = false;
     /** Non-empty on deadlock / invariant trouble. */
     std::string diagnostic;
 };

@@ -1,0 +1,510 @@
+#include "lint/corpus.hh"
+
+namespace pipestitch::lint_corpus {
+
+namespace {
+
+using dfg::Graph;
+using dfg::Node;
+using dfg::NodeId;
+using dfg::NodeKind;
+using dfg::Operand;
+namespace pidx = dfg::port_idx;
+
+Node
+mk(NodeKind kind, const char *name)
+{
+    Node n;
+    n.kind = kind;
+    n.name = name;
+    return n;
+}
+
+// ---- structural rules (PS-S01..S06) -------------------------------
+
+/** PS-S01: an arith with only immediate inputs can never fire. */
+Graph
+buildNeverFires()
+{
+    Graph g("s01_never_fires");
+    Node a = mk(NodeKind::Arith, "orphan");
+    a.op = sir::Opcode::Add;
+    a.inputs = {Operand::imm_(1), Operand::imm_(2)};
+    g.add(a);
+    g.finalize();
+    return g;
+}
+
+/** PS-S02: an arith flagged CF-in-NoC (routers only host CF ops). */
+Graph
+buildArithInNoc()
+{
+    Graph g("s02_arith_in_noc");
+    NodeId t = g.add(mk(NodeKind::Trigger, "t"));
+    Node a = mk(NodeKind::Arith, "misplaced");
+    a.op = sir::Opcode::Add;
+    a.cfInNoc = true;
+    a.inputs = {Operand::wire({t, 0}), Operand::imm_(1)};
+    g.add(a);
+    g.finalize();
+    return g;
+}
+
+/** PS-S03: a dispatch gate flagged CF-in-NoC (needs its buffer). */
+Graph
+buildDispatchInNoc()
+{
+    Graph g("s03_dispatch_in_noc");
+    g.numLoops = 1;
+    g.loopParent = {-1};
+    g.loopThreaded = {true};
+    NodeId t = g.add(mk(NodeKind::Trigger, "t"));
+    Node d = mk(NodeKind::Dispatch, "gate");
+    d.loopId = 0;
+    d.cfInNoc = true;
+    d.inputs.resize(2);
+    d.inputs[pidx::DispatchSpawn] = Operand::wire({t, 0});
+    NodeId disp = g.add(d);
+    // Continuation through a PE-resident steer (a self-wire would
+    // additionally trip the PS-S06 combinational-cycle rule).
+    Node s = mk(NodeKind::Steer, "recirc");
+    s.loopId = 0;
+    s.inputs = {Operand::wire({disp, 0}), Operand::wire({disp, 0})};
+    NodeId steer = g.add(s);
+    g.connect({steer, 0}, disp, pidx::DispatchCont);
+    g.finalize();
+    return g;
+}
+
+/** PS-S04: a steer whose decider is an immediate (must be a wire). */
+Graph
+buildImmDecider()
+{
+    Graph g("s04_imm_decider");
+    NodeId t = g.add(mk(NodeKind::Trigger, "t"));
+    Node s = mk(NodeKind::Steer, "bad_steer");
+    s.inputs.resize(2);
+    s.inputs[pidx::SteerDecider] = Operand::imm_(0);
+    s.inputs[pidx::SteerValue] = Operand::wire({t, 0});
+    g.add(s);
+    g.finalize();
+    return g;
+}
+
+/** PS-S05: a dispatch gate in a loop that is not threaded. */
+Graph
+buildDispatchUnthreaded()
+{
+    Graph g("s05_unthreaded_dispatch");
+    g.numLoops = 1;
+    g.loopParent = {-1};
+    g.loopThreaded = {false};
+    NodeId t = g.add(mk(NodeKind::Trigger, "t"));
+    Node d = mk(NodeKind::Dispatch, "gate");
+    d.loopId = 0;
+    d.inputs.resize(2);
+    d.inputs[pidx::DispatchSpawn] = Operand::wire({t, 0});
+    NodeId disp = g.add(d);
+    g.connect({disp, 0}, disp, pidx::DispatchCont);
+    g.finalize();
+    return g;
+}
+
+/** PS-S06: two CF-in-NoC steers feeding each other's value port —
+ *  a combinational loop through the routers. */
+Graph
+buildNocCycle()
+{
+    Graph g("s06_noc_cycle");
+    NodeId t = g.add(mk(NodeKind::Trigger, "t"));
+    Node s1 = mk(NodeKind::Steer, "s1");
+    s1.cfInNoc = true;
+    s1.inputs = {Operand::wire({t, 0}), Operand::wire({t, 0})};
+    NodeId a = g.add(s1);
+    Node s2 = mk(NodeKind::Steer, "s2");
+    s2.cfInNoc = true;
+    s2.inputs = {Operand::wire({t, 0}), Operand::wire({a, 0})};
+    NodeId b = g.add(s2);
+    g.connect({b, 0}, a, pidx::SteerValue);
+    g.finalize();
+    return g;
+}
+
+// ---- deadlock rules (PS-D01..D03) ---------------------------------
+
+/** PS-D01: two ariths feeding each other through non-backedge
+ *  ports. The trigger's token enters and jams forever, so the
+ *  simulator must also report a quiesced deadlock. */
+Graph
+buildZeroSlackCycle()
+{
+    Graph g("d01_zero_slack_cycle");
+    NodeId t = g.add(mk(NodeKind::Trigger, "t"));
+    Node a = mk(NodeKind::Arith, "a");
+    a.op = sir::Opcode::Add;
+    a.inputs = {Operand::wire({t, 0}), Operand::imm_(0)};
+    NodeId na = g.add(a);
+    Node b = mk(NodeKind::Arith, "b");
+    b.op = sir::Opcode::Add;
+    b.inputs = {Operand::wire({na, 0}), Operand::imm_(1)};
+    NodeId nb = g.add(b);
+    // Close the loop: a's second operand now comes from b.
+    g.connect({nb, 0}, na, 1);
+    g.finalize();
+    return g;
+}
+
+/** PS-D02: a well-formed threaded loop analyzed at bufferDepth 1 —
+ *  the 2-slot spawn reserve can never be satisfied. */
+Graph
+buildSpawnReserve()
+{
+    Graph g("d02_spawn_reserve");
+    g.numLoops = 1;
+    g.loopParent = {-1};
+    g.loopThreaded = {true};
+    NodeId t = g.add(mk(NodeKind::Trigger, "t"));
+    Node d = mk(NodeKind::Dispatch, "gate");
+    d.loopId = 0;
+    d.inputs.resize(2);
+    d.inputs[pidx::DispatchSpawn] = Operand::wire({t, 0});
+    NodeId disp = g.add(d);
+    g.connect({disp, 0}, disp, pidx::DispatchCont);
+    g.finalize();
+    return g;
+}
+
+/** PS-D03: the spawn set is produced *inside* the gated loop (by
+ *  the loop's own carry chain), so spawns arrive at iteration rate
+ *  instead of entry rate. */
+Graph
+buildSpawnFromInside()
+{
+    Graph g("d03_spawn_from_inside");
+    g.numLoops = 1;
+    g.loopParent = {-1};
+    g.loopThreaded = {true};
+    NodeId t = g.add(mk(NodeKind::Trigger, "t"));
+    Node c = mk(NodeKind::Carry, "i");
+    c.loopId = 0;
+    c.inputs.resize(3);
+    c.inputs[pidx::CarryInit] = Operand::wire({t, 0});
+    NodeId carry = g.add(c);
+    Node a = mk(NodeKind::Arith, "inc");
+    a.op = sir::Opcode::Add;
+    a.loopId = 0;
+    a.inputs = {Operand::wire({carry, 0}), Operand::imm_(1)};
+    NodeId inc = g.add(a);
+    g.connect({inc, 0}, carry, pidx::CarryCont);
+    g.connect({inc, 0}, carry, pidx::CarryDecider);
+    Node d = mk(NodeKind::Dispatch, "gate");
+    d.loopId = 0;
+    d.inputs.resize(2);
+    d.inputs[pidx::DispatchSpawn] = Operand::wire({inc, 0});
+    d.inputs[pidx::DispatchCont] = Operand::wire({inc, 0});
+    g.add(d);
+    g.finalize();
+    return g;
+}
+
+// ---- balance rules (PS-B01/B02) -----------------------------------
+
+/** Carry loop skeleton: init from @p init, cont/decider from its
+ *  own +1 chain. Returns the carry's id. */
+NodeId
+addCounterLoop(Graph &g, int loopId, dfg::Port init,
+               const char *name)
+{
+    Node c = mk(NodeKind::Carry, name);
+    c.loopId = loopId;
+    c.inputs.resize(3);
+    c.inputs[pidx::CarryInit] = Operand::wire(init);
+    NodeId carry = g.add(c);
+    Node a = mk(NodeKind::Arith, "inc");
+    a.op = sir::Opcode::Add;
+    a.loopId = loopId;
+    a.inputs = {Operand::wire({carry, 0}), Operand::imm_(1)};
+    NodeId inc = g.add(a);
+    g.connect({inc, 0}, carry, pidx::CarryCont);
+    g.connect({inc, 0}, carry, pidx::CarryDecider);
+    return carry;
+}
+
+/** PS-B01: loop 1's carry output feeds loop 0's once-per-entry init
+ *  port directly — one token per iteration into a port drained once
+ *  per entry. The channel floods. */
+Graph
+buildFlood()
+{
+    Graph g("b01_flood");
+    g.numLoops = 2;
+    g.loopParent = {-1, -1};
+    g.loopThreaded = {false, false};
+    NodeId t = g.add(mk(NodeKind::Trigger, "t"));
+    NodeId b = addCounterLoop(g, 1, {t, 0}, "j");
+    addCounterLoop(g, 0, {b, 0}, "i"); // init fed at loop-1 rate
+    g.finalize();
+    return g;
+}
+
+/** PS-B02: an arith joining two sibling loops' iteration clocks —
+ *  the slower channel starves the faster one. */
+Graph
+buildStarvation()
+{
+    Graph g("b02_starvation");
+    g.numLoops = 2;
+    g.loopParent = {-1, -1};
+    g.loopThreaded = {false, false};
+    NodeId t = g.add(mk(NodeKind::Trigger, "t"));
+    NodeId a = addCounterLoop(g, 0, {t, 0}, "i");
+    NodeId b = addCounterLoop(g, 1, {t, 0}, "j");
+    Node x = mk(NodeKind::Arith, "join");
+    x.op = sir::Opcode::Add;
+    x.inputs = {Operand::wire({a, 0}), Operand::wire({b, 0})};
+    g.add(x);
+    g.finalize();
+    return g;
+}
+
+// ---- placement rules (PS-P01..P05) --------------------------------
+
+/** Find a PE of class @p want, skipping the first @p skip hits. */
+int
+findPe(const fabric::Fabric &fab, dfg::PeClass want, int skip = 0)
+{
+    for (int pe = 0; pe < fab.numPes(); pe++) {
+        if (fab.classAt(pe) == want && skip-- == 0)
+            return pe;
+    }
+    return -1;
+}
+
+/** Shared graph for PS-P01: trigger -> add -> store. */
+Graph
+buildChain()
+{
+    Graph g("p01_wrong_class");
+    NodeId t = g.add(mk(NodeKind::Trigger, "t"));
+    Node a = mk(NodeKind::Arith, "add");
+    a.op = sir::Opcode::Add;
+    a.inputs = {Operand::wire({t, 0}), Operand::imm_(1)};
+    NodeId add = g.add(a);
+    Node s = mk(NodeKind::Store, "st");
+    s.inputs = {Operand::imm_(0), Operand::wire({add, 0})};
+    g.add(s);
+    g.finalize();
+    return g;
+}
+
+/** PS-P01: the add lands on a memory-class PE. */
+void
+placeWrongClass(const Graph &g, fabric::FabricConfig &,
+                mapper::Mapping &m, analysis::PlacementLintOptions &)
+{
+    fabric::Fabric fab{fabric::FabricConfig{}};
+    m.peOf[1] = findPe(fab, dfg::PeClass::Memory, 0); // add: wrong
+    m.peOf[2] = findPe(fab, dfg::PeClass::Memory, 1); // store: ok
+    (void)g;
+}
+
+/** PS-P02 graph: one CF-in-NoC steer. */
+Graph
+buildUnhostedSteer()
+{
+    Graph g("p02_unhosted_steer");
+    NodeId t = g.add(mk(NodeKind::Trigger, "t"));
+    Node s = mk(NodeKind::Steer, "orphan_steer");
+    s.cfInNoc = true;
+    s.inputs = {Operand::wire({t, 0}), Operand::wire({t, 0})};
+    g.add(s);
+    g.finalize();
+    return g;
+}
+
+/** PS-P02: the steer is CF-in-NoC but no router hosts it (the
+ *  mapping stays all -1). */
+void
+placeNothing(const Graph &, fabric::FabricConfig &,
+             mapper::Mapping &, analysis::PlacementLintOptions &)
+{}
+
+/** PS-P03 graph: a carry/steer loop (legal on PEs — the cycle runs
+ *  through the carry's backedge ports). */
+Graph
+buildCarrySteerLoop()
+{
+    Graph g("p03_router_cycle");
+    g.numLoops = 1;
+    g.loopParent = {-1};
+    g.loopThreaded = {false};
+    NodeId t = g.add(mk(NodeKind::Trigger, "t"));
+    Node c = mk(NodeKind::Carry, "i");
+    c.loopId = 0;
+    c.inputs.resize(3);
+    c.inputs[pidx::CarryInit] = Operand::wire({t, 0});
+    NodeId carry = g.add(c);
+    Node s = mk(NodeKind::Steer, "recirc");
+    s.loopId = 0;
+    s.inputs = {Operand::wire({carry, 0}),
+                Operand::wire({carry, 0})};
+    NodeId steer = g.add(s);
+    g.connect({steer, 0}, carry, pidx::CarryCont);
+    g.connect({steer, 0}, carry, pidx::CarryDecider);
+    g.finalize();
+    return g;
+}
+
+/** PS-P03: a corrupt mapping additionally hosts both loop members
+ *  on routers — the backedge that is harmless between buffered PEs
+ *  becomes a combinational loop through the router fabric. */
+void
+placeLoopOnRouters(const Graph &g, fabric::FabricConfig &,
+                   mapper::Mapping &m,
+                   analysis::PlacementLintOptions &)
+{
+    fabric::Fabric fab{fabric::FabricConfig{}};
+    m.peOf[1] = findPe(fab, dfg::PeClass::ControlFlow, 0);
+    m.peOf[2] = findPe(fab, dfg::PeClass::ControlFlow, 1);
+    m.routerOf[1] = 0;
+    m.routerOf[2] = 1;
+    (void)g;
+}
+
+/** PS-P04 graph: a threaded loop whose dispatch continuation runs
+ *  through a recirculation steer (no self-wire). */
+Graph
+buildDispatchSteerLoop()
+{
+    Graph g("p04_dispatch_off_grid");
+    g.numLoops = 1;
+    g.loopParent = {-1};
+    g.loopThreaded = {true};
+    NodeId t = g.add(mk(NodeKind::Trigger, "t"));
+    Node d = mk(NodeKind::Dispatch, "gate");
+    d.loopId = 0;
+    d.inputs.resize(2);
+    d.inputs[pidx::DispatchSpawn] = Operand::wire({t, 0});
+    NodeId disp = g.add(d);
+    Node s = mk(NodeKind::Steer, "recirc");
+    s.loopId = 0;
+    s.inputs = {Operand::wire({disp, 0}),
+                Operand::wire({disp, 0})};
+    NodeId steer = g.add(s);
+    g.connect({steer, 0}, disp, pidx::DispatchCont);
+    g.finalize();
+    return g;
+}
+
+/** PS-P04: the dispatch gate is (corruptly) router-hosted; the
+ *  SyncPlane only spans the PE grid. */
+void
+placeDispatchOnRouter(const Graph &g, fabric::FabricConfig &,
+                      mapper::Mapping &m,
+                      analysis::PlacementLintOptions &)
+{
+    fabric::Fabric fab{fabric::FabricConfig{}};
+    m.peOf[1] = findPe(fab, dfg::PeClass::ControlFlow, 0);
+    m.peOf[2] = findPe(fab, dfg::PeClass::ControlFlow, 1);
+    m.routerOf[1] = 3; // gate also claims a router: P04
+    (void)g;
+}
+
+/** PS-P05 graph: a chain of three CF-in-NoC steers. */
+Graph
+buildSteerChain()
+{
+    Graph g("p05_congestion");
+    NodeId t = g.add(mk(NodeKind::Trigger, "t"));
+    Node s1 = mk(NodeKind::Steer, "s1");
+    s1.cfInNoc = true;
+    s1.inputs = {Operand::wire({t, 0}), Operand::wire({t, 0})};
+    NodeId a = g.add(s1);
+    Node s2 = mk(NodeKind::Steer, "s2");
+    s2.cfInNoc = true;
+    s2.inputs = {Operand::wire({t, 0}), Operand::wire({a, 0})};
+    NodeId b = g.add(s2);
+    Node s3 = mk(NodeKind::Steer, "s3");
+    s3.cfInNoc = true;
+    s3.inputs = {Operand::wire({t, 0}), Operand::wire({b, 0})};
+    g.add(s3);
+    g.finalize();
+    return g;
+}
+
+/** PS-P05: host the steers along row 0 with linkCapacity 1; the
+ *  trigger tree and the steer-to-steer values pile onto the same
+ *  +x links. */
+void
+placeCongested(const Graph &g, fabric::FabricConfig &fc,
+               mapper::Mapping &m,
+               analysis::PlacementLintOptions &)
+{
+    fc.linkCapacity = 1;
+    fabric::Fabric fab(fc);
+    // Routers indexed like the PE grid: (x, 0) for x = 0, 1, 2.
+    m.routerOf[1] = fab.peAt({0, 0});
+    m.routerOf[2] = fab.peAt({1, 0});
+    m.routerOf[3] = fab.peAt({2, 0});
+    (void)g;
+}
+
+analysis::AnalysisOptions
+structuralOnly()
+{
+    analysis::AnalysisOptions o;
+    o.deadlock = false;
+    o.balance = false;
+    return o;
+}
+
+analysis::AnalysisOptions
+depth(int d)
+{
+    analysis::AnalysisOptions o;
+    o.bufferDepth = d;
+    return o;
+}
+
+} // namespace
+
+const std::vector<CorpusCase> &
+corpus()
+{
+    static const std::vector<CorpusCase> cases = {
+        {"PS-S01", "never_fires", buildNeverFires,
+         structuralOnly()},
+        {"PS-S02", "arith_in_noc", buildArithInNoc,
+         structuralOnly()},
+        {"PS-S03", "dispatch_in_noc", buildDispatchInNoc,
+         structuralOnly()},
+        {"PS-S04", "imm_decider", buildImmDecider,
+         structuralOnly()},
+        {"PS-S05", "unthreaded_dispatch", buildDispatchUnthreaded,
+         structuralOnly()},
+        {"PS-S06", "noc_cycle", buildNocCycle, structuralOnly()},
+        {"PS-D01", "zero_slack_cycle", buildZeroSlackCycle,
+         analysis::AnalysisOptions{}, nullptr,
+         /*simDeadlocks=*/true},
+        {"PS-D02", "spawn_reserve", buildSpawnReserve, depth(1)},
+        {"PS-D03", "spawn_from_inside", buildSpawnFromInside,
+         analysis::AnalysisOptions{}},
+        {"PS-B01", "flood", buildFlood,
+         analysis::AnalysisOptions{}},
+        {"PS-B02", "starvation", buildStarvation,
+         analysis::AnalysisOptions{}},
+        {"PS-P01", "wrong_class", buildChain,
+         analysis::AnalysisOptions{}, placeWrongClass},
+        {"PS-P02", "unhosted_steer", buildUnhostedSteer,
+         analysis::AnalysisOptions{}, placeNothing},
+        {"PS-P03", "router_cycle", buildCarrySteerLoop,
+         analysis::AnalysisOptions{}, placeLoopOnRouters},
+        {"PS-P04", "dispatch_off_grid", buildDispatchSteerLoop,
+         analysis::AnalysisOptions{}, placeDispatchOnRouter},
+        {"PS-P05", "congestion", buildSteerChain,
+         analysis::AnalysisOptions{}, placeCongested},
+    };
+    return cases;
+}
+
+} // namespace pipestitch::lint_corpus

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Negative-test corpus for the static analyzer: one intentionally
+ * broken graph per rule ID (docs/static-analysis.md). Each case is
+ * constructed so that, under its analysis options, the target rule
+ * is the *only* error family that fires — the tests assert the
+ * exact diagnostic, not just "something failed".
+ */
+
+#ifndef PIPESTITCH_TESTS_LINT_CORPUS_HH
+#define PIPESTITCH_TESTS_LINT_CORPUS_HH
+
+#include <vector>
+
+#include "analysis/analyzer.hh"
+#include "analysis/placement.hh"
+#include "dfg/graph.hh"
+#include "fabric/fabric.hh"
+#include "mapper/mapper.hh"
+
+namespace pipestitch::lint_corpus {
+
+struct CorpusCase
+{
+    /** Rule ID this graph must trip (and, after filtering to
+     *  errors, the only rule that does). */
+    const char *rule;
+    const char *name;
+
+    /** Build the broken graph (returned finalized). */
+    dfg::Graph (*build)();
+
+    /** Analysis options the case runs under (graph-pass cases
+     *  narrow the passes so the target rule is isolated). */
+    analysis::AnalysisOptions options;
+
+    /**
+     * Placement cases: populate the fabric config and the hand-
+     * corrupted mapping to lint. The mapping arrives sized to the
+     * graph and filled with -1. Null for graph-pass cases.
+     */
+    void (*place)(const dfg::Graph &, fabric::FabricConfig &,
+                  mapper::Mapping &,
+                  analysis::PlacementLintOptions &) = nullptr;
+
+    /** The simulator must reach a *quiesced* deadlock on this graph
+     *  — cross-checks the analyzer's negative direction. */
+    bool simDeadlocks = false;
+};
+
+/** The full corpus, one entry per rule ID in the registry. */
+const std::vector<CorpusCase> &corpus();
+
+} // namespace pipestitch::lint_corpus
+
+#endif // PIPESTITCH_TESTS_LINT_CORPUS_HH

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Drives the negative-test corpus (lint/corpus.hh): every analyzer
+ * rule ID has one intentionally broken graph, and each graph must
+ * trip exactly its rule. The PS-D01 graph is additionally simulated
+ * to confirm the certified failure mode is real — the analyzer's
+ * positive direction (clean graphs retire) is cross-checked on
+ * every runOnFabric call, so this covers the negative direction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "analysis/analyzer.hh"
+#include "analysis/diagnostics.hh"
+#include "analysis/placement.hh"
+#include "lint/corpus.hh"
+#include "sim/simulator.hh"
+
+using namespace pipestitch;
+using lint_corpus::CorpusCase;
+
+namespace {
+
+/** Run a corpus case end to end and return the report. */
+analysis::AnalysisReport
+runCase(const CorpusCase &c, const dfg::Graph &g)
+{
+    analysis::AnalysisReport report =
+        analysis::analyzeGraph(g, c.options);
+    if (c.place) {
+        fabric::FabricConfig fc;
+        mapper::Mapping m;
+        m.peOf.assign(static_cast<size_t>(g.size()), -1);
+        m.routerOf.assign(static_cast<size_t>(g.size()), -1);
+        analysis::PlacementLintOptions po;
+        c.place(g, fc, m, po);
+        fabric::Fabric fab(fc);
+        analysis::lintPlacement(g, fab, m, report, po);
+    }
+    return report;
+}
+
+} // namespace
+
+TEST(LintCorpus, CoversEveryRule)
+{
+    std::set<std::string> covered;
+    for (const auto &c : lint_corpus::corpus())
+        covered.insert(c.rule);
+    for (const auto &info : analysis::ruleRegistry()) {
+        EXPECT_TRUE(covered.count(info.id))
+            << "no corpus case trips " << info.id;
+    }
+    EXPECT_EQ(covered.size(), analysis::ruleRegistry().size());
+}
+
+TEST(LintCorpus, EachCaseTripsExactlyItsRule)
+{
+    for (const auto &c : lint_corpus::corpus()) {
+        SCOPED_TRACE(std::string(c.rule) + " / " + c.name);
+        dfg::Graph g = c.build();
+        analysis::AnalysisReport report = runCase(c, g);
+
+        std::set<std::string> fired;
+        for (const auto &d : report.diags) {
+            if (d.isError())
+                fired.insert(d.rule);
+        }
+        EXPECT_TRUE(fired.count(c.rule))
+            << "expected diagnostic did not fire:\n"
+            << report.toString(g);
+        EXPECT_EQ(fired.size(), 1u)
+            << "case is not isolated to its rule:\n"
+            << report.toString(g);
+        EXPECT_FALSE(report.ok());
+
+        // Rendering must stay well-formed for every diagnostic.
+        EXPECT_FALSE(report.toString(g).empty());
+        std::string json = report.toJson(g);
+        EXPECT_EQ(json.front(), '{');
+        EXPECT_EQ(json.back(), '}');
+        EXPECT_NE(json.find(c.rule), std::string::npos);
+    }
+}
+
+TEST(LintCorpus, VerdictFlagsFollowRuleFamilies)
+{
+    for (const auto &c : lint_corpus::corpus()) {
+        SCOPED_TRACE(std::string(c.rule) + " / " + c.name);
+        dfg::Graph g = c.build();
+        analysis::AnalysisReport report = runCase(c, g);
+        switch (c.rule[3]) {
+          case 'S':
+            EXPECT_FALSE(report.structureOk);
+            EXPECT_FALSE(report.deadlockFree);
+            break;
+          case 'D':
+            EXPECT_TRUE(report.structureOk);
+            EXPECT_FALSE(report.deadlockFree);
+            break;
+          case 'B':
+            EXPECT_TRUE(report.structureOk);
+            EXPECT_FALSE(report.balanced);
+            EXPECT_FALSE(report.deadlockFree);
+            break;
+          case 'P':
+            EXPECT_TRUE(report.structureOk);
+            EXPECT_TRUE(report.deadlockFree);
+            EXPECT_FALSE(report.placementOk);
+            break;
+          default:
+            FAIL() << "unknown rule family in " << c.rule;
+        }
+    }
+}
+
+TEST(LintCorpus, DiagnosticsCarryEvidence)
+{
+    for (const auto &c : lint_corpus::corpus()) {
+        SCOPED_TRACE(std::string(c.rule) + " / " + c.name);
+        dfg::Graph g = c.build();
+        analysis::AnalysisReport report = runCase(c, g);
+        for (const auto &d : report.diags) {
+            EXPECT_NE(analysis::findRule(d.rule), nullptr);
+            EXPECT_FALSE(d.message.empty());
+            EXPECT_FALSE(d.hint.empty());
+            // Node references must stay inside the graph.
+            for (dfg::NodeId n : d.nodes) {
+                EXPECT_GE(n, 0);
+                EXPECT_LT(n, g.size());
+            }
+            for (const auto &e : d.edges) {
+                EXPECT_GE(e.from, 0);
+                EXPECT_LT(e.from, g.size());
+                EXPECT_GE(e.to, 0);
+                EXPECT_LT(e.to, g.size());
+            }
+        }
+    }
+}
+
+/** The negative direction of the analyzer/simulator cross-check:
+ *  graphs the analyzer rejects as deadlocking must actually jam. */
+TEST(LintCorpus, CertifiedDeadlocksDeadlockInSim)
+{
+    int checked = 0;
+    for (const auto &c : lint_corpus::corpus()) {
+        if (!c.simDeadlocks)
+            continue;
+        SCOPED_TRACE(std::string(c.rule) + " / " + c.name);
+        dfg::Graph g = c.build();
+        sim::SimConfig cfg;
+        cfg.bufferDepth = c.options.bufferDepth;
+        cfg.maxCycles = 100'000;
+        sim::MemImage mem(64, 0);
+        sim::SimResult r = sim::simulate(g, mem, cfg);
+        EXPECT_TRUE(r.deadlocked);
+        EXPECT_FALSE(r.watchdogExpired)
+            << "expected a quiesced deadlock, not a live loop";
+        EXPECT_FALSE(r.diagnostic.empty());
+        checked++;
+    }
+    EXPECT_GE(checked, 1);
+}

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Positive-direction tests of the static analyzer: every shipped
+ * workload must analyze clean on every variant, the verdict must be
+ * carried through runOnFabric (which cross-checks it against the
+ * simulator), and concurrent sweeps must analyze every run without
+ * data races (exercised under the TSan preset in CI).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hh"
+#include "analysis/diagnostics.hh"
+#include "analysis/placement.hh"
+#include "compiler/compile.hh"
+#include "compiler/timemux.hh"
+#include "core/system.hh"
+#include "mapper/mapper.hh"
+#include "runner/sweep.hh"
+#include "workloads/kernels.hh"
+
+using namespace pipestitch;
+using compiler::ArchVariant;
+
+namespace {
+
+struct AnalyzedKernel
+{
+    dfg::Graph graph{"empty"};
+    analysis::AnalysisReport report;
+};
+
+AnalyzedKernel
+analyzeKernel(const workloads::KernelInstance &kernel,
+              ArchVariant variant, int unroll = 1)
+{
+    compiler::CompileOptions copts;
+    copts.variant = variant;
+    copts.unrollFactor = unroll;
+    auto res = compiler::compileProgram(kernel.prog, kernel.liveIns,
+                                        copts);
+    AnalyzedKernel out;
+    out.report = analysis::analyzeGraph(res.graph);
+    out.graph = std::move(res.graph);
+    return out;
+}
+
+} // namespace
+
+TEST(Analysis, RuleRegistryIsWellFormed)
+{
+    const auto &rules = analysis::ruleRegistry();
+    EXPECT_EQ(rules.size(), 16u);
+    for (const auto &info : rules) {
+        EXPECT_EQ(analysis::findRule(info.id), &info);
+        EXPECT_EQ(std::string(info.id).substr(0, 3), "PS-");
+        EXPECT_NE(info.title, nullptr);
+        // Every rule cites the paper section or figure it models.
+        std::string cite = info.citation;
+        EXPECT_TRUE(cite.find("Sec.") != std::string::npos ||
+                    cite.find("Fig.") != std::string::npos)
+            << info.id;
+    }
+    EXPECT_EQ(analysis::findRule("PS-X99"), nullptr);
+}
+
+TEST(Analysis, AllWorkloadsCertifyCleanOnAllVariants)
+{
+    for (const auto &kernel : workloads::smallKernels(7)) {
+        for (ArchVariant v : {ArchVariant::RipTide,
+                              ArchVariant::Pipestitch,
+                              ArchVariant::PipeCFiN}) {
+            auto a = analyzeKernel(kernel, v);
+            EXPECT_TRUE(a.report.ok())
+                << kernel.name << " on "
+                << compiler::archVariantName(v) << ":\n"
+                << a.report.toString(a.graph);
+            EXPECT_TRUE(a.report.deadlockFree);
+            EXPECT_TRUE(a.report.balanced);
+            EXPECT_EQ(a.report.errorCount(), 0);
+        }
+    }
+}
+
+TEST(Analysis, UnrolledKernelsCertifyClean)
+{
+    auto kernel = workloads::makeSpmv(16, 0.8, 11);
+    auto a = analyzeKernel(kernel, ArchVariant::Pipestitch, 2);
+    EXPECT_TRUE(a.report.ok()) << a.report.toString(a.graph);
+    EXPECT_TRUE(a.report.deadlockFree);
+}
+
+TEST(Analysis, PlacementLintAcceptsMapperOutput)
+{
+    auto kernel = workloads::makeSpmv(16, 0.8, 13);
+    compiler::CompileOptions copts;
+    copts.variant = ArchVariant::Pipestitch;
+    auto res = compiler::compileProgram(kernel.prog, kernel.liveIns,
+                                        copts);
+    fabric::FabricConfig fc;
+    fabric::Fabric fab(fc);
+    auto mapping = mapper::mapGraph(res.graph, fab);
+    ASSERT_TRUE(mapping.success);
+
+    auto report = analysis::analyzeGraph(res.graph);
+    analysis::lintPlacement(res.graph, fab, mapping, report);
+    EXPECT_TRUE(report.ok()) << report.toString(res.graph);
+    EXPECT_TRUE(report.placementOk);
+}
+
+TEST(Analysis, RunOnFabricCarriesTheReport)
+{
+    auto kernel = workloads::makeSpmv(16, 0.8, 17);
+    RunConfig cfg;
+    FabricRun run = runOnFabric(kernel, cfg);
+    // analyze defaults on: the run only returns when certification
+    // succeeded and the simulator agreed (no deadlock).
+    EXPECT_TRUE(run.analysis.ok());
+    EXPECT_TRUE(run.analysis.deadlockFree);
+    EXPECT_TRUE(run.analysis.placementOk);
+    EXPECT_FALSE(run.sim.deadlocked);
+
+    std::string summary = run.analysis.toString(run.compiled.graph);
+    EXPECT_NE(summary.find("deadlock-free=yes"), std::string::npos);
+    std::string json = run.analysis.toJson(run.compiled.graph);
+    EXPECT_NE(json.find("\"deadlockFree\":true"),
+              std::string::npos);
+}
+
+TEST(Analysis, AnalyzeOffLeavesReportEmpty)
+{
+    auto kernel = workloads::makeSpmv(16, 0.8, 17);
+    RunConfig cfg;
+    cfg.analyze = false;
+    FabricRun run = runOnFabric(kernel, cfg);
+    EXPECT_TRUE(run.analysis.diags.empty());
+}
+
+/** Sweeps analyze every run they compile, concurrently; this is the
+ *  test the TSan CI job leans on for the analyzer's thread safety. */
+TEST(Analysis, ConcurrentSweepAnalyzesEveryRun)
+{
+    runner::RunnerOptions ropts;
+    ropts.jobs = 4;
+    runner::Runner runner(ropts);
+    runner::Sweep sweep(runner);
+
+    std::vector<runner::KernelPtr> kernels;
+    kernels.push_back(
+        runner::share(workloads::makeSpmv(16, 0.8, 23)));
+    kernels.push_back(
+        runner::share(workloads::makeSpMSpVd(16, 0.8, 29)));
+    std::vector<RunConfig> configs;
+    for (ArchVariant v :
+         {ArchVariant::RipTide, ArchVariant::Pipestitch}) {
+        RunConfig cfg;
+        cfg.variant = v;
+        cfg.quiet = true;
+        configs.push_back(cfg);
+    }
+    sweep.addGrid(kernels, configs);
+
+    auto runs = sweep.run();
+    ASSERT_EQ(runs.size(), kernels.size() * configs.size());
+    for (const FabricRun &run : runs) {
+        EXPECT_TRUE(run.analysis.ok());
+        EXPECT_TRUE(run.analysis.deadlockFree);
+        EXPECT_TRUE(run.analysis.placementOk);
+    }
+}
+
+/** Time-multiplexed placements share PEs legally: the declared
+ *  share groups must satisfy the occupancy rule. */
+TEST(Analysis, TimeMultiplexedPlacementLintsClean)
+{
+    auto kernel = workloads::makeSpmv(16, 0.8, 31);
+    compiler::CompileOptions copts;
+    copts.variant = ArchVariant::Pipestitch;
+    copts.unrollFactor = 2;
+    auto res = compiler::compileProgram(kernel.prog, kernel.liveIns,
+                                        copts);
+    fabric::FabricConfig fc;
+    auto groups = compiler::planTimeMultiplexing(res.graph, fc);
+    fabric::Fabric fab(fc);
+    mapper::MapperOptions mopts;
+    mopts.shareGroups = groups;
+    auto mapping = mapper::mapGraph(res.graph, fab, mopts);
+    ASSERT_TRUE(mapping.success);
+
+    auto report = analysis::analyzeGraph(res.graph);
+    analysis::PlacementLintOptions popts;
+    popts.shareGroups = groups;
+    analysis::lintPlacement(res.graph, fab, mapping, report, popts);
+    EXPECT_TRUE(report.ok()) << report.toString(res.graph);
+}

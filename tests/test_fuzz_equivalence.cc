@@ -3,14 +3,19 @@
  * Property-based compiler/simulator fuzzing: randomly generated
  * structured programs must produce identical memory images on the
  * scalar interpreter and on every architecture variant, across
- * buffer depths and threading policies.
+ * buffer depths and threading policies. Every compiled graph also
+ * runs through the static analyzer: a fuzz-generated program the
+ * analyzer rejects (or that deadlocks after certification) is a
+ * bug in either the compiler or the analyzer.
  */
 
 #include <gtest/gtest.h>
 
+#include "analysis/analyzer.hh"
 #include "base/random.hh"
 #include "compiler/compile.hh"
 #include "compiler/timemux.hh"
+#include "dfg/dot.hh"
 #include "scalar/interpreter.hh"
 #include "sim/simulator.hh"
 #include "sir/builder.hh"
@@ -247,6 +252,22 @@ class ProgramGen
 class Fuzz : public ::testing::TestWithParam<int>
 {};
 
+/** Every fuzz-compiled graph must certify deadlock-free; the sim
+ *  runs that follow then cross-check the verdict for real. */
+void
+expectCertified(const dfg::Graph &graph, uint64_t seed,
+                int bufferDepth = 4)
+{
+    analysis::AnalysisOptions opts;
+    opts.bufferDepth = bufferDepth;
+    auto report = analysis::analyzeGraph(graph, opts);
+    ASSERT_TRUE(report.ok())
+        << "seed " << seed << " fails static analysis:\n"
+        << report.toString(graph) << "\n"
+        << dfg::toDot(graph);
+    ASSERT_TRUE(report.deadlockFree);
+}
+
 } // namespace
 
 TEST_P(Fuzz, AllVariantsMatchGolden)
@@ -283,6 +304,7 @@ TEST_P(Fuzz, AllVariantsMatchGolden)
             auto res =
                 compiler::compileProgram(prog, liveIns, opts);
             for (int depth : {2, 4}) {
+                expectCertified(res.graph, seed, depth);
                 auto cfg = res.simConfig;
                 cfg.bufferDepth = depth;
                 cfg.maxCycles = 3'000'000;
@@ -327,6 +349,7 @@ TEST_P(Fuzz, TimeMultiplexingPreservesSemantics)
     compiler::CompileOptions opts;
     opts.variant = ArchVariant::Pipestitch;
     auto res = compiler::compileProgram(prog, liveIns, opts);
+    expectCertified(res.graph, seed);
 
     fabric::FabricConfig tiny;
     tiny.peMix = {3, 1, 5, 3, 2}; // squeeze hard to force folding
@@ -370,6 +393,7 @@ TEST_P(Fuzz, SpatialUnrollMatchesGolden)
         opts.variant = ArchVariant::Pipestitch;
         opts.unrollFactor = unroll;
         auto res = compiler::compileProgram(prog, liveIns, opts);
+        expectCertified(res.graph, seed);
         auto cfg = res.simConfig;
         cfg.maxCycles = 3'000'000;
         scalar::MemImage mem = init;

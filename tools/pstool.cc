@@ -15,6 +15,12 @@
  *                               Chrome-trace JSON (chrome://tracing
  *                               or https://ui.perfetto.dev) and a
  *                               stall-attribution breakdown
+ *   pstool lint <file.sir>      static analysis only: deadlock,
+ *                               token-balance, and placement rules
+ *                               (docs/static-analysis.md); with
+ *                               --cross-check also simulates and
+ *                               fails on analyzer/simulator
+ *                               disagreement
  *   pstool figures              reproduce every paper figure in one
  *                               process, concurrently (takes no
  *                               .sir file; see --jobs/--smoke/
@@ -31,7 +37,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/placement.hh"
 #include "base/logging.hh"
+#include "compiler/timemux.hh"
 #include "core/system.hh"
 #include "dfg/dot.hh"
 #include "figures/figures.hh"
@@ -61,6 +69,8 @@ struct Options
     bool trace = false;
     bool timeMultiplex = false;
     bool json = false;
+    bool noMap = false;     ///< lint: skip mapping + placement rules
+    bool crossCheck = false; ///< lint: simulate and compare verdicts
     std::string out;          ///< trace: output file
     std::string stallsOut;    ///< trace: stall-timeline JSON file
     int interval = 256;       ///< trace: stall bucket width
@@ -85,6 +95,7 @@ int cmdRun(const Options &, const ParseResult &);
 int cmdScalar(const Options &, const ParseResult &);
 int cmdBenchSim(const Options &, const ParseResult &);
 int cmdTrace(const Options &, const ParseResult &);
+int cmdLint(const Options &, const ParseResult &);
 
 constexpr Command kCommands[] = {
     {"compile", "[--variant=V --unroll=N --dot]",
@@ -106,6 +117,12 @@ constexpr Command kCommands[] = {
      "simulate under observation; write Chrome-trace JSON and "
      "stall attribution",
      cmdTrace},
+    {"lint",
+     "[--variant=V --depth=N --unroll=N --tm --no-map "
+     "--cross-check]",
+     "run the static analyzer (deadlock/balance/placement rules); "
+     "nonzero exit on any error diagnostic",
+     cmdLint},
 };
 
 [[noreturn]] void
@@ -180,6 +197,10 @@ parseArgs(int argc, char **argv)
                 std::atoi(value("--interval=").c_str());
         } else if (arg == "--tm") {
             opts.timeMultiplex = true;
+        } else if (arg == "--no-map") {
+            opts.noMap = true;
+        } else if (arg == "--cross-check") {
+            opts.crossCheck = true;
         } else if (arg == "--json") {
             opts.json = true;
         } else if (arg == "--dot") {
@@ -566,6 +587,110 @@ cmdTrace(const Options &opts, const ParseResult &parsed)
         std::printf("%s", stalls.toString().c_str());
     }
     return r.deadlocked ? 1 : 0;
+}
+
+/**
+ * `pstool lint` — the static analyzer as a standalone gate. Compiles
+ * the kernel, runs the graph passes (PS-S/D/B rules), maps it and
+ * runs the placement rules (PS-P, unless --no-map), and prints every
+ * diagnostic plus the verdict summary. With --cross-check it also
+ * simulates: a graph the analyzer certified deadlock-free must
+ * retire cleanly, or the invocation fails with a disagreement
+ * diagnosis. Exit status is 0 only when the report is clean (and,
+ * when cross-checking, the models agree).
+ */
+int
+cmdLint(const Options &opts, const ParseResult &parsed)
+{
+    auto kernel = buildKernel(opts, parsed);
+    compiler::CompileOptions copts;
+    copts.variant = opts.variant;
+    copts.unrollFactor = opts.unroll;
+    copts.bufferDepth = opts.depth;
+    auto res = compiler::compileProgram(kernel.prog, kernel.liveIns,
+                                        copts);
+
+    analysis::AnalysisOptions aopts;
+    aopts.bufferDepth = opts.depth;
+    analysis::AnalysisReport report =
+        analysis::analyzeGraph(res.graph, aopts);
+
+    fabric::FabricConfig fcfg;
+    fabric::Fabric fab(fcfg);
+    if (!opts.noMap) {
+        compiler::ShareGroups shareGroups;
+        if (opts.timeMultiplex) {
+            shareGroups =
+                compiler::planTimeMultiplexing(res.graph, fcfg);
+        }
+        mapper::MapperOptions mopts;
+        mopts.shareGroups = shareGroups;
+        auto mapping = mapper::mapGraph(res.graph, fab, mopts);
+        if (!mapping.success) {
+            fatal("%s does not map onto the fabric (%s): %s",
+                  kernel.name.c_str(),
+                  compiler::archVariantName(opts.variant),
+                  mapping.error.c_str());
+        }
+        analysis::PlacementLintOptions popts;
+        popts.shareGroups = shareGroups;
+        analysis::lintPlacement(res.graph, fab, mapping, report,
+                                popts);
+    }
+
+    bool simDeadlocked = false;
+    bool disagree = false;
+    if (opts.crossCheck) {
+        auto cfg = res.simConfig;
+        cfg.bufferDepth = opts.depth;
+        auto mem = kernel.memory;
+        mem.resize(std::max(
+            mem.size(),
+            static_cast<size_t>(kernel.prog.memWords)));
+        auto r = sim::simulate(res.graph, mem, cfg);
+        simDeadlocked = r.deadlocked;
+        // Watchdog expiry means the fabric was still live —
+        // termination is input-dependent, outside what static
+        // certification claims — so only a quiesced deadlock
+        // counts as a disagreement.
+        disagree = report.deadlockFree && r.deadlocked &&
+                   !r.watchdogExpired;
+        if (disagree && !opts.json) {
+            std::fprintf(stderr,
+                         "cross-check: analyzer certified the graph "
+                         "deadlock-free but the simulator "
+                         "deadlocked:\n%s\n",
+                         r.diagnostic.c_str());
+        }
+    }
+
+    if (opts.json) {
+        std::printf("{\"kernel\":\"%s\",\"variant\":\"%s\","
+                    "\"operators\":%d,\"crossChecked\":%s,"
+                    "\"simDeadlocked\":%s,\"agree\":%s,"
+                    "\"analysis\":%s}\n",
+                    kernel.name.c_str(),
+                    compiler::archVariantName(opts.variant),
+                    res.graph.size(),
+                    opts.crossCheck ? "true" : "false",
+                    simDeadlocked ? "true" : "false",
+                    disagree ? "false" : "true",
+                    report.toJson(res.graph).c_str());
+    } else {
+        std::printf("%s on %s: %d operator(s)\n%s\n",
+                    kernel.name.c_str(),
+                    compiler::archVariantName(opts.variant),
+                    res.graph.size(),
+                    report.toString(res.graph).c_str());
+        if (opts.crossCheck) {
+            std::printf("cross-check: simulator %s; %s\n",
+                        simDeadlocked ? "deadlocked"
+                                      : "retired cleanly",
+                        disagree ? "DISAGREES with the analyzer"
+                                 : "agrees with the analyzer");
+        }
+    }
+    return (report.ok() && !disagree) ? 0 : 1;
 }
 
 /**
