@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "base/logging.hh"
+#include "mapper/routecost.hh"
 
 namespace pipestitch::analysis {
 
@@ -254,82 +255,60 @@ class PlacementLint
     /**
      * PS-P05: re-route every edge with the NoC's dimension-ordered
      * X-Y multicast (shared-prefix links claimed once per output)
-     * and flag links whose load exceeds the wire capacity. This is
-     * an independent reimplementation of the mapper's final check
-     * so a mapper regression cannot hide its own overload.
+     * and flag links whose load exceeds the wire capacity. The
+     * trace itself is the shared mapper::routecost model — the same
+     * code the mapper's congestion objective and final route use —
+     * so the analyzer and the mapper cannot drift apart; what stays
+     * independent here is the from-scratch accumulation over the
+     * emitted mapping, which still catches stale or hand-corrupted
+     * placements.
      */
     void
     checkCongestion()
     {
         const int w = fab.config().width;
-        const int h = fab.config().height;
-        // Link: [y][x][dir], dir: 0=+x 1=-x 2=+y 3=-y
-        auto linkIdx = [&](int x, int y, int dir) {
-            return static_cast<size_t>(((y * w) + x) * 4 + dir);
-        };
-        std::vector<int> load(static_cast<size_t>(w * h * 4), 0);
+        std::vector<int> load(
+            mapper::routecost::linkCount(fab.config()), 0);
         std::vector<std::vector<EdgeRef>> users(load.size());
 
-        std::vector<bool> claimed(load.size(), false);
+        mapper::routecost::ClaimScratch scratch;
+        scratch.ensure(load.size());
         for (NodeId src = 0; src < graph.size(); src++) {
             const Node &node = graph.at(src);
             for (int port = 0; port < node.numOutputs(); port++) {
-                const auto &consumers =
-                    graph.consumersOf({src, port});
-                if (consumers.empty())
-                    continue;
-                std::vector<size_t> touched;
-                Coord s = posOf(src);
-                for (const auto &c : consumers) {
-                    Coord dst = posOf(c.node);
-                    int x = s.x, y = s.y;
-                    auto claim = [&](int dir) {
-                        size_t l = linkIdx(x, y, dir);
-                        if (!claimed[l]) {
-                            claimed[l] = true;
-                            touched.push_back(l);
-                            load[l]++;
-                            users[l].push_back({src, port, c.node,
-                                                c.inputIndex});
-                        }
-                    };
-                    while (x != dst.x) {
-                        claim(dst.x > x ? 0 : 1);
-                        x += dst.x > x ? 1 : -1;
-                    }
-                    while (y != dst.y) {
-                        claim(dst.y > y ? 2 : 3);
-                        y += dst.y > y ? 1 : -1;
-                    }
-                }
-                for (size_t l : touched)
-                    claimed[l] = false;
+                mapper::routecost::traceTree(
+                    graph, src, port, w,
+                    [this](NodeId id) { return posOf(id); },
+                    scratch,
+                    [&](size_t l, const dfg::Consumer &c) {
+                        load[l]++;
+                        users[l].push_back(
+                            {src, port, c.node, c.inputIndex});
+                    },
+                    [](const dfg::Consumer &, int) {});
             }
         }
 
-        static const char *dirName[4] = {"+x", "-x", "+y", "-y"};
         int capacity = fab.config().linkCapacity;
-        for (int y = 0; y < h; y++) {
-            for (int x = 0; x < w; x++) {
-                for (int dir = 0; dir < 4; dir++) {
-                    size_t l = linkIdx(x, y, dir);
-                    if (load[l] <= capacity)
-                        continue;
-                    Diagnostic &d = diag(
-                        "PS-P05", dfg::NoNode,
-                        csprintf("link (%d,%d)%s carries %d "
-                                 "circuit-switched routes but has "
-                                 "%d wires",
-                                 x, y, dirName[dir], load[l],
-                                 capacity),
-                        "re-map with a different seed or raise "
-                        "linkCapacity");
-                    d.edges = users[l];
-                    for (const EdgeRef &e : d.edges) {
-                        d.nodes.push_back(e.from);
-                        d.nodes.push_back(e.to);
-                    }
-                }
+        for (size_t l = 0; l < load.size(); l++) {
+            if (load[l] <= capacity)
+                continue;
+            Coord at = mapper::routecost::linkCoord(w, l);
+            Diagnostic &d = diag(
+                "PS-P05", dfg::NoNode,
+                csprintf("link (%d,%d)%s carries %d "
+                         "circuit-switched routes but has "
+                         "%d wires",
+                         at.x, at.y,
+                         mapper::routecost::linkDirName(
+                             mapper::routecost::linkDir(l)),
+                         load[l], capacity),
+                "re-map with a different seed or raise "
+                "linkCapacity");
+            d.edges = users[l];
+            for (const EdgeRef &e : d.edges) {
+                d.nodes.push_back(e.from);
+                d.nodes.push_back(e.to);
             }
         }
     }

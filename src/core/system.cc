@@ -50,7 +50,9 @@ runOnFabric(const workloads::KernelInstance &kernel,
     double avgHops = 2.0; // fallback when mapping is skipped
     if (config.map) {
         mapper::MapperOptions mopts;
-        mopts.seed = config.mapperSeed;
+        mopts.rngSeed = config.mapperSeed;
+        mopts.portfolioSeeds = config.mapperSeeds;
+        mopts.jobs = config.mapperJobs;
         mopts.shareGroups = shareGroups;
         if (!config.cache ||
             !config.cache->lookupMapping(run.compiled.graph,

@@ -127,6 +127,15 @@ struct RunConfig
 
     uint64_t mapperSeed = 1;
 
+    /** Portfolio restarts for the annealing mapper (result-bearing:
+     *  part of cache keys). */
+    int mapperSeeds = 4;
+
+    /** Worker threads for the mapper portfolio. The winner is
+     *  bit-identical for any value, so this never enters cache
+     *  keys. */
+    int mapperJobs = 1;
+
     /**
      * Memo cache for the compile and map stages (not owned; null
      * disables memoization). See PipelineCache.

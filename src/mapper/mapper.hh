@@ -3,12 +3,20 @@
  * Mapping DFGs onto the fabric: class-constrained placement plus
  * dimension-ordered routing with link-capacity checking.
  *
- * The paper uses RipTide's SAT-based mapper; we substitute simulated
- * annealing over wirelength with a post-route capacity check (see
- * DESIGN.md "Substitutions"). The evaluation only depends on the
- * mapping through (a) "does the kernel fit", (b) operator counts
- * (Fig. 21), and (c) NoC hop counts feeding the energy model — all
- * of which this mapper provides.
+ * The paper uses RipTide's SAT-based mapper; we substitute a
+ * portfolio of simulated anneals over a congestion-aware wirelength
+ * objective with a post-route capacity check (see DESIGN.md
+ * "Substitutions"). The evaluation only depends on the mapping
+ * through (a) "does the kernel fit", (b) operator counts (Fig. 21),
+ * and (c) NoC hop counts feeding the energy model — all of which
+ * this mapper provides.
+ *
+ * The anneal maintains per-node cached partial costs and applies
+ * O(degree) deltas per move; `portfolioSeeds` independently-seeded
+ * anneals run in lockstep chunks (optionally on a thread pool) and
+ * share a best-cost bound for early exit. The winner is chosen by
+ * (lowest cost, lowest seed index), so the emitted mapping is
+ * bit-identical for any `jobs` value.
  */
 
 #ifndef PIPESTITCH_MAPPER_MAPPER_HH
@@ -24,9 +32,38 @@ namespace pipestitch::mapper {
 
 struct MapperOptions
 {
-    uint64_t seed = 1;
+    /** Base RNG seed; every stochastic choice derives from it. */
+    uint64_t rngSeed = 1;
+
+    /** Total anneal budget, split evenly across the portfolio. */
     int annealIterations = 20000;
-    double startTemperature = 8.0;
+
+    double startTemperature = 4.0;
+
+    /** Number of independently-seeded anneal restarts. */
+    int portfolioSeeds = 4;
+
+    /** Worker threads for the portfolio (1 = run in-line; clamped
+     *  to the host's cores; negative = force that many workers,
+     *  bypassing the clamp — for tests). Does not affect the
+     *  result, only wall-clock; never part of cache keys. */
+    int jobs = 1;
+
+    /** Weight of the link-overload term in the anneal objective. */
+    double congestionWeight = 8.0;
+
+    /** Fraction of each anneal's schedule (the cooling tail) that
+     *  includes the congestion term; the hotter head optimizes pure
+     *  wirelength, which is cheaper per move. */
+    double congestionPhase = 0.3;
+
+    /** Max targeted restarts (perturbing only nodes on overloaded
+     *  links) before giving up with a structured error. */
+    int maxTargetedRestarts = 4;
+
+    /** Cross-check every incremental delta against a from-scratch
+     *  recompute (slow; for tests). Never part of cache keys. */
+    bool verifyIncremental = false;
 
     /** Time-multiplexing groups: members share one PE (the first
      *  member is the placement representative). */
@@ -37,6 +74,10 @@ struct Mapping
 {
     bool success = false;
     std::string error;
+
+    /** On failure: the nodes implicated (oversubscribed class or
+     *  endpoints of over-capacity links). Empty on success. */
+    std::vector<dfg::NodeId> failedNodes;
 
     /** Node → PE index; -1 for CF-in-NoC nodes and the trigger. */
     std::vector<int> peOf;
@@ -50,6 +91,20 @@ struct Mapping
     int64_t totalWireLength = 0;
     double avgHops = 0;
     int maxLinkLoad = 0;
+
+    /** Anneal objective of the emitted placement:
+     *  wirelength + congestionWeight * total link overload. */
+    double cost = 0;
+
+    /** Total routed wires above link capacity (0 on success). */
+    int64_t congestionOverflow = 0;
+
+    /** Portfolio member that produced the placement (-1 = the
+     *  greedy-init incumbent). */
+    int winningSeed = -1;
+
+    /** Portfolio members that early-exited on the shared bound. */
+    int seedsEarlyExited = 0;
 
     /** Fabric position (grid index) used for a node's traffic. */
     int positionOf(dfg::NodeId id) const;

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Shared X-Y route/link-occupancy model for the circuit-switched
+ * mesh NoC.
+ *
+ * Both the mapper's anneal objective (congestion term, final route)
+ * and the analyzer's PS-P05 congestion lint trace distribution trees
+ * through this one implementation, so the two can never disagree
+ * about what a route costs. The model: dimension-ordered X-then-Y
+ * paths; one multicast output claims each link of its tree exactly
+ * once no matter how many consumers share the prefix.
+ */
+
+#ifndef PIPESTITCH_MAPPER_ROUTECOST_HH
+#define PIPESTITCH_MAPPER_ROUTECOST_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "dfg/graph.hh"
+#include "fabric/fabric.hh"
+
+namespace pipestitch::mapper::routecost {
+
+/** Mesh link directions per router. */
+constexpr int kLinkDirs = 4; // 0=+x 1=-x 2=+y 3=-y
+
+inline size_t
+linkIndex(int width, int x, int y, int dir)
+{
+    return static_cast<size_t>(((y * width) + x) * kLinkDirs + dir);
+}
+
+inline size_t
+linkCount(const fabric::FabricConfig &cfg)
+{
+    return static_cast<size_t>(cfg.width * cfg.height * kLinkDirs);
+}
+
+inline fabric::Coord
+linkCoord(int width, size_t link)
+{
+    int router = static_cast<int>(link) / kLinkDirs;
+    return {router % width, router / width};
+}
+
+inline int
+linkDir(size_t link)
+{
+    return static_cast<int>(link) % kLinkDirs;
+}
+
+inline const char *
+linkDirName(int dir)
+{
+    static const char *names[kLinkDirs] = {"+x", "-x", "+y", "-y"};
+    return names[dir];
+}
+
+/**
+ * Per-tree link claiming without per-tree clears: a link is claimed
+ * for the current tree iff its stamp equals the current epoch.
+ * Reused across millions of anneal moves, so the O(links) reset
+ * happens only on (rare) epoch wrap.
+ */
+struct ClaimScratch
+{
+    std::vector<uint32_t> stamp;
+    uint32_t epoch = 0;
+
+    void
+    ensure(size_t links)
+    {
+        if (stamp.size() != links) {
+            stamp.assign(links, 0);
+            epoch = 0;
+        }
+    }
+
+    void
+    nextTree()
+    {
+        if (++epoch == 0) {
+            std::fill(stamp.begin(), stamp.end(), 0u);
+            epoch = 1;
+        }
+    }
+
+    /** True the first time @p link is seen in the current tree. */
+    bool
+    claim(size_t link)
+    {
+        if (stamp[link] == epoch)
+            return false;
+        stamp[link] = epoch;
+        return true;
+    }
+};
+
+/**
+ * Trace the multicast distribution tree of output (src, port).
+ *
+ * @p posOf maps a NodeId to its fabric::Coord. @p onLink(link,
+ * consumer) fires once per distinct link in the tree, attributed to
+ * the first consumer whose path crosses it; @p onEdge(consumer,
+ * hops) fires once per consumer with its path length. Either
+ * callback may be a no-op lambda.
+ */
+template <typename PosFn, typename LinkFn, typename EdgeFn>
+inline void
+traceTree(const dfg::Graph &graph, dfg::NodeId src, int port,
+          int width, PosFn &&posOf, ClaimScratch &scratch,
+          LinkFn &&onLink, EdgeFn &&onEdge)
+{
+    const auto &consumers = graph.consumersOf({src, port});
+    if (consumers.empty())
+        return;
+    scratch.nextTree();
+    fabric::Coord s = posOf(src);
+    for (const dfg::Consumer &c : consumers) {
+        fabric::Coord dst = posOf(c.node);
+        int hops = 0;
+        int x = s.x, y = s.y;
+        auto step = [&](int dir) {
+            size_t l = linkIndex(width, x, y, dir);
+            if (scratch.claim(l))
+                onLink(l, c);
+        };
+        while (x != dst.x) {
+            step(dst.x > x ? 0 : 1);
+            x += dst.x > x ? 1 : -1;
+            hops++;
+        }
+        while (y != dst.y) {
+            step(dst.y > y ? 2 : 3);
+            y += dst.y > y ? 1 : -1;
+            hops++;
+        }
+        onEdge(c, hops);
+    }
+}
+
+/** Change in total overload when one link's load moves by ±1. */
+inline int64_t
+overflowDelta(int loadBefore, int capacity, int delta)
+{
+    int before = std::max(0, loadBefore - capacity);
+    int after = std::max(0, loadBefore + delta - capacity);
+    return after - before;
+}
+
+} // namespace pipestitch::mapper::routecost
+
+#endif // PIPESTITCH_MAPPER_ROUTECOST_HH

@@ -17,7 +17,13 @@ namespace {
 
 /** Bump when the on-disk mapping format or any key ingredient
  *  changes; stale files then simply miss. */
-constexpr int kDiskFormatVersion = 1;
+constexpr int kDiskFormatVersion = 2;
+
+/** Salted into every mapping key. Bump whenever the mapper's
+ *  objective or search changes, so cached placements from an older
+ *  mapper are never replayed against the new one (v2: portfolio
+ *  anneal with the congestion-aware objective). */
+constexpr uint64_t kMappingKeyVersion = 2;
 
 void
 hashFabric(Hasher &h, const fabric::FabricConfig &f)
@@ -74,11 +80,20 @@ MemoCache::mappingKey(const dfg::Graph &graph,
                       const mapper::MapperOptions &opts)
 {
     Hasher h;
+    h.u64(kMappingKeyVersion);
     h.u64(dfg::graphFingerprint(graph));
     hashFabric(h, fabric);
-    h.u64(opts.seed)
+    // Everything that shapes the result. `jobs` and
+    // `verifyIncremental` are deliberately absent: the portfolio
+    // winner is bit-identical for any thread count, and the
+    // verification mode only adds assertions.
+    h.u64(opts.rngSeed)
         .i32(opts.annealIterations)
-        .f64(opts.startTemperature);
+        .f64(opts.startTemperature)
+        .i32(opts.portfolioSeeds)
+        .f64(opts.congestionWeight)
+        .f64(opts.congestionPhase)
+        .i32(opts.maxTargetedRestarts);
     h.u64(opts.shareGroups.size());
     for (const auto &group : opts.shareGroups)
         h.vec(group);
@@ -98,7 +113,8 @@ MemoCache::runKey(const workloads::KernelInstance &k,
         .b(cfg.allowTimeMultiplex)
         .b(cfg.map)
         .b(cfg.verifyAgainstGolden)
-        .u64(cfg.mapperSeed);
+        .u64(cfg.mapperSeed)
+        .i32(cfg.mapperSeeds);
     hashFabric(h, cfg.fabric);
     // SimConfig: only the user-settable fields. The derived ones
     // (buffering, memBypass, memBanks, shareGroups) are functions of
@@ -219,6 +235,12 @@ MemoCache::loadMappingFile(uint64_t key, mapper::Mapping &out) const
                     &m.totalWireLength) == 1 &&
         std::fscanf(f, "avghops %la\n", &m.avgHops) == 1 &&
         std::fscanf(f, "maxlinkload %d\n", &m.maxLinkLoad) == 1 &&
+        std::fscanf(f, "cost %la\n", &m.cost) == 1 &&
+        std::fscanf(f, "overflow %" SCNd64 "\n",
+                    &m.congestionOverflow) == 1 &&
+        std::fscanf(f, "winningseed %d\n", &m.winningSeed) == 1 &&
+        std::fscanf(f, "earlyexits %d\n", &m.seedsEarlyExited) ==
+            1 &&
         std::fscanf(f, "pe %zu\n", &nPe) == 1;
     if (ok) {
         m.peOf.resize(nPe);
@@ -283,6 +305,11 @@ MemoCache::saveMappingFile(uint64_t key,
     // %a round-trips the double exactly.
     std::fprintf(f, "avghops %a\n", mapping.avgHops);
     std::fprintf(f, "maxlinkload %d\n", mapping.maxLinkLoad);
+    std::fprintf(f, "cost %a\n", mapping.cost);
+    std::fprintf(f, "overflow %" PRId64 "\n",
+                 mapping.congestionOverflow);
+    std::fprintf(f, "winningseed %d\n", mapping.winningSeed);
+    std::fprintf(f, "earlyexits %d\n", mapping.seedsEarlyExited);
     std::fprintf(f, "pe %zu\n", mapping.peOf.size());
     for (int v : mapping.peOf)
         std::fprintf(f, "%d ", v);

@@ -211,6 +211,113 @@ TEST(Mapper, HopCountsFeedEnergy)
     EXPECT_LT(m.avgHops, 14.0); // bounded by mesh diameter
 }
 
+TEST(Mapper, PortfolioBitIdenticalAcrossJobs)
+{
+    setQuiet(true);
+    Fabric fab;
+    auto k = workloads::makeSpMSpMd(16, 0.85, 2);
+    auto g = compiledGraph(k, ArchVariant::Pipestitch);
+    mapper::Mapping ref;
+    // Negative values force real worker threads past the host-core
+    // clamp, so the concurrent path runs even on a 1-core host
+    // (and under TSan in CI).
+    for (int jobs : {1, 2, 8, -2, -4}) {
+        mapper::MapperOptions opts;
+        opts.jobs = jobs;
+        auto m = mapper::mapGraph(g, fab, opts);
+        ASSERT_TRUE(m.success) << "jobs=" << jobs;
+        if (jobs == 1) {
+            ref = m;
+            continue;
+        }
+        EXPECT_EQ(m.peOf, ref.peOf) << "jobs=" << jobs;
+        EXPECT_EQ(m.routerOf, ref.routerOf) << "jobs=" << jobs;
+        EXPECT_EQ(m.totalWireLength, ref.totalWireLength);
+        EXPECT_EQ(m.cost, ref.cost);
+        EXPECT_EQ(m.winningSeed, ref.winningSeed);
+    }
+}
+
+TEST(Mapper, RngSeedReproduces)
+{
+    setQuiet(true);
+    Fabric fab;
+    auto k = workloads::makeSpmv(16, 0.8, 2);
+    auto g = compiledGraph(k, ArchVariant::Pipestitch);
+    mapper::MapperOptions opts;
+    opts.rngSeed = 0xfeedbeef;
+    auto m1 = mapper::mapGraph(g, fab, opts);
+    auto m2 = mapper::mapGraph(g, fab, opts);
+    ASSERT_TRUE(m1.success && m2.success);
+    EXPECT_EQ(m1.peOf, m2.peOf);
+    EXPECT_EQ(m1.routerOf, m2.routerOf);
+    EXPECT_EQ(m1.totalWireLength, m2.totalWireLength);
+}
+
+TEST(Mapper, DeltaCostMatchesFromScratch)
+{
+    // Fuzz the incremental cost maintenance: with
+    // verifyIncremental on, every anneal step cross-checks the
+    // cached wirelength, per-node partials, link loads, and
+    // overflow against a from-scratch recompute and aborts on any
+    // divergence. Varied graphs, variants, and seeds exercise
+    // swaps, NoC-hosted CF moves, and the congestion-armed tail.
+    setQuiet(true);
+    Fabric fab;
+    const workloads::KernelInstance kernels[] = {
+        workloads::makeSpmv(12, 0.7, 2),
+        workloads::makeSpMSpVd(12, 0.8, 1),
+        workloads::makeDither(8, 8, 2),
+    };
+    for (const auto &k : kernels) {
+        for (ArchVariant v :
+             {ArchVariant::Pipestitch, ArchVariant::PipeCFoP}) {
+            auto g = compiledGraph(k, v);
+            for (uint64_t seed : {1ull, 99ull}) {
+                mapper::MapperOptions opts;
+                opts.rngSeed = seed;
+                opts.annealIterations = 600;
+                opts.portfolioSeeds = 2;
+                opts.congestionPhase = 0.5;
+                opts.verifyIncremental = true;
+                auto m = mapper::mapGraph(g, fab, opts);
+                ASSERT_TRUE(m.success)
+                    << k.name << " seed " << seed << ": "
+                    << m.error;
+            }
+        }
+    }
+}
+
+TEST(Mapper, UnmappableReportsImplicatedNodes)
+{
+    setQuiet(true);
+    // A fabric whose links carry a single wire each cannot route a
+    // real kernel's multicast trees; the mapper must fail with the
+    // structured "unmappable" error naming the nodes on the
+    // overloaded routes after its capped targeted restarts.
+    FabricConfig cramped;
+    cramped.width = 4;
+    cramped.height = 4;
+    cramped.peMix = {4, 1, 3, 6, 2};
+    cramped.memBanks = 4;
+    cramped.linkCapacity = 1;
+    Fabric fab(cramped);
+    auto k = workloads::makeSpmv(8, 0.7, 6);
+    auto g = compiledGraph(k, ArchVariant::Pipestitch);
+    mapper::MapperOptions opts;
+    opts.maxTargetedRestarts = 2;
+    auto m = mapper::mapGraph(g, fab, opts);
+    ASSERT_FALSE(m.success);
+    EXPECT_NE(m.error.find("unmappable"), std::string::npos)
+        << m.error;
+    EXPECT_FALSE(m.failedNodes.empty());
+    for (dfg::NodeId id : m.failedNodes) {
+        EXPECT_GE(id, 0);
+        EXPECT_LT(id, g.size());
+    }
+}
+
 TEST(Fabric, CustomMixesWork)
 {
     setQuiet(true);

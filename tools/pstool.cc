@@ -21,6 +21,12 @@
  *                               --cross-check also simulates and
  *                               fails on analyzer/simulator
  *                               disagreement
+ *   pstool map <file.sir>       run the portfolio mapper alone and
+ *                               report placement quality (cost,
+ *                               wirelength, congestion, winning
+ *                               seed) plus wall-clock; nonzero exit
+ *                               if the kernel does not map or the
+ *                               emitted placement fails lint
  *   pstool figures              reproduce every paper figure in one
  *                               process, concurrently (takes no
  *                               .sir file; see --jobs/--smoke/
@@ -71,6 +77,10 @@ struct Options
     bool json = false;
     bool noMap = false;     ///< lint: skip mapping + placement rules
     bool crossCheck = false; ///< lint: simulate and compare verdicts
+    int seeds = 4;            ///< map: portfolio restarts
+    int jobs = 1;             ///< map: mapper worker threads
+    uint64_t seed = 1;        ///< map: base RNG seed
+    int iterations = 20000;   ///< map: total anneal budget
     std::string out;          ///< trace: output file
     std::string stallsOut;    ///< trace: stall-timeline JSON file
     int interval = 256;       ///< trace: stall bucket width
@@ -96,6 +106,7 @@ int cmdScalar(const Options &, const ParseResult &);
 int cmdBenchSim(const Options &, const ParseResult &);
 int cmdTrace(const Options &, const ParseResult &);
 int cmdLint(const Options &, const ParseResult &);
+int cmdMap(const Options &, const ParseResult &);
 
 constexpr Command kCommands[] = {
     {"compile", "[--variant=V --unroll=N --dot]",
@@ -123,6 +134,12 @@ constexpr Command kCommands[] = {
      "run the static analyzer (deadlock/balance/placement rules); "
      "nonzero exit on any error diagnostic",
      cmdLint},
+    {"map",
+     "[--variant=V --unroll=N --tm --seeds=N --jobs=N --seed=N "
+     "--iters=N]",
+     "run the portfolio mapper alone; report placement quality and "
+     "wall-clock, nonzero exit on failure or dirty placement lint",
+     cmdMap},
 };
 
 [[noreturn]] void
@@ -195,6 +212,16 @@ parseArgs(int argc, char **argv)
         } else if (arg.rfind("--interval=", 0) == 0) {
             opts.interval =
                 std::atoi(value("--interval=").c_str());
+        } else if (arg.rfind("--seeds=", 0) == 0) {
+            opts.seeds = std::atoi(value("--seeds=").c_str());
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            opts.jobs = std::atoi(value("--jobs=").c_str());
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            opts.seed = static_cast<uint64_t>(
+                std::atoll(value("--seed=").c_str()));
+        } else if (arg.rfind("--iters=", 0) == 0) {
+            opts.iterations =
+                std::atoi(value("--iters=").c_str());
         } else if (arg == "--tm") {
             opts.timeMultiplex = true;
         } else if (arg == "--no-map") {
@@ -691,6 +718,112 @@ cmdLint(const Options &opts, const ParseResult &parsed)
         }
     }
     return (report.ok() && !disagree) ? 0 : 1;
+}
+
+/**
+ * `pstool map` — the portfolio mapper as a standalone gate. Compiles
+ * the kernel, maps it with the requested portfolio width and thread
+ * count, and reports placement quality plus wall-clock. The emitted
+ * mapping is re-checked with the placement lint (PS-P rules) before
+ * the command reports success, so a clean exit certifies both "it
+ * maps" and "the placement is legal". On failure the structured
+ * error names the implicated nodes.
+ */
+int
+cmdMap(const Options &opts, const ParseResult &parsed)
+{
+    auto kernel = buildKernel(opts, parsed);
+    compiler::CompileOptions copts;
+    copts.variant = opts.variant;
+    copts.unrollFactor = opts.unroll;
+    copts.bufferDepth = opts.depth;
+    auto res = compiler::compileProgram(kernel.prog, kernel.liveIns,
+                                        copts);
+
+    fabric::FabricConfig fcfg;
+    fabric::Fabric fab(fcfg);
+    compiler::ShareGroups shareGroups;
+    if (opts.timeMultiplex)
+        shareGroups = compiler::planTimeMultiplexing(res.graph, fcfg);
+
+    mapper::MapperOptions mopts;
+    mopts.rngSeed = opts.seed;
+    mopts.portfolioSeeds = opts.seeds;
+    mopts.jobs = opts.jobs;
+    mopts.annealIterations = opts.iterations;
+    mopts.shareGroups = shareGroups;
+
+    auto t0 = std::chrono::steady_clock::now();
+    auto mapping = mapper::mapGraph(res.graph, fab, mopts);
+    double mapMs = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+
+    bool lintClean = false;
+    std::string lintText;
+    if (mapping.success) {
+        analysis::AnalysisReport report;
+        analysis::PlacementLintOptions popts;
+        popts.shareGroups = shareGroups;
+        analysis::lintPlacement(res.graph, fab, mapping, report,
+                                popts);
+        lintClean = report.ok();
+        if (!lintClean)
+            lintText = report.toString(res.graph);
+    }
+
+    if (opts.json) {
+        sim::Report r;
+        r.add("kernel", kernel.name)
+            .add("variant", compiler::archVariantName(opts.variant))
+            .add("operators", res.graph.size())
+            .add("seeds", opts.seeds)
+            .add("jobs", opts.jobs)
+            .add("success", mapping.success)
+            .add("lint_clean", lintClean)
+            .add("cost", mapping.cost)
+            .add("wirelength", mapping.totalWireLength)
+            .add("overflow", mapping.congestionOverflow)
+            .add("max_link_load", mapping.maxLinkLoad)
+            .add("avg_hops", mapping.avgHops)
+            .add("winning_seed", mapping.winningSeed)
+            .add("early_exits", mapping.seedsEarlyExited)
+            .add("map_ms", mapMs);
+        if (!mapping.success)
+            r.add("error", mapping.error)
+                .add("failed_nodes",
+                     static_cast<int64_t>(
+                         mapping.failedNodes.size()));
+        std::printf("%s\n", r.toJson().c_str());
+    } else if (mapping.success) {
+        std::printf(
+            "%s on %s: %d operator(s), %d seed(s) x %d job(s)\n"
+            "  cost %.1f (wirelength %lld, overflow %lld), max "
+            "link load %d/%d\n"
+            "  avg hops %.3f, winning seed %d, %d early exit(s), "
+            "%.2f ms\n"
+            "  placement lint: %s\n",
+            kernel.name.c_str(),
+            compiler::archVariantName(opts.variant),
+            res.graph.size(), opts.seeds, opts.jobs, mapping.cost,
+            static_cast<long long>(mapping.totalWireLength),
+            static_cast<long long>(mapping.congestionOverflow),
+            mapping.maxLinkLoad, fcfg.linkCapacity, mapping.avgHops,
+            mapping.winningSeed, mapping.seedsEarlyExited, mapMs,
+            lintClean ? "clean" : "DIRTY");
+        if (!lintClean)
+            std::printf("%s\n", lintText.c_str());
+    } else {
+        std::printf("%s does not map onto the fabric: %s\n",
+                    kernel.name.c_str(), mapping.error.c_str());
+        if (!mapping.failedNodes.empty()) {
+            std::printf("implicated nodes:");
+            for (dfg::NodeId id : mapping.failedNodes)
+                std::printf(" %d", id);
+            std::printf("\n");
+        }
+    }
+    return (mapping.success && lintClean) ? 0 : 1;
 }
 
 /**
