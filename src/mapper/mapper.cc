@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <thread>
 #include <span>
@@ -94,6 +97,10 @@ struct Candidate
     bool congestionOn = false;
     int itersDone = 0;
     bool abandoned = false;
+    // Why `abandoned` was set: true when the shared bound proved
+    // the member could not catch the incumbent; false when
+    // successive halving cut it to reallocate budget.
+    bool boundExited = false;
     // Set once a full chunk accepts no move: the schedule has cooled
     // past the point of useful exploration, and the strict
     // improvements a frozen tail could still find are a subset of
@@ -116,14 +123,21 @@ class MapperRun
           linkCap(fab.config().linkCapacity),
           cfCap(fab.config().routerCfCapacity),
           seeds(std::max(1, opts.portfolioSeeds)),
-          // Each portfolio member gets 40% of the total budget (the
-          // full budget when there is no portfolio); successive
-          // halving and the shared bound's early exits keep the
-          // actual total near the budget while each schedule still
-          // cools slowly enough to approach a single long anneal's
-          // quality.
-          perSeedIters(seeds > 1 ? opts.annealIterations * 2 / 5
-                                 : std::max(0, opts.annealIterations))
+          // Per-member schedule (the full budget when there is no
+          // portfolio): bound-driven exits after the scouts'
+          // burn-in and keep-one halving past 20% of the schedule
+          // keep the summed iterations well under the budget while
+          // the surviving schedule still cools slowly enough to
+          // approach a single long anneal's quality. Small graphs
+          // afford a longer 40% schedule within the same wall
+          // budget (the same size threshold the polish uses to
+          // scale its kick count); past ~40 representatives the
+          // per-chunk cost dominates and the schedule drops to 20%.
+          perSeedIters(seeds > 1
+                           ? (graph.size() > 40
+                                  ? opts.annealIterations / 5
+                                  : opts.annealIterations * 2 / 5)
+                           : std::max(0, opts.annealIterations))
     {}
 
     Mapping run();
@@ -168,11 +182,11 @@ class MapperRun
     void commitMove(Candidate &c, int cls, NodeId a, NodeId b,
                     int fromPos, int toPos, int64_t dOf) const;
     void annealStep(Candidate &c) const;
-    void descend(Candidate &c) const;
+    void descend(Candidate &c, int maxPasses = 8) const;
     void runChunk(Candidate &c, int iters) const;
     bool shouldAbandon(const Candidate &c, double bound) const;
     void portfolio(std::vector<int> &winnerPos, int &winnerSeed,
-                   int &earlyExited) const;
+                   int &earlyExited, int &halved) const;
 
     // --- congestion repair / finish ------------------------------
     void candidateFromPos(Candidate &c,
@@ -878,6 +892,11 @@ MapperRun::annealStep(Candidate &c) const
 void
 MapperRun::runChunk(Candidate &c, int iters) const
 {
+    // Degenerate but feasible graphs can leave no representative
+    // movable (every used class exactly fills its slots with one
+    // node); annealStep would then index an empty classesInUse.
+    if (classesInUse.empty())
+        return;
     for (int i = 0; i < iters; i++) {
         annealStep(c);
         c.temp *= c.cooling;
@@ -904,7 +923,7 @@ MapperRun::shouldAbandon(const Candidate &c, double bound) const
 
 void
 MapperRun::portfolio(std::vector<int> &winnerPos, int &winnerSeed,
-                     int &earlyExited) const
+                     int &earlyExited, int &halved) const
 {
     std::vector<Candidate> cands(static_cast<size_t>(seeds));
     for (int k = 0; k < seeds; k++) {
@@ -922,22 +941,14 @@ MapperRun::portfolio(std::vector<int> &winnerPos, int &winnerSeed,
         c.bestPos = c.pos;
     }
 
-    // The greedy-init incumbent (pre-anneal) seeds the shared bound
-    // as portfolio member -1; ties keep the earlier holder so the
-    // winner is deterministic.
-    double bound = cands[0].bestCost;
-    int holder = -1;
+    // The greedy-init incumbent (pre-anneal, pre-probe) seeds the
+    // shared bound as portfolio member -1; ties keep the earlier
+    // holder so the winner is deterministic.
+    const double incumbentCost = cands[0].bestCost;
     std::vector<int> incumbentPos = cands[0].pos;
-    for (int k = 0; k < seeds; k++) {
-        if (cands[static_cast<size_t>(k)].bestCost < bound) {
-            bound = cands[static_cast<size_t>(k)].bestCost;
-            holder = k;
-        }
-    }
-    std::atomic<double> sharedBound{bound};
 
     const int rounds =
-        perSeedIters > 0
+        perSeedIters > 0 && !classesInUse.empty()
             ? (perSeedIters + kChunkIters - 1) / kChunkIters
             : 0;
     double phase =
@@ -962,6 +973,51 @@ MapperRun::portfolio(std::vector<int> &winnerPos, int &winnerSeed,
         pool = poolOwner.get();
     }
 
+    auto probeT0 = std::chrono::steady_clock::now();
+    // Basin probe: descend a copy of the greedy member's starting
+    // placement to its local optimum and record that as its first
+    // best snapshot. Raw anneal costs at hot temperatures are
+    // systematically biased toward random starts — they fall fast
+    // from a high initial cost while the greedy basin's advantage
+    // only shows once the schedule cools — so the incumbent enters
+    // the race at its true basin cost instead of a mid-burn-in
+    // value. Scouts need no probe: a random start descends quickly
+    // on its own, and each one gets a short burn-in (below) before
+    // the bound may judge it.
+    if (rounds > 0 && seeds > 1) {
+        Candidate p;
+        candidateFromPos(p, cands[0].pos);
+        // A structured greedy start converges in a few passes; on
+        // large graphs the probe settles for a near-fixpoint since
+        // each extra pass costs a full scan.
+        descend(p, /*maxPasses=*/graph.size() > 40 ? 3 : 8);
+        double basin = fullCost(p);
+        if (basin < cands[0].bestCost) {
+            cands[0].bestCost = basin;
+            cands[0].bestPos = std::move(p.pos);
+        }
+    }
+
+    auto probeT1 = std::chrono::steady_clock::now();
+    double bound = incumbentCost;
+    int holder = -1;
+    for (int k = 0; k < seeds; k++) {
+        if (cands[static_cast<size_t>(k)].bestCost < bound) {
+            bound = cands[static_cast<size_t>(k)].bestCost;
+            holder = k;
+        }
+    }
+    std::atomic<double> sharedBound{bound};
+
+    // Every scout is guaranteed this many annealed rounds before
+    // the shared bound may abandon it: its pre-burn-in snapshots
+    // are just its random start's cost, which says nothing about
+    // the basin it is descending into. Large graphs get one round
+    // (a random start covers most of its fast descent in the first
+    // chunk, and their chunks are what the wall budget buys);
+    // small graphs afford a second look.
+    const int scoutBurnInRounds = graph.size() > 40 ? 1 : 2;
+
     for (int r = 0; r < rounds; r++) {
         auto chunkTask = [&, r](int k) {
             Candidate &c = cands[static_cast<size_t>(k)];
@@ -972,8 +1028,10 @@ MapperRun::portfolio(std::vector<int> &winnerPos, int &winnerSeed,
             // how chunks are scheduled onto threads.
             double bnd =
                 sharedBound.load(std::memory_order_relaxed);
-            if (r > 0 && holder != k && shouldAbandon(c, bnd)) {
+            if (r >= scoutBurnInRounds && holder != k &&
+                shouldAbandon(c, bnd)) {
                 c.abandoned = true;
+                c.boundExited = true;
                 return;
             }
             if (r == phase2Round && !c.congestionOn &&
@@ -988,21 +1046,21 @@ MapperRun::portfolio(std::vector<int> &winnerPos, int &winnerSeed,
                 c.temp < 0.05) {
                 c.frozen = true;
             }
-            if (c.congestionOn || opts.congestionWeight <= 0 ||
-                (k == 0 && (r % 2 == 1 || r + 1 == rounds))) {
-                // Unarmed, the full objective is wl plus a
-                // non-negative overload term, so wl lower-bounds
-                // it: when wl alone cannot beat the incumbent the
-                // route trace is skipped with identical outcomes.
-                double cost = static_cast<double>(c.wl);
-                if (c.congestionOn ||
-                    (cost < c.bestCost &&
-                     opts.congestionWeight > 0))
-                    cost = fullCost(c);
-                if (cost < c.bestCost) {
-                    c.bestCost = cost;
-                    c.bestPos = c.pos;
-                }
+            // Snapshot every live member at every barrier, so the
+            // abandon and halving decisions below always compare
+            // freshly annealed costs — never a member's stale
+            // initial-placement cost. Unarmed, the full objective
+            // is wl plus a non-negative overload term, so wl
+            // lower-bounds it: the route trace is paid only when
+            // wl alone beats this member's best, with identical
+            // outcomes either way.
+            double cost = static_cast<double>(c.wl);
+            if (c.congestionOn ||
+                (cost < c.bestCost && opts.congestionWeight > 0))
+                cost = fullCost(c);
+            if (cost < c.bestCost) {
+                c.bestCost = cost;
+                c.bestPos = c.pos;
             }
         };
         if (pool) {
@@ -1027,38 +1085,32 @@ MapperRun::portfolio(std::vector<int> &winnerPos, int &winnerSeed,
             }
         }
         sharedBound.store(bound, std::memory_order_relaxed);
-        // Successive halving: past 10% of the schedule only the two
-        // best candidates continue, past 55% only the best one. The
-        // scouts are deliberately short — at high temperature the
-        // anneal is near-ergodic, so a brief burn-in race is enough
-        // to discard unlucky starts — while carrying two finalists
-        // deep into the cooling tail halves the variance of the
-        // final pick. The freed budget is what makes a 4-seed
-        // portfolio cost about the same as one anneal. Decided at
-        // the barrier in seed order (stable sort → index
-        // tie-break), so the survivor set is identical for any
-        // thread count.
-        int nextRound = r + 2; // 1-based index of the round about
-                               // to run
-        int keep = seeds;
-        if (nextRound > (2 * rounds + 4) / 5)
-            keep = 1;
-        else if (nextRound > (rounds + 15) / 16)
-            keep = 2;
+        // Past 20% of the schedule only the best member continues:
+        // every survivor has had its burn-in honestly scored at the
+        // barriers by then, and freeing the trailing tails is what
+        // keeps a 4-seed portfolio under one anneal's budget.
+        // Decided at the barrier in seed order (stable sort →
+        // index tie-break), so the survivor set is identical for
+        // any thread count. The final barrier cuts nothing: every
+        // survivor has already spent its whole budget.
+        if (r + 1 >= rounds)
+            continue;
+        int done = r + 1; // rounds every live member has completed
+        if (5 * done <= rounds)
+            continue;
         std::vector<int> liveOrder;
         for (int k = 0; k < seeds; k++) {
             if (!cands[static_cast<size_t>(k)].abandoned)
                 liveOrder.push_back(k);
         }
-        if (static_cast<int>(liveOrder.size()) > keep) {
+        if (liveOrder.size() > 1) {
             std::stable_sort(
                 liveOrder.begin(), liveOrder.end(),
                 [&](int x, int y) {
                     return cands[static_cast<size_t>(x)].bestCost <
                            cands[static_cast<size_t>(y)].bestCost;
                 });
-            for (size_t i = static_cast<size_t>(keep);
-                 i < liveOrder.size(); i++) {
+            for (size_t i = 1; i < liveOrder.size(); i++) {
                 cands[static_cast<size_t>(liveOrder[i])].abandoned =
                     true;
             }
@@ -1066,8 +1118,33 @@ MapperRun::portfolio(std::vector<int> &winnerPos, int &winnerSeed,
     }
 
     earlyExited = 0;
-    for (const Candidate &c : cands)
-        earlyExited += c.abandoned ? 1 : 0;
+    halved = 0;
+    for (const Candidate &c : cands) {
+        if (c.boundExited)
+            earlyExited++;
+        else if (c.abandoned)
+            halved++;
+    }
+    if (std::getenv("PS_MAPPER_DEBUG")) {
+        for (int k = 0; k < seeds; k++) {
+            const Candidate &c = cands[static_cast<size_t>(k)];
+            std::fprintf(stderr,
+                         "seed %d: best %.1f iters %d abandoned %d "
+                         "bound %d frozen %d\n",
+                         k, c.bestCost, c.itersDone,
+                         c.abandoned ? 1 : 0, c.boundExited ? 1 : 0,
+                         c.frozen ? 1 : 0);
+        }
+        auto ms = [](auto a, auto b) {
+            return std::chrono::duration<double, std::milli>(b - a)
+                .count();
+        };
+        std::fprintf(stderr,
+                     "holder %d bound %.1f rounds %d probe %.3f ms "
+                     "anneal %.3f ms\n",
+                     holder, bound, rounds, ms(probeT0, probeT1),
+                     ms(probeT1, std::chrono::steady_clock::now()));
+    }
     winnerSeed = holder;
     winnerPos = holder < 0
                     ? std::move(incumbentPos)
@@ -1102,9 +1179,8 @@ MapperRun::candidateFromPos(Candidate &c,
  * would buy at a fraction of the iterations.
  */
 void
-MapperRun::descend(Candidate &c) const
+MapperRun::descend(Candidate &c, int maxPasses) const
 {
-    const int kMaxPasses = 8;
     // Scanning the whole class per node is only worth it for small
     // classes; for large ones the improving move is almost always
     // near the node's current slot, so cap the nearest-first scan.
@@ -1127,7 +1203,7 @@ MapperRun::descend(Candidate &c) const
         }
     };
     bool fullPass = true;
-    for (int pass = 0; pass < kMaxPasses; pass++) {
+    for (int pass = 0; pass < maxPasses; pass++) {
         bool improved = false;
         for (int cls : classesInUse) {
             for (NodeId a : byClass[static_cast<size_t>(cls)]) {
@@ -1201,8 +1277,13 @@ MapperRun::polish(std::vector<int> &pos) const
         return;
     Candidate c;
     candidateFromPos(c, pos);
-    if (opts.congestionWeight > 0)
-        enableCongestion(c, /*force=*/false);
+    // The polish descends unarmed: armed pricing re-traces trees
+    // for every scanned candidate move, which costs more than the
+    // whole wirelength descent. Overload still gates acceptance —
+    // `best` is always the full objective (the lower-bound trick
+    // below), so a kick that wins on wirelength by adding overflow
+    // is rejected, and anything that slips through is the
+    // congestion-repair loop's job.
     descend(c);
     double best = fullCost(c);
     // Snapshot/restore whole candidates: a vector copy is far
@@ -1226,7 +1307,7 @@ MapperRun::polish(std::vector<int> &pos) const
     // sample count drops to a token few.
     const int kMaxKicks =
         graph.size() > 40
-            ? 3
+            ? 2
             : std::clamp(350 / std::max(1, graph.size()), 6, 20);
     const int kKickMoves = 3;
     const int kGiveUpAfter = std::max(2, kMaxKicks / 3);
@@ -1513,13 +1594,29 @@ MapperRun::run()
     std::vector<int> winnerPos;
     int winnerSeed = -1;
     int earlyExited = 0;
-    portfolio(winnerPos, winnerSeed, earlyExited);
+    int halved = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    portfolio(winnerPos, winnerSeed, earlyExited, halved);
     m.winningSeed = winnerSeed;
     m.seedsEarlyExited = earlyExited;
+    m.seedsHalved = halved;
+    auto t1 = std::chrono::steady_clock::now();
     polish(winnerPos);
+    auto t2 = std::chrono::steady_clock::now();
 
     std::vector<NodeId> implicated;
     bool routable = repairCongestion(winnerPos, implicated);
+    if (std::getenv("PS_MAPPER_DEBUG")) {
+        auto ms = [](auto a, auto b) {
+            return std::chrono::duration<double, std::milli>(b - a)
+                .count();
+        };
+        std::fprintf(stderr,
+                     "portfolio %.3f ms polish %.3f ms repair "
+                     "%.3f ms\n",
+                     ms(t0, t1), ms(t1, t2),
+                     ms(t2, std::chrono::steady_clock::now()));
+    }
     finishMapping(m, winnerPos);
     if (!routable) {
         m.failedNodes = std::move(implicated);

@@ -103,8 +103,15 @@ struct Mapping
      *  greedy-init incumbent). */
     int winningSeed = -1;
 
-    /** Portfolio members that early-exited on the shared bound. */
+    /** Portfolio members that early-exited because the shared
+     *  best-cost bound proved they could not catch the incumbent
+     *  in their remaining temperature budget. */
     int seedsEarlyExited = 0;
+
+    /** Portfolio members cut by successive halving at a chunk
+     *  barrier (budget reallocation to the leaders, not a
+     *  bound-driven proof of hopelessness). */
+    int seedsHalved = 0;
 
     /** Fabric position (grid index) used for a node's traffic. */
     int positionOf(dfg::NodeId id) const;

@@ -17,13 +17,16 @@ namespace {
 
 /** Bump when the on-disk mapping format or any key ingredient
  *  changes; stale files then simply miss. */
-constexpr int kDiskFormatVersion = 2;
+constexpr int kDiskFormatVersion = 3;
 
 /** Salted into every mapping key. Bump whenever the mapper's
  *  objective or search changes, so cached placements from an older
  *  mapper are never replayed against the new one (v2: portfolio
- *  anneal with the congestion-aware objective). */
-constexpr uint64_t kMappingKeyVersion = 2;
+ *  anneal with the congestion-aware objective; v3: honest barrier
+ *  snapshots, the greedy basin probe, and size-scaled schedules
+ *  with keep-one halving at 20%, all of which change the selected
+ *  winner). */
+constexpr uint64_t kMappingKeyVersion = 3;
 
 void
 hashFabric(Hasher &h, const fabric::FabricConfig &f)
@@ -241,6 +244,7 @@ MemoCache::loadMappingFile(uint64_t key, mapper::Mapping &out) const
         std::fscanf(f, "winningseed %d\n", &m.winningSeed) == 1 &&
         std::fscanf(f, "earlyexits %d\n", &m.seedsEarlyExited) ==
             1 &&
+        std::fscanf(f, "halved %d\n", &m.seedsHalved) == 1 &&
         std::fscanf(f, "pe %zu\n", &nPe) == 1;
     if (ok) {
         m.peOf.resize(nPe);
@@ -310,6 +314,7 @@ MemoCache::saveMappingFile(uint64_t key,
                  mapping.congestionOverflow);
     std::fprintf(f, "winningseed %d\n", mapping.winningSeed);
     std::fprintf(f, "earlyexits %d\n", mapping.seedsEarlyExited);
+    std::fprintf(f, "halved %d\n", mapping.seedsHalved);
     std::fprintf(f, "pe %zu\n", mapping.peOf.size());
     for (int v : mapping.peOf)
         std::fprintf(f, "%d ", v);

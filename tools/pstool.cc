@@ -788,6 +788,7 @@ cmdMap(const Options &opts, const ParseResult &parsed)
             .add("avg_hops", mapping.avgHops)
             .add("winning_seed", mapping.winningSeed)
             .add("early_exits", mapping.seedsEarlyExited)
+            .add("seeds_halved", mapping.seedsHalved)
             .add("map_ms", mapMs);
         if (!mapping.success)
             r.add("error", mapping.error)
@@ -801,7 +802,7 @@ cmdMap(const Options &opts, const ParseResult &parsed)
             "  cost %.1f (wirelength %lld, overflow %lld), max "
             "link load %d/%d\n"
             "  avg hops %.3f, winning seed %d, %d early exit(s), "
-            "%.2f ms\n"
+            "%d halved, %.2f ms\n"
             "  placement lint: %s\n",
             kernel.name.c_str(),
             compiler::archVariantName(opts.variant),
@@ -809,7 +810,8 @@ cmdMap(const Options &opts, const ParseResult &parsed)
             static_cast<long long>(mapping.totalWireLength),
             static_cast<long long>(mapping.congestionOverflow),
             mapping.maxLinkLoad, fcfg.linkCapacity, mapping.avgHops,
-            mapping.winningSeed, mapping.seedsEarlyExited, mapMs,
+            mapping.winningSeed, mapping.seedsEarlyExited,
+            mapping.seedsHalved, mapMs,
             lintClean ? "clean" : "DIRTY");
         if (!lintClean)
             std::printf("%s\n", lintText.c_str());
