@@ -14,6 +14,9 @@ std::atomic<bool> quietMode{false};
 /** Nesting depth of live ScopedQuiet instances on this thread. */
 thread_local int scopedQuietDepth = 0;
 
+/** Nesting depth of live ScopedFatalTrap instances on this thread. */
+thread_local int fatalTrapDepth = 0;
+
 bool
 quietNow()
 {
@@ -66,6 +69,8 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vformat(fmt, args);
     va_end(args);
+    if (fatalTrapDepth > 0)
+        throw FatalError(msg);
     std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file,
                  line);
     std::exit(1);
@@ -117,6 +122,16 @@ ScopedQuiet::~ScopedQuiet()
 {
     if (active)
         scopedQuietDepth--;
+}
+
+ScopedFatalTrap::ScopedFatalTrap()
+{
+    fatalTrapDepth++;
+}
+
+ScopedFatalTrap::~ScopedFatalTrap()
+{
+    fatalTrapDepth--;
 }
 
 } // namespace pipestitch

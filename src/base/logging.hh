@@ -12,6 +12,7 @@
 #define PIPESTITCH_BASE_LOGGING_HH
 
 #include <cstdarg>
+#include <stdexcept>
 #include <string>
 
 namespace pipestitch {
@@ -63,6 +64,35 @@ class ScopedQuiet
 
   private:
     bool active;
+};
+
+/** Thrown by fatal() while a ScopedFatalTrap is active on the
+ *  calling thread; carries the formatted message. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/**
+ * RAII per-thread trap: while alive, fatal() on this thread throws
+ * FatalError instead of exiting the process. For resident callers
+ * (the serve daemon) that must survive user errors raised deep in
+ * code written for batch tools — a malformed kernel in one request
+ * must not take the whole server down. Nests. panic() is unaffected:
+ * internal invariant violations still abort.
+ */
+class ScopedFatalTrap
+{
+  public:
+    ScopedFatalTrap();
+    ~ScopedFatalTrap();
+
+    ScopedFatalTrap(const ScopedFatalTrap &) = delete;
+    ScopedFatalTrap &operator=(const ScopedFatalTrap &) = delete;
 };
 
 } // namespace pipestitch

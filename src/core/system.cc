@@ -4,15 +4,37 @@
 #include "base/logging.hh"
 #include "compiler/timemux.hh"
 #include "scalar/interpreter.hh"
+#include "sim/execution.hh"
 
 namespace pipestitch {
 
-FabricRun
-runOnFabric(const workloads::KernelInstance &kernel,
-            const RunConfig &config)
+namespace {
+
+/** Report a pipeline failure: fatal() for batch callers (error ==
+ *  null), collected for resident callers (the serve daemon must not
+ *  exit the process on a bad request). */
+void
+reportFailure(std::string *error, std::string msg)
+{
+    if (!error)
+        fatal("%s", msg.c_str());
+    if (error->empty())
+        *error = std::move(msg);
+}
+
+} // namespace
+
+PreparedPtr
+prepareKernel(const workloads::KernelInstance &kernel,
+              const RunConfig &config, std::string *error)
 {
     ScopedQuiet scopedQuiet(config.quiet);
-    FabricRun run;
+    if (config.cache) {
+        if (auto hit = config.cache->lookupPrepared(kernel, config))
+            return hit;
+    }
+
+    auto prep = std::make_shared<PreparedKernel>();
 
     compiler::CompileOptions copts;
     copts.variant = config.variant;
@@ -20,34 +42,39 @@ runOnFabric(const workloads::KernelInstance &kernel,
     copts.useStreams = config.useStreams;
     copts.bufferDepth = config.sim.bufferDepth;
     copts.unrollFactor = config.unrollFactor;
+    compiler::CompileResult compiled;
     if (!config.cache ||
-        !config.cache->lookupCompile(kernel, copts, run.compiled)) {
-        run.compiled = compiler::compileProgram(kernel.prog,
-                                                kernel.liveIns, copts);
+        !config.cache->lookupCompile(kernel, copts, compiled)) {
+        compiled = compiler::compileProgram(kernel.prog,
+                                            kernel.liveIns, copts);
         if (config.cache)
-            config.cache->storeCompile(kernel, copts, run.compiled);
+            config.cache->storeCompile(kernel, copts, compiled);
     }
+    prep->compiled = std::make_shared<const compiler::CompileResult>(
+        std::move(compiled));
+    const dfg::Graph &graph = prep->compiled->graph;
 
     if (config.analyze) {
         analysis::AnalysisOptions aopts;
         aopts.bufferDepth = config.sim.bufferDepth;
-        run.analysis = analysis::analyzeGraph(run.compiled.graph,
-                                              aopts);
-        if (!run.analysis.ok()) {
-            fatal("kernel %s fails static analysis on %s:\n%s",
-                  kernel.name.c_str(),
-                  compiler::archVariantName(config.variant),
-                  run.analysis.toString(run.compiled.graph).c_str());
+        prep->analysis = analysis::analyzeGraph(graph, aopts);
+        if (!prep->analysis.ok()) {
+            reportFailure(
+                error,
+                csprintf("kernel %s fails static analysis on %s:\n%s",
+                         kernel.name.c_str(),
+                         compiler::archVariantName(config.variant),
+                         prep->analysis.toString(graph).c_str()));
+            return nullptr;
         }
     }
 
     fabric::Fabric fab(config.fabric);
     compiler::ShareGroups shareGroups;
     if (config.allowTimeMultiplex) {
-        shareGroups = compiler::planTimeMultiplexing(
-            run.compiled.graph, config.fabric);
+        shareGroups =
+            compiler::planTimeMultiplexing(graph, config.fabric);
     }
-    double avgHops = 2.0; // fallback when mapping is skipped
     if (config.map) {
         mapper::MapperOptions mopts;
         mopts.rngSeed = config.mapperSeed;
@@ -55,77 +82,132 @@ runOnFabric(const workloads::KernelInstance &kernel,
         mopts.jobs = config.mapperJobs;
         mopts.shareGroups = shareGroups;
         if (!config.cache ||
-            !config.cache->lookupMapping(run.compiled.graph,
-                                         config.fabric, mopts,
-                                         run.mapping)) {
-            run.mapping =
-                mapper::mapGraph(run.compiled.graph, fab, mopts);
+            !config.cache->lookupMapping(graph, config.fabric, mopts,
+                                         prep->mapping)) {
+            prep->mapping = mapper::mapGraph(graph, fab, mopts);
             if (config.cache)
-                config.cache->storeMapping(run.compiled.graph,
-                                           config.fabric, mopts,
-                                           run.mapping);
+                config.cache->storeMapping(graph, config.fabric,
+                                           mopts, prep->mapping);
         }
-        if (!run.mapping.success) {
-            fatal("kernel %s does not map onto the fabric (%s): %s",
-                  kernel.name.c_str(),
-                  compiler::archVariantName(config.variant),
-                  run.mapping.error.c_str());
+        if (!prep->mapping.success) {
+            reportFailure(
+                error,
+                csprintf(
+                    "kernel %s does not map onto the fabric (%s): %s",
+                    kernel.name.c_str(),
+                    compiler::archVariantName(config.variant),
+                    prep->mapping.error.c_str()));
+            return nullptr;
         }
-        avgHops = run.mapping.avgHops;
+        prep->mapped = true;
+        prep->avgHops = prep->mapping.avgHops;
         if (config.analyze) {
             analysis::PlacementLintOptions popts;
             popts.shareGroups = shareGroups;
-            analysis::lintPlacement(run.compiled.graph, fab,
-                                    run.mapping, run.analysis,
-                                    popts);
-            if (!run.analysis.ok()) {
-                fatal("kernel %s fails placement lint on %s:\n%s",
-                      kernel.name.c_str(),
-                      compiler::archVariantName(config.variant),
-                      run.analysis.toString(run.compiled.graph)
-                          .c_str());
+            analysis::lintPlacement(graph, fab, prep->mapping,
+                                    prep->analysis, popts);
+            if (!prep->analysis.ok()) {
+                reportFailure(
+                    error,
+                    csprintf(
+                        "kernel %s fails placement lint on %s:\n%s",
+                        kernel.name.c_str(),
+                        compiler::archVariantName(config.variant),
+                        prep->analysis.toString(graph).c_str()));
+                return nullptr;
             }
         }
     }
+
+    // The user's sim config drives the run; only the derived fields
+    // come from elsewhere (variant microarchitecture, fabric
+    // banking, time-multiplexing plan). Per-run observability is
+    // stripped — it rides in at execute time.
+    auto simCfg = config.sim;
+    simCfg.buffering = prep->compiled->simConfig.buffering;
+    simCfg.memBypass = prep->compiled->simConfig.memBypass;
+    simCfg.memBanks = config.fabric.memBanks;
+    simCfg.shareGroups.clear();
+    for (const auto &group : shareGroups) {
+        simCfg.shareGroups.emplace_back(group.begin(), group.end());
+    }
+    simCfg.observer = nullptr;
+    simCfg.trace = false;
+    prep->simCfg = simCfg;
+
+    // The Program's graph pointer shares ownership with the
+    // CompileResult (not the PreparedKernel, which would be a
+    // reference cycle).
+    std::shared_ptr<const dfg::Graph> graphPtr(prep->compiled,
+                                               &prep->compiled->graph);
+    prep->program = std::make_shared<const sim::Program>(
+        std::move(graphPtr), simCfg);
+
+    auto areaVariant =
+        config.variant == compiler::ArchVariant::RipTide
+            ? fabric::AreaVariant::RipTide
+            : fabric::AreaVariant::Pipestitch;
+    prep->area =
+        fabric::computeArea(fab, areaVariant, config.sim.bufferDepth);
+
+    PreparedPtr out = std::move(prep);
+    if (config.cache)
+        config.cache->storePrepared(kernel, config, out);
+    return out;
+}
+
+FabricRun
+executeOnFabric(const PreparedKernel &prepared,
+                const workloads::KernelInstance &kernel,
+                const RunConfig &config, std::string *error)
+{
+    ScopedQuiet scopedQuiet(config.quiet);
+    FabricRun run;
+    run.compiled = *prepared.compiled;
+    run.mapping = prepared.mapping;
+    run.analysis = prepared.analysis;
 
     run.memory = kernel.memory;
     run.memory.resize(std::max(
         run.memory.size(),
         static_cast<size_t>(kernel.prog.memWords)));
 
-    // The user's sim config drives the run; only the derived fields
-    // come from elsewhere (variant microarchitecture, fabric
-    // banking, time-multiplexing plan).
-    auto simCfg = config.sim;
-    simCfg.buffering = run.compiled.simConfig.buffering;
-    simCfg.memBypass = run.compiled.simConfig.memBypass;
-    simCfg.memBanks = config.fabric.memBanks;
-    simCfg.shareGroups.clear();
-    for (const auto &group : shareGroups) {
-        simCfg.shareGroups.emplace_back(group.begin(), group.end());
-    }
-    run.sim = sim::simulate(run.compiled.graph, run.memory, simCfg);
+    sim::RunOptions ropts;
+    ropts.observer = config.sim.observer;
+    ropts.trace = config.sim.trace;
+    ropts.maxCycles = config.sim.maxCycles;
+    sim::ExecutionState exec(prepared.program);
+    run.sim = exec.run(run.memory, ropts);
     if (run.sim.deadlocked) {
         // Cross-check: every quiescence deadlock reaching this
-        // point contradicts the analyzer (errors already fatal'd
-        // above), so name the disagreement — one of the two models
-        // is wrong, which is a different bug than a bad kernel.
-        // Watchdog expiry is exempt: the fabric was still making
-        // progress, and termination is input-dependent — outside
-        // what static certification claims.
+        // point contradicts the analyzer (errors already failed the
+        // prepare above), so name the disagreement — one of the two
+        // models is wrong, which is a different bug than a bad
+        // kernel. Watchdog expiry is exempt: the fabric was still
+        // making progress, and termination is input-dependent —
+        // outside what static certification claims.
         if (config.analyze && run.analysis.deadlockFree &&
             !run.sim.watchdogExpired) {
-            fatal("kernel %s on %s: static analyzer certified the "
-                  "graph deadlock-free but the simulator "
-                  "deadlocked — analyzer and simulator disagree:"
-                  "\n%s",
-                  kernel.name.c_str(),
-                  compiler::archVariantName(config.variant),
-                  run.sim.diagnostic.c_str());
+            reportFailure(
+                error,
+                csprintf(
+                    "kernel %s on %s: static analyzer certified the "
+                    "graph deadlock-free but the simulator "
+                    "deadlocked — analyzer and simulator disagree:"
+                    "\n%s",
+                    kernel.name.c_str(),
+                    compiler::archVariantName(config.variant),
+                    run.sim.diagnostic.c_str()));
         }
-        fatal("kernel %s deadlocked on %s:\n%s", kernel.name.c_str(),
-              compiler::archVariantName(config.variant),
-              run.sim.diagnostic.c_str());
+        reportFailure(
+            error,
+            csprintf("kernel %s %s on %s:\n%s", kernel.name.c_str(),
+                     run.sim.watchdogExpired
+                         ? "exceeded its cycle watchdog"
+                         : "deadlocked",
+                     compiler::archVariantName(config.variant),
+                     run.sim.diagnostic.c_str()));
+        return run;
     }
 
     if (config.verifyAgainstGolden) {
@@ -133,29 +215,37 @@ runOnFabric(const workloads::KernelInstance &kernel,
         golden.resize(run.memory.size());
         scalar::interpret(kernel.prog, golden, kernel.liveIns);
         if (golden != run.memory) {
-            fatal("kernel %s on %s diverged from the golden model",
-                  kernel.name.c_str(),
-                  compiler::archVariantName(config.variant));
+            reportFailure(
+                error,
+                csprintf(
+                    "kernel %s on %s diverged from the golden model",
+                    kernel.name.c_str(),
+                    compiler::archVariantName(config.variant)));
+            return run;
         }
     }
 
-    auto areaVariant =
-        config.variant == compiler::ArchVariant::RipTide
-            ? fabric::AreaVariant::RipTide
-            : fabric::AreaVariant::Pipestitch;
-    run.area = fabric::computeArea(fab, areaVariant,
-                                   config.sim.bufferDepth);
+    run.area = prepared.area;
     run.energy =
-        config.map
+        prepared.mapped
             ? energy::fabricEnergyMapped(run.sim.stats, run.area,
                                          run.mapping,
                                          run.compiled.graph.size())
-            : energy::fabricEnergy(run.sim.stats, run.area, avgHops,
+            : energy::fabricEnergy(run.sim.stats, run.area,
+                                   prepared.avgHops,
                                    run.compiled.graph.size());
     run.seconds = energy::secondsFor(run.sim.stats.cycles,
                                      config.fabric.clockMHz);
     run.edp = energy::edp(run.energy, run.seconds);
     return run;
+}
+
+FabricRun
+runOnFabric(const workloads::KernelInstance &kernel,
+            const RunConfig &config)
+{
+    PreparedPtr prepared = prepareKernel(kernel, config, nullptr);
+    return executeOnFabric(*prepared, kernel, config, nullptr);
 }
 
 ScalarRun

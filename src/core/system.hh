@@ -31,6 +31,7 @@
 #ifndef PIPESTITCH_CORE_SYSTEM_HH
 #define PIPESTITCH_CORE_SYSTEM_HH
 
+#include <memory>
 #include <string>
 
 #include "analysis/analyzer.hh"
@@ -40,10 +41,14 @@
 #include "fabric/fabric.hh"
 #include "mapper/mapper.hh"
 #include "scalar/profile.hh"
+#include "sim/program.hh"
 #include "sim/simulator.hh"
 #include "workloads/kernels.hh"
 
 namespace pipestitch {
+
+struct PreparedKernel;
+struct RunConfig;
 
 /**
  * Hook for memoizing the expensive pipeline stages. runOnFabric
@@ -81,6 +86,28 @@ class PipelineCache
                               const fabric::FabricConfig &fabric,
                               const mapper::MapperOptions &opts,
                               const mapper::Mapping &mapping) = 0;
+
+    /**
+     * Whole prepared artifacts (compile + map + lint + built
+     * sim::Program), shared read-only by reference — a hit skips
+     * every prepare stage at once. Optional: the default never hits,
+     * so implementations that only memoize stages keep working.
+     * Keying must exclude the kernel's memory image (that is
+     * per-execution state) and the per-run sim fields
+     * (observer/trace).
+     */
+    virtual std::shared_ptr<const PreparedKernel>
+    lookupPrepared(const workloads::KernelInstance &,
+                   const RunConfig &)
+    {
+        return nullptr;
+    }
+    virtual void
+    storePrepared(const workloads::KernelInstance &,
+                  const RunConfig &,
+                  std::shared_ptr<const PreparedKernel>)
+    {
+    }
 };
 
 /** Configuration of one fabric execution. Aggregate-initializable;
@@ -179,6 +206,61 @@ struct FabricRun
 
     int64_t cycles() const { return sim.stats.cycles; }
 };
+
+/**
+ * The immutable product of the prepare pipeline: one kernel compiled,
+ * statically analyzed, mapped, linted, and lowered into a built
+ * sim::Program, under one RunConfig. Deeply read-only after
+ * prepareKernel returns; any number of threads may execute it
+ * concurrently (each execution owns its ExecutionState and memory
+ * image). This is the unit `pstool serve` and the figures sweeps
+ * cache and share — prepare once, execute N times.
+ */
+struct PreparedKernel
+{
+    /** Owned by shared_ptr so the Program's graph pointer can alias
+     *  it (the graph must outlive every execution). */
+    std::shared_ptr<const compiler::CompileResult> compiled;
+    mapper::Mapping mapping;
+    analysis::AnalysisReport analysis;
+    /** Fully derived simulator config (buffering/memBypass from the
+     *  variant, memBanks from the fabric, shareGroups from the
+     *  time-multiplexing planner); observer/trace stripped. */
+    sim::SimConfig simCfg;
+    std::shared_ptr<const sim::Program> program;
+    fabric::AreaBreakdown area;
+    double avgHops = 2.0; ///< mapping's, or the unmapped fallback
+    bool mapped = false;
+};
+
+using PreparedPtr = std::shared_ptr<const PreparedKernel>;
+
+/**
+ * Run the prepare pipeline (or fetch the whole artifact from
+ * config.cache). Failure contract: with @p error null any failure is
+ * fatal() — the legacy batch behavior; with @p error non-null the
+ * function returns nullptr and fills *error instead, so long-lived
+ * callers (the serve daemon) survive bad requests.
+ */
+PreparedPtr prepareKernel(const workloads::KernelInstance &kernel,
+                          const RunConfig &config,
+                          std::string *error = nullptr);
+
+/**
+ * Execute @p prepared once: fresh memory image from @p kernel, one
+ * sim::ExecutionState over the shared Program, then golden
+ * verification and energy/EDP accounting. Thread-safe with respect
+ * to other executions of the same PreparedKernel.
+ *
+ * Failure contract: with @p error null, deadlock / golden mismatch
+ * are fatal() (legacy). With @p error non-null, *error is set and
+ * the partial FabricRun is still returned — run.sim distinguishes a
+ * certified deadlock from watchdog expiry.
+ */
+FabricRun executeOnFabric(const PreparedKernel &prepared,
+                          const workloads::KernelInstance &kernel,
+                          const RunConfig &config,
+                          std::string *error = nullptr);
 
 /** One scalar-core execution (golden model + baseline numbers). */
 struct ScalarRun

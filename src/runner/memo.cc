@@ -1,7 +1,10 @@
 #include "runner/memo.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <functional>
 #include <thread>
@@ -16,8 +19,53 @@ namespace pipestitch::runner {
 namespace {
 
 /** Bump when the on-disk mapping format or any key ingredient
- *  changes; stale files then simply miss. */
-constexpr int kDiskFormatVersion = 3;
+ *  changes; stale files then simply miss. (v4: integrity trailer.) */
+constexpr int kDiskFormatVersion = 4;
+
+/** Final line of every mapping file: "end <payload-bytes> <magic>".
+ *  A file without it is torn — truncated by a crash or caught
+ *  mid-replace on a filesystem without atomic rename — and is
+ *  treated as a plain cache miss, never a parse error. */
+constexpr char kTrailerMagic[] = "ps-intact";
+
+/** True iff @p f ends with a well-formed trailer whose claimed
+ *  payload length matches the bytes that precede it. Leaves the
+ *  file position unspecified. */
+bool
+trailerIntact(FILE *f)
+{
+    if (std::fseek(f, 0, SEEK_END) != 0)
+        return false;
+    long size = std::ftell(f);
+    // The trailer line is at most ~40 bytes; 63 is generous.
+    char buf[64];
+    long tail =
+        std::min<long>(size, static_cast<long>(sizeof(buf)) - 1);
+    if (tail <= 0 || std::fseek(f, size - tail, SEEK_SET) != 0 ||
+        std::fread(buf, 1, static_cast<size_t>(tail), f) !=
+            static_cast<size_t>(tail)) {
+        return false;
+    }
+    buf[tail] = '\0';
+    if (buf[tail - 1] != '\n')
+        return false;
+    buf[tail - 1] = '\0';
+    const char *line = std::strrchr(buf, '\n');
+    if (line)
+        line++;
+    else if (tail == size)
+        line = buf; // whole file fit in the buffer
+    else
+        return false;
+    long claimed = -1;
+    char magic[16] = {0};
+    if (std::sscanf(line, "end %ld %15s", &claimed, magic) != 2 ||
+        std::strcmp(magic, kTrailerMagic) != 0) {
+        return false;
+    }
+    long trailerLen = static_cast<long>(std::strlen(line)) + 1;
+    return claimed == size - trailerLen;
+}
 
 /** Salted into every mapping key. Bump whenever the mapper's
  *  objective or search changes, so cached placements from an older
@@ -45,6 +93,32 @@ hashFabric(Hasher &h, const fabric::FabricConfig &f)
 
 MemoCache::MemoCache(std::string cacheDir) : dir(std::move(cacheDir))
 {
+    if (!dir.empty())
+        sweepOrphanedTmpFiles();
+}
+
+void
+MemoCache::sweepOrphanedTmpFiles() const
+{
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec)
+        return;
+    const auto now = std::filesystem::file_time_type::clock::now();
+    for (const auto &entry : it) {
+        if (entry.path().filename().string().find(".tmp.") ==
+            std::string::npos) {
+            continue;
+        }
+        auto mtime =
+            std::filesystem::last_write_time(entry.path(), ec);
+        if (ec)
+            continue;
+        // A live writer holds its tmp file for milliseconds; one
+        // this old belongs to a crashed process.
+        if (now - mtime > std::chrono::hours(1))
+            std::filesystem::remove(entry.path(), ec);
+    }
 }
 
 uint64_t
@@ -132,6 +206,60 @@ MemoCache::runKey(const workloads::KernelInstance &k,
     return h.digest();
 }
 
+uint64_t
+MemoCache::preparedKey(const workloads::KernelInstance &k,
+                       const RunConfig &cfg)
+{
+    Hasher h;
+    // programKey, not kernelKey: the memory image is per-execution
+    // state and must not fragment the prepared cache — that sharing
+    // is exactly what lets serve batch same-kernel requests with
+    // different inputs onto one Program.
+    h.u64(programKey(k))
+        .i32(static_cast<int32_t>(cfg.variant))
+        .i32(static_cast<int32_t>(cfg.threading))
+        .b(cfg.useStreams)
+        .i32(cfg.unrollFactor)
+        .b(cfg.allowTimeMultiplex)
+        .b(cfg.map)
+        .b(cfg.analyze)
+        .u64(cfg.mapperSeed)
+        .i32(cfg.mapperSeeds);
+    hashFabric(h, cfg.fabric);
+    h.i32(static_cast<int32_t>(cfg.sim.scheduler))
+        .i32(cfg.sim.bufferDepth)
+        .i32(cfg.sim.memLatency)
+        .i64(cfg.sim.maxCycles)
+        .b(cfg.sim.checkThreadOrder)
+        .b(cfg.sim.greedyDispatch);
+    return h.digest();
+}
+
+std::shared_ptr<const PreparedKernel>
+MemoCache::lookupPrepared(const workloads::KernelInstance &kernel,
+                          const RunConfig &config)
+{
+    uint64_t key = preparedKey(kernel, config);
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = prepareds.find(key);
+    if (it == prepareds.end()) {
+        nPreparedComputes.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    nPreparedHits.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+}
+
+void
+MemoCache::storePrepared(
+    const workloads::KernelInstance &kernel, const RunConfig &config,
+    std::shared_ptr<const PreparedKernel> prepared)
+{
+    uint64_t key = preparedKey(kernel, config);
+    std::lock_guard<std::mutex> lock(mu);
+    prepareds.emplace(key, std::move(prepared));
+}
+
 bool
 MemoCache::lookupCompile(const workloads::KernelInstance &kernel,
                          const compiler::CompileOptions &opts,
@@ -212,6 +340,9 @@ MemoCache::stats() const
     s.mapHits = nMapHits.load(std::memory_order_relaxed);
     s.mapDiskHits = nMapDiskHits.load(std::memory_order_relaxed);
     s.mapComputes = nMapComputes.load(std::memory_order_relaxed);
+    s.preparedHits = nPreparedHits.load(std::memory_order_relaxed);
+    s.preparedComputes =
+        nPreparedComputes.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -227,6 +358,13 @@ MemoCache::loadMappingFile(uint64_t key, mapper::Mapping &out) const
     FILE *f = std::fopen(mappingPath(key).c_str(), "r");
     if (!f)
         return false;
+    if (!trailerIntact(f)) {
+        // Torn write (crash mid-write, or caught mid-replace where
+        // rename is not atomic): silently miss and recompute.
+        std::fclose(f);
+        return false;
+    }
+    std::rewind(f);
     mapper::Mapping m;
     m.success = true;
     int version = 0;
@@ -328,7 +466,19 @@ MemoCache::saveMappingFile(uint64_t key,
             std::fprintf(f, " %d", v);
         std::fprintf(f, "\n");
     }
-    std::fclose(f);
+    // Integrity trailer: readers reject any file whose trailer is
+    // missing or disagrees with the preceding byte count.
+    long payloadBytes = std::ftell(f);
+    std::fprintf(f, "end %ld %s\n", payloadBytes, kTrailerMagic);
+    bool bad = std::ferror(f) != 0;
+    if (std::fclose(f) != 0)
+        bad = true;
+    if (bad) {
+        // Disk full or similar: never publish a torn file.
+        warn("error writing mapping cache file %s", tmp.c_str());
+        std::filesystem::remove(tmp, ec);
+        return;
+    }
     std::filesystem::rename(tmp, path, ec);
     if (ec)
         std::filesystem::remove(tmp, ec);

@@ -44,6 +44,8 @@ struct MemoStats
     int64_t mapHits = 0;     ///< in-memory mapping hits
     int64_t mapDiskHits = 0; ///< mapping loaded from cacheDir
     int64_t mapComputes = 0; ///< mapper actually invoked
+    int64_t preparedHits = 0;     ///< whole-artifact hits
+    int64_t preparedComputes = 0; ///< prepare pipelines actually run
 };
 
 class MemoCache final : public PipelineCache
@@ -69,6 +71,17 @@ class MemoCache final : public PipelineCache
                       const mapper::MapperOptions &opts,
                       const mapper::Mapping &mapping) override;
 
+    /** Whole prepared artifacts (in-memory only: a built Program is
+     *  not serializable). Shared by reference, so N concurrent
+     *  executions of one kernel×config reuse one Program. */
+    std::shared_ptr<const PreparedKernel>
+    lookupPrepared(const workloads::KernelInstance &kernel,
+                   const RunConfig &config) override;
+    void storePrepared(
+        const workloads::KernelInstance &kernel,
+        const RunConfig &config,
+        std::shared_ptr<const PreparedKernel> prepared) override;
+
     MemoStats stats() const;
 
     const std::string &cacheDir() const { return dir; }
@@ -83,6 +96,10 @@ class MemoCache final : public PipelineCache
                                const mapper::MapperOptions &opts);
     static uint64_t runKey(const workloads::KernelInstance &k,
                            const RunConfig &cfg);
+    /** Prepared-artifact key: like runKey but without the memory
+     *  image (per-execution state) or golden-verify flag. */
+    static uint64_t preparedKey(const workloads::KernelInstance &k,
+                                const RunConfig &cfg);
     /** @} */
 
   private:
@@ -90,10 +107,16 @@ class MemoCache final : public PipelineCache
     bool loadMappingFile(uint64_t key, mapper::Mapping &out) const;
     void saveMappingFile(uint64_t key,
                          const mapper::Mapping &mapping) const;
+    /** Delete `*.tmp.*` leftovers from crashed writers (aged, so a
+     *  live writer's in-flight tmp file is never touched). */
+    void sweepOrphanedTmpFiles() const;
 
     mutable std::mutex mu;
     std::unordered_map<uint64_t, compiler::CompileResult> compiles;
     std::unordered_map<uint64_t, mapper::Mapping> mappings;
+    std::unordered_map<uint64_t,
+                       std::shared_ptr<const PreparedKernel>>
+        prepareds;
     std::string dir;
 
     mutable std::atomic<int64_t> nCompileHits{0};
@@ -101,6 +124,8 @@ class MemoCache final : public PipelineCache
     mutable std::atomic<int64_t> nMapHits{0};
     mutable std::atomic<int64_t> nMapDiskHits{0};
     mutable std::atomic<int64_t> nMapComputes{0};
+    mutable std::atomic<int64_t> nPreparedHits{0};
+    mutable std::atomic<int64_t> nPreparedComputes{0};
 };
 
 } // namespace pipestitch::runner

@@ -28,16 +28,34 @@ ThreadPool::~ThreadPool()
     cv.notify_all();
     for (std::thread &w : workers)
         w.join();
+    // Workers only exit once stopping is set AND the queue is empty,
+    // so everything posted before shutdown began has run. Any job
+    // still here slipped past both guards (e.g. a post() that held
+    // the lock between our stopping store and the last worker's
+    // final check); run it now rather than break its promise.
+    for (auto &job : queue)
+        job();
+    queue.clear();
 }
 
 void
 ThreadPool::post(std::function<void()> job)
 {
     {
-        std::lock_guard<std::mutex> lock(mu);
-        queue.push_back(std::move(job));
+        std::unique_lock<std::mutex> lock(mu);
+        if (!stopping) {
+            queue.push_back(std::move(job));
+            lock.unlock();
+            cv.notify_one();
+            return;
+        }
     }
-    cv.notify_one();
+    // Shutdown has begun: the workers may already have drained the
+    // queue and exited, so nothing would ever pop this job. The
+    // header guarantees every submitted job runs — honor it on the
+    // posting thread instead of abandoning the future to a
+    // broken_promise mid-shutdown.
+    job();
 }
 
 void

@@ -5,7 +5,9 @@
  * Workers are started once and live for the pool's lifetime; jobs
  * are plain callables submitted from any thread, each returning a
  * std::future for its result. Destruction drains the queue (every
- * submitted job runs) and joins the workers.
+ * submitted job runs) and joins the workers; a submit that races
+ * destruction runs its job on the submitting thread rather than
+ * abandoning the future.
  *
  * The pipeline's fatal()/panic() error paths terminate the process
  * directly, exactly as they do in serial code, so job results never

@@ -1,0 +1,560 @@
+#include "runner/serve.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "base/hash.hh"
+#include "base/logging.hh"
+#include "core/system.hh"
+#include "runner/sweep.hh"
+#include "scalar/interpreter.hh"
+#include "sim/report.hh"
+#include "sir/parser.hh"
+#include "trace/chrome_trace.hh"
+#include "trace/json.hh"
+#include "trace/json_parse.hh"
+#include "workloads/kernels.hh"
+
+namespace pipestitch::runner {
+
+namespace {
+
+int64_t
+nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** One admitted request, ready to execute. */
+struct ParsedRequest
+{
+    std::string id;
+    KernelPtr kernel;
+    RunConfig cfg;
+    std::string traceFile;
+    uint64_t key = 0; ///< content key (kernel + config + trace file)
+};
+
+bool
+variantFromName(const std::string &name,
+                compiler::ArchVariant &out)
+{
+    if (name == "riptide")
+        out = compiler::ArchVariant::RipTide;
+    else if (name == "pipestitch")
+        out = compiler::ArchVariant::Pipestitch;
+    else if (name == "pipesb")
+        out = compiler::ArchVariant::PipeSB;
+    else if (name == "pipecfin")
+        out = compiler::ArchVariant::PipeCFiN;
+    else if (name == "pipecfop")
+        out = compiler::ArchVariant::PipeCFoP;
+    else
+        return false;
+    return true;
+}
+
+std::string
+statusPayload(const char *status, const std::string &error)
+{
+    sim::Report r;
+    r.add("status", status);
+    if (!error.empty())
+        r.add("error", error);
+    return r.toJson();
+}
+
+/**
+ * Parse one request line into @p out. @return false with @p error
+ * set on any problem; @p out.id is still filled when the JSON was
+ * readable, so the error response can carry the caller's id.
+ */
+bool
+parseRequest(const std::string &line, const RunConfig &base,
+             ParsedRequest &out, std::string &error)
+{
+    trace::JsonValue v;
+    if (!trace::parseJson(line, v, &error)) {
+        error = "bad JSON: " + error;
+        return false;
+    }
+    if (!v.isObject()) {
+        error = "request must be a JSON object";
+        return false;
+    }
+    if (const auto *id = v.find("id"))
+        out.id = id->asString();
+
+    const auto *sirText = v.find("sir");
+    if (!sirText ||
+        sirText->kind != trace::JsonValue::Kind::String) {
+        error = "missing \"sir\" (inline kernel text)";
+        return false;
+    }
+
+    RunConfig cfg = base;
+    if (const auto *s = v.find("variant")) {
+        if (!variantFromName(s->asString(), cfg.variant)) {
+            error = "unknown variant '" + s->asString() + "'";
+            return false;
+        }
+    }
+    if (const auto *d = v.find("depth"))
+        cfg.sim.bufferDepth = static_cast<int>(d->asInt(4));
+    if (const auto *u = v.find("unroll"))
+        cfg.unrollFactor = static_cast<int>(u->asInt(1));
+    if (const auto *t = v.find("tm"))
+        cfg.allowTimeMultiplex = t->asBool();
+    if (const auto *m = v.find("map"))
+        cfg.map = m->asBool(true);
+    if (const auto *g = v.find("verify"))
+        cfg.verifyAgainstGolden = g->asBool(true);
+    if (const auto *c = v.find("max_cycles"))
+        cfg.sim.maxCycles = c->asInt(cfg.sim.maxCycles);
+    if (const auto *tf = v.find("trace_file"))
+        out.traceFile = tf->asString();
+
+    // The SIR parser and memory binding below were written for batch
+    // tools and fatal() on user error; trap that into a response.
+    try {
+        ScopedFatalTrap trap;
+        ScopedQuiet quiet(true);
+        auto parsed = sir::parseSir(sirText->str, "<request>");
+        workloads::KernelInstance kernel;
+        kernel.name = parsed.program.name;
+        kernel.prog = std::move(parsed.program);
+
+        const auto *liveins = v.find("liveins");
+        for (sir::Reg r : kernel.prog.liveIns) {
+            const std::string &name =
+                kernel.prog.regNames[static_cast<size_t>(r)];
+            sir::Word value = 0;
+            if (liveins) {
+                if (const auto *x = liveins->find(name))
+                    value = static_cast<sir::Word>(x->asInt());
+            }
+            kernel.liveIns.push_back(value);
+        }
+
+        kernel.memory = scalar::makeMemory(kernel.prog);
+        if (const auto *init = v.find("init")) {
+            if (!init->isObject()) {
+                error = "\"init\" must be an object";
+                return false;
+            }
+            for (const auto &[name, vals] : init->members) {
+                auto it = parsed.arrays.find(name);
+                if (it == parsed.arrays.end()) {
+                    error = "init: no array '" + name + "'";
+                    return false;
+                }
+                const auto &arr = kernel.prog.array(it->second);
+                if (!vals.isArray() ||
+                    static_cast<int64_t>(vals.elems.size()) >
+                        arr.words) {
+                    error = "init: bad values for '" + name + "'";
+                    return false;
+                }
+                for (size_t i = 0; i < vals.elems.size(); i++) {
+                    kernel.memory[static_cast<size_t>(arr.base) +
+                                  i] =
+                        static_cast<sir::Word>(
+                            vals.elems[i].asInt());
+                }
+            }
+        }
+        out.kernel =
+            std::make_shared<const workloads::KernelInstance>(
+                std::move(kernel));
+    } catch (const FatalError &e) {
+        error = e.what();
+        return false;
+    }
+
+    out.cfg = cfg;
+    Hasher h;
+    h.u64(MemoCache::runKey(*out.kernel, cfg)).str(out.traceFile);
+    out.key = h.digest();
+    return true;
+}
+
+/** Execute one admitted request and render its response payload. */
+std::string
+runServeRequest(const ParsedRequest &req)
+{
+    ScopedQuiet quiet(true);
+    // Any fatal() raised by pipeline stages that predate the
+    // error-out-param plumbing becomes an error response, not a
+    // server exit.
+    ScopedFatalTrap trap;
+    try {
+        std::string err;
+        PreparedPtr prepared =
+            prepareKernel(*req.kernel, req.cfg, &err);
+        if (!prepared)
+            return statusPayload("error", err);
+
+        trace::ChromeTraceSink chrome;
+        RunConfig cfg = req.cfg;
+        if (!req.traceFile.empty())
+            cfg.sim.observer = &chrome;
+        FabricRun run =
+            executeOnFabric(*prepared, *req.kernel, cfg, &err);
+
+        // A watchdog expiry is NOT a certified deadlock: the fabric
+        // was still making progress when maxCycles elapsed. Clients
+        // (and the lint cross-check) rely on the distinction.
+        const char *status =
+            run.sim.deadlocked
+                ? (run.sim.watchdogExpired ? "watchdog"
+                                           : "deadlock")
+                : (!err.empty() ? "error" : "ok");
+
+        sim::Report r;
+        r.add("status", status)
+            .add("kernel", req.kernel->name)
+            .add("variant",
+                 compiler::archVariantName(req.cfg.variant));
+        if (std::string(status) == "ok") {
+            Hasher mem;
+            mem.vec(run.memory);
+            r.add("cycles", run.cycles())
+                .add("seconds", run.seconds)
+                .add("energy_pj", run.energy.totalPj())
+                .add("edp_pj_s", run.edp)
+                .add("ipc", run.sim.stats.ipc())
+                .add("threads", run.sim.stats.dispatchSpawns)
+                .add("operators", run.compiled.graph.size())
+                .add("mem_hash", hashHex(mem.digest()));
+        } else {
+            r.add("error", err);
+        }
+        if (!req.traceFile.empty()) {
+            std::ofstream f(req.traceFile);
+            if (f) {
+                chrome.write(f);
+                r.add("trace_file", req.traceFile);
+            } else {
+                r.add("trace_error", "cannot write '" +
+                                         req.traceFile + "'");
+            }
+        }
+        return r.toJson();
+    } catch (const FatalError &e) {
+        return statusPayload("error", e.what());
+    }
+}
+
+} // namespace
+
+ServeServer::ServeServer(const ServeOptions &options)
+    : opts(options), memo(options.cacheDir), pool(options.jobs)
+{
+}
+
+ServeServer::~ServeServer() = default;
+
+ServeServer::Response
+ServeServer::immediate(const std::string &id,
+                       const std::string &payload)
+{
+    std::promise<std::string> p;
+    p.set_value(payload);
+    return Response{
+        id, p.get_future().share(),
+        std::make_shared<std::atomic<int64_t>>(nowNs())};
+}
+
+ServeServer::Response
+ServeServer::submit(const std::string &line)
+{
+    nReceived.fetch_add(1, std::memory_order_relaxed);
+
+    // Parse on the intake thread: rejects and malformed requests
+    // answer immediately, and the content key must gate dedup before
+    // admission (a duplicate of an in-flight request is never
+    // rejected — it costs no execution slot).
+    ParsedRequest req;
+    req.cfg.quiet = true;
+    req.cfg.cache = &memo;
+    std::string error;
+    {
+        RunConfig base;
+        base.quiet = true;
+        base.cache = &memo;
+        if (!parseRequest(line, base, req, error)) {
+            nBadRequests.fetch_add(1, std::memory_order_relaxed);
+            return immediate(req.id,
+                             statusPayload("error", error));
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = byContent.find(req.key);
+    if (it != byContent.end()) {
+        nDedupHits.fetch_add(1, std::memory_order_relaxed);
+        return Response{req.id, it->second.first,
+                        it->second.second};
+    }
+
+    int64_t queued = nAccepted.load(std::memory_order_relaxed) -
+                     nCompleted.load(std::memory_order_relaxed);
+    if (queued >= opts.maxQueue) {
+        nRejected.fetch_add(1, std::memory_order_relaxed);
+        return immediate(
+            req.id,
+            statusPayload(
+                "rejected",
+                csprintf("queue full (%lld queued, limit %d); "
+                         "retry later",
+                         static_cast<long long>(queued),
+                         opts.maxQueue)));
+    }
+
+    nAccepted.fetch_add(1, std::memory_order_relaxed);
+    int64_t peak = nPeakQueued.load(std::memory_order_relaxed);
+    while (queued + 1 > peak &&
+           !nPeakQueued.compare_exchange_weak(
+               peak, queued + 1, std::memory_order_relaxed)) {
+    }
+
+    auto doneNs = std::make_shared<std::atomic<int64_t>>(0);
+    std::shared_future<std::string> payload =
+        pool.submit([this, req, doneNs] {
+                std::string out = runServeRequest(req);
+                doneNs->store(nowNs(), std::memory_order_relaxed);
+                nCompleted.fetch_add(1,
+                                     std::memory_order_relaxed);
+                return out;
+            })
+            .share();
+    byContent.emplace(req.key, std::make_pair(payload, doneNs));
+    return Response{req.id, payload, doneNs};
+}
+
+std::string
+ServeServer::render(const Response &r)
+{
+    const std::string &payload = r.payload.get();
+    std::string head =
+        "{\"id\":\"" + trace::jsonEscape(r.id) + "\"";
+    // Payloads are always JSON objects; stitch the id in front.
+    if (payload.size() >= 2 && payload.front() == '{') {
+        if (payload == "{}")
+            return head + "}";
+        return head + "," + payload.substr(1);
+    }
+    return head + "}";
+}
+
+ServeStats
+ServeServer::stats() const
+{
+    ServeStats s;
+    s.received = nReceived.load(std::memory_order_relaxed);
+    s.accepted = nAccepted.load(std::memory_order_relaxed);
+    s.rejected = nRejected.load(std::memory_order_relaxed);
+    s.badRequests = nBadRequests.load(std::memory_order_relaxed);
+    s.dedupHits = nDedupHits.load(std::memory_order_relaxed);
+    s.completed = nCompleted.load(std::memory_order_relaxed);
+    s.peakQueued = nPeakQueued.load(std::memory_order_relaxed);
+    return s;
+}
+
+int
+serveLoop(ServeServer &server, std::istream &in, std::ostream &out)
+{
+    std::deque<ServeServer::Response> pending;
+    auto flush = [&](bool block) {
+        while (!pending.empty()) {
+            auto &front = pending.front();
+            if (!block &&
+                front.payload.wait_for(std::chrono::seconds(0)) !=
+                    std::future_status::ready) {
+                break;
+            }
+            out << ServeServer::render(front) << "\n"
+                << std::flush;
+            pending.pop_front();
+        }
+    };
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        pending.push_back(server.submit(line));
+        flush(false);
+    }
+    flush(true);
+    return 0;
+}
+
+namespace {
+
+/** Distinct request bodies (JSON objects without ids) for the load
+ *  generator: two kernel shapes (streaming scale, data-dependent
+ *  inner loop) in surface SIR syntax, crossed with variants and
+ *  buffer depths, input arrays inlined so every run is real. */
+std::vector<std::string>
+benchRequestBodies(int unique)
+{
+    std::vector<std::string> bodies;
+    for (int i = 0; static_cast<int>(bodies.size()) < unique;
+         i++) {
+        int n = (i % 4 < 2) ? 8 : 12;
+        const char *variant =
+            (i % 8) < 4 ? "pipestitch" : "riptide";
+        int depth = (i % 2) ? 8 : 4;
+        bool steps = (i / 8) % 2; // alternate kernel shape
+
+        std::string sir;
+        if (steps) {
+            sir = csprintf("program bench_steps_%d\n"
+                           "array seeds %d\n"
+                           "array out %d\n"
+                           "livein n\n"
+                           "livein threshold\n"
+                           "\n"
+                           "foreach i = 0 .. n:\n"
+                           "  v = load seeds[i]\n"
+                           "  c = const 0\n"
+                           "  while:\n"
+                           "    big = gt v threshold\n"
+                           "  cond big\n"
+                           "  do:\n"
+                           "    half = shr v 1\n"
+                           "    v = add half 0\n"
+                           "    c = add c 1\n"
+                           "  end\n"
+                           "  store out[i] = c\n"
+                           "end\n",
+                           i, n, n);
+        } else {
+            sir = csprintf("program bench_scale_%d\n"
+                           "array x %d\n"
+                           "array y %d\n"
+                           "livein n\n"
+                           "\n"
+                           "foreach i = 0 .. n:\n"
+                           "  v = load x[i]\n"
+                           "  s = mul v %d\n"
+                           "  r = add s %d\n"
+                           "  store y[i] = r\n"
+                           "end\n",
+                           i, n, n, 3 + i % 5, 7 + i % 3);
+        }
+
+        std::ostringstream os;
+        trace::JsonWriter w(os);
+        w.beginObject();
+        w.key("sir").value(sir);
+        w.key("variant").value(variant);
+        w.key("depth").value(depth);
+        w.key("liveins").beginObject();
+        w.key("n").value(n);
+        if (steps)
+            w.key("threshold").value(3);
+        w.endObject();
+        w.key("init").beginObject();
+        w.key(steps ? "seeds" : "x").beginArray();
+        for (int a = 0; a < n; a++)
+            w.value(1 + (a * 17 + i * 29) % 97);
+        w.endArray();
+        w.endObject();
+        w.endObject();
+        bodies.push_back(os.str());
+    }
+    return bodies;
+}
+
+} // namespace
+
+std::string
+runServeBench(const ServeOptions &options,
+              const ServeBenchOptions &bench)
+{
+    ServeOptions opts = options;
+    // The bench measures behavior with the whole burst queued, so
+    // the admission bound must cover it (pass a smaller --queue to
+    // study rejects instead).
+    opts.maxQueue = std::max(opts.maxQueue, bench.requests + 16);
+    ServeServer server(opts);
+
+    std::vector<std::string> bodies =
+        benchRequestBodies(std::max(1, bench.unique));
+    int n = bench.requests;
+
+    std::vector<ServeServer::Response> responses;
+    responses.reserve(static_cast<size_t>(n));
+    std::vector<int64_t> submitNs(static_cast<size_t>(n));
+    int64_t t0 = nowNs();
+    for (int i = 0; i < n; i++) {
+        const std::string &body =
+            bodies[static_cast<size_t>(i) % bodies.size()];
+        std::string line = "{\"id\":\"r" + std::to_string(i) +
+                           "\"," + body.substr(1);
+        submitNs[static_cast<size_t>(i)] = nowNs();
+        responses.push_back(server.submit(line));
+    }
+    int64_t submittedNs = nowNs();
+
+    std::vector<double> latMs(static_cast<size_t>(n));
+    int64_t lastDone = submittedNs;
+    int64_t okCount = 0;
+    for (int i = 0; i < n; i++) {
+        const auto &resp = responses[static_cast<size_t>(i)];
+        const std::string &payload = resp.payload.get();
+        if (payload.find("\"status\":\"ok\"") != std::string::npos)
+            okCount++;
+        int64_t done =
+            resp.doneNs->load(std::memory_order_relaxed);
+        if (done == 0)
+            done = submitNs[static_cast<size_t>(i)];
+        lastDone = std::max(lastDone, done);
+        latMs[static_cast<size_t>(i)] =
+            std::max<int64_t>(
+                0, done - submitNs[static_cast<size_t>(i)]) /
+            1e6;
+    }
+    std::sort(latMs.begin(), latMs.end());
+    auto pct = [&](int p) {
+        size_t idx = std::min(
+            latMs.size() - 1,
+            static_cast<size_t>(latMs.size()) * // round down
+                static_cast<size_t>(p) / 100);
+        return latMs[idx];
+    };
+    double wallS =
+        static_cast<double>(lastDone - t0) / 1e9;
+
+    ServeStats st = server.stats();
+    sim::Report r;
+    r.add("requests", n)
+        .add("unique", static_cast<int64_t>(bodies.size()))
+        .add("jobs", server.threadCount())
+        .add("queue_limit", opts.maxQueue)
+        .add("accepted", st.accepted)
+        .add("rejected", st.rejected)
+        .add("dedup_hits", st.dedupHits)
+        .add("dedup_rate",
+             n > 0 ? static_cast<double>(st.dedupHits) / n : 0.0)
+        .add("peak_queued", st.peakQueued)
+        .add("ok", okCount)
+        .add("failed", n - okCount)
+        .add("submit_s",
+             static_cast<double>(submittedNs - t0) / 1e9)
+        .add("wall_s", wallS)
+        .add("rps", wallS > 0 ? n / wallS : 0.0)
+        .add("p50_ms", pct(50))
+        .add("p99_ms", pct(99));
+    return r.toJson();
+}
+
+} // namespace pipestitch::runner

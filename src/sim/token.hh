@@ -67,10 +67,25 @@ class TokenFifo
     {
         ps_assert(count == 0, "resizing a non-empty token fifo");
         depth = d;
-        if (depth > kInlineCap)
+        if (depth > kInlineCap) {
             overflow.assign(static_cast<size_t>(depth), Token{});
+        } else {
+            // Shrinking back across the boundary must release the
+            // heap buffer: at() dispatches on overflow.empty(), so a
+            // stale vector would silently keep every access on the
+            // heap path (and pin the old allocation) forever.
+            overflow.clear();
+            overflow.shrink_to_fit();
+        }
         head_ = 0;
     }
+
+    /** True while tokens live in the inline ring (depth <=
+     *  kInlineDepth); tests pin the boundary with this. */
+    bool usesInlineStorage() const { return overflow.empty(); }
+
+    /** Largest depth served by the inline ring. */
+    static constexpr int kInlineDepth = 16;
 
     /** Configure multicast endpoints (source-buffer mode). */
     void
@@ -170,7 +185,7 @@ class TokenFifo
 
   private:
     /** Depths the paper evaluates (4/8/16) stay allocation-free. */
-    static constexpr int kInlineCap = 16;
+    static constexpr int kInlineCap = kInlineDepth;
 
     const Token &
     at(int i) const

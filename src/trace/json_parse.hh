@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser (the counterpart of the
+ * streaming writer in json.hh). Parses one document into a small DOM
+ * — enough for the serve daemon's newline-delimited request
+ * protocol. Numbers are doubles (JSON has no integer type); objects
+ * keep member order and allow duplicate keys (last one wins on
+ * lookup, matching common parsers).
+ */
+
+#ifndef PIPESTITCH_TRACE_JSON_PARSE_HH
+#define PIPESTITCH_TRACE_JSON_PARSE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pipestitch::trace {
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string str;
+    std::vector<JsonValue> elems;
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+
+    /** Last member named @p key, or null if absent / not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** @{ Typed getters with defaults (wrong kind => default). */
+    std::string asString(const std::string &def = "") const;
+    int64_t asInt(int64_t def = 0) const;
+    double asDouble(double def = 0) const;
+    bool asBool(bool def = false) const;
+    /** @} */
+};
+
+/**
+ * Parse @p text (one complete JSON document, surrounding whitespace
+ * allowed). @return true on success; on failure @p error (if
+ * non-null) receives a message with the byte offset.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string *error = nullptr);
+
+} // namespace pipestitch::trace
+
+#endif // PIPESTITCH_TRACE_JSON_PARSE_HH

@@ -7,13 +7,19 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <future>
 #include <string>
+#include <thread>
 #include <unistd.h>
 #include <vector>
 
 #include "base/hash.hh"
+#include "compiler/compile.hh"
 #include "core/system.hh"
 #include "figures/figures.hh"
 #include "runner/memo.hh"
@@ -99,6 +105,35 @@ TEST(ThreadPool, RunsJobsAndPreservesFutureOrder)
     EXPECT_GE(runner::defaultJobs(), 1);
 }
 
+TEST(ThreadPool, DestroyDrainsJobsQueuedBeyondWorkers)
+{
+    constexpr int kJobs = 64;
+    std::atomic<int> ran{0};
+    std::vector<std::future<int>> futs;
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    {
+        runner::ThreadPool pool(2);
+        // Park both workers so every job below is still sitting in
+        // the queue when the destructor starts.
+        std::future<void> parkA = pool.submit([open] { open.wait(); });
+        std::future<void> parkB = pool.submit([open] { open.wait(); });
+        for (int i = 0; i < kJobs; i++) {
+            futs.push_back(pool.submit([i, &ran] {
+                ran.fetch_add(1, std::memory_order_relaxed);
+                return i * 3;
+            }));
+        }
+        gate.set_value();
+        // The destructor races the drain: every queued job must
+        // still run, and every future must resolve (a dropped job
+        // would surface here as std::future_error broken_promise).
+    }
+    EXPECT_EQ(ran.load(), kJobs);
+    for (int i = 0; i < kJobs; i++)
+        EXPECT_EQ(futs[i].get(), i * 3);
+}
+
 TEST(MemoCache, KeysSeparateIngredients)
 {
     auto k1 = workloads::makeSpmv(16, 0.8, figures::kSeed);
@@ -116,6 +151,151 @@ TEST(MemoCache, KeysSeparateIngredients)
     b.variant = ArchVariant::RipTide;
     EXPECT_NE(runner::MemoCache::compileKey(k1, a),
               runner::MemoCache::compileKey(k1, b));
+}
+
+namespace {
+
+/** A synthetic successful mapping; @p cost tags which writer won. */
+mapper::Mapping
+syntheticMapping(double cost)
+{
+    mapper::Mapping m;
+    m.success = true;
+    m.cost = cost;
+    m.totalWireLength = 42;
+    m.avgHops = 1.5;
+    m.maxLinkLoad = 2;
+    m.peOf = {0, 1, 2, 3, -1};
+    m.routerOf = {-1, -1, -1, -1, 7};
+    m.hopsOf = {{1, 2}, {}, {3}, {0, 0, 4}, {1}};
+    return m;
+}
+
+/** The single map-*.txt file in @p dir. */
+std::filesystem::path
+onlyMappingFile(const std::filesystem::path &dir)
+{
+    std::filesystem::path found;
+    for (const auto &e : std::filesystem::directory_iterator(dir)) {
+        std::string name = e.path().filename().string();
+        if (name.rfind("map-", 0) == 0 &&
+            name.find(".tmp.") == std::string::npos) {
+            EXPECT_TRUE(found.empty()) << "multiple mapping files";
+            found = e.path();
+        }
+    }
+    EXPECT_FALSE(found.empty()) << "no mapping file in " << dir;
+    return found;
+}
+
+} // namespace
+
+TEST(MemoCache, DiskRoundTripsAndRejectsTruncation)
+{
+    TempDir tmp;
+    auto kernel = workloads::makeSpmv(16, 0.8, figures::kSeed);
+    compiler::CompileOptions copts;
+    auto compiled =
+        compiler::compileProgram(kernel.prog, kernel.liveIns, copts);
+    fabric::FabricConfig fab;
+    mapper::MapperOptions mopts;
+    mapper::Mapping stored = syntheticMapping(10.0);
+    {
+        runner::MemoCache cache(tmp.path.string());
+        cache.storeMapping(compiled.graph, fab, mopts, stored);
+    }
+    {
+        // Fresh cache, warm disk: byte-exact round trip.
+        runner::MemoCache cache(tmp.path.string());
+        mapper::Mapping out;
+        ASSERT_TRUE(cache.lookupMapping(compiled.graph, fab, mopts,
+                                        out));
+        EXPECT_EQ(cache.stats().mapDiskHits, 1);
+        EXPECT_EQ(out.cost, stored.cost);
+        EXPECT_EQ(out.totalWireLength, stored.totalWireLength);
+        EXPECT_EQ(out.peOf, stored.peOf);
+        EXPECT_EQ(out.routerOf, stored.routerOf);
+        EXPECT_EQ(out.hopsOf, stored.hopsOf);
+    }
+    // Truncate the file mid-payload (a crashed writer, or a reader
+    // catching a non-atomic replace): the next lookup must be a
+    // plain miss, never a parse error.
+    std::filesystem::path file = onlyMappingFile(tmp.path);
+    auto size = std::filesystem::file_size(file);
+    std::filesystem::resize_file(file, size / 2);
+    {
+        runner::MemoCache cache(tmp.path.string());
+        mapper::Mapping out;
+        EXPECT_FALSE(cache.lookupMapping(compiled.graph, fab, mopts,
+                                         out));
+        auto stats = cache.stats();
+        EXPECT_EQ(stats.mapDiskHits, 0);
+        EXPECT_EQ(stats.mapComputes, 1);
+    }
+    // A trailer glued onto a truncated payload must not pass either:
+    // its claimed length no longer matches.
+    {
+        std::ofstream patch(file, std::ios::app);
+        patch << "end " << size / 2 << " ps-intact\n";
+    }
+    {
+        runner::MemoCache cache(tmp.path.string());
+        mapper::Mapping out;
+        EXPECT_FALSE(cache.lookupMapping(compiled.graph, fab, mopts,
+                                         out));
+    }
+}
+
+TEST(MemoCache, TwoWritersNeverPublishATornFile)
+{
+    TempDir tmp;
+    auto kernel = workloads::makeSpmv(16, 0.8, figures::kSeed);
+    compiler::CompileOptions copts;
+    auto compiled =
+        compiler::compileProgram(kernel.prog, kernel.liveIns, copts);
+    fabric::FabricConfig fab;
+    mapper::MapperOptions mopts;
+    mapper::Mapping m1 = syntheticMapping(1.0);
+    mapper::Mapping m2 = syntheticMapping(2.0);
+    for (int iter = 0; iter < 16; iter++) {
+        // Distinct caches so both writers hit the disk (one cache
+        // would absorb the second store into its in-memory layer).
+        runner::MemoCache a(tmp.path.string());
+        runner::MemoCache b(tmp.path.string());
+        std::thread t1(
+            [&] { a.storeMapping(compiled.graph, fab, mopts, m1); });
+        std::thread t2(
+            [&] { b.storeMapping(compiled.graph, fab, mopts, m2); });
+        t1.join();
+        t2.join();
+        runner::MemoCache reader(tmp.path.string());
+        mapper::Mapping out;
+        ASSERT_TRUE(reader.lookupMapping(compiled.graph, fab, mopts,
+                                         out));
+        // Whole-file wins only: the result is one write or the
+        // other, never an interleaving.
+        EXPECT_TRUE(out.cost == m1.cost || out.cost == m2.cost);
+        EXPECT_EQ(out.hopsOf, m1.hopsOf);
+    }
+}
+
+TEST(MemoCache, SweepsAgedTmpFilesOnConstruction)
+{
+    TempDir tmp;
+    std::filesystem::create_directories(tmp.path);
+    auto stale = tmp.path / "map-deadbeef.txt.tmp.123";
+    auto young = tmp.path / "map-cafef00d.txt.tmp.456";
+    {
+        std::ofstream(stale) << "partial";
+        std::ofstream(young) << "partial";
+    }
+    std::filesystem::last_write_time(
+        stale, std::filesystem::file_time_type::clock::now() -
+                   std::chrono::hours(2));
+    runner::MemoCache cache(tmp.path.string());
+    // Aged orphans go; a live writer's fresh tmp file stays.
+    EXPECT_FALSE(std::filesystem::exists(stale));
+    EXPECT_TRUE(std::filesystem::exists(young));
 }
 
 TEST(Runner, DedupsIdenticalRuns)

@@ -70,6 +70,66 @@ TEST(TokenFifo, HeadOnlyViewBlocksRunaheadConsumer)
     EXPECT_TRUE(f.availHeadFor(0)); // head advanced
 }
 
+/** Push depth tokens, pop half, push again across the wrap point,
+ *  then drain — exercises the ring arithmetic at @p depth. */
+static void
+exerciseRingAt(int depth)
+{
+    TokenFifo f(depth);
+    EXPECT_EQ(f.capacity(), depth);
+    for (int i = 0; i < depth; i++)
+        f.push({i});
+    EXPECT_TRUE(f.full());
+    for (int i = 0; i < depth / 2; i++)
+        EXPECT_EQ(f.pop().value, static_cast<Word>(i));
+    for (int i = 0; i < depth / 2; i++)
+        f.push({depth + i});
+    for (int i = depth / 2; i < depth; i++)
+        EXPECT_EQ(f.pop().value, static_cast<Word>(i));
+    for (int i = 0; i < depth / 2; i++)
+        EXPECT_EQ(f.pop().value, static_cast<Word>(depth + i));
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(TokenFifo, InlineHeapBoundary)
+{
+    // depth == kInlineDepth is the last inline depth; 17 is the
+    // first heap depth. All three must behave identically.
+    ASSERT_EQ(TokenFifo::kInlineDepth, 16);
+    for (int depth : {15, 16, 17}) {
+        TokenFifo f(depth);
+        EXPECT_EQ(f.usesInlineStorage(),
+                  depth <= TokenFifo::kInlineDepth)
+            << "depth " << depth;
+        exerciseRingAt(depth);
+    }
+}
+
+TEST(TokenFifo, SetDepthAcrossBoundaryReleasesHeapStorage)
+{
+    TokenFifo f(17);
+    EXPECT_FALSE(f.usesInlineStorage());
+    f.push({1});
+    EXPECT_EQ(f.pop().value, 1);
+    // Shrinking back across the boundary (legal: the FIFO is empty)
+    // must return to the inline ring, not keep serving from the
+    // stale heap buffer.
+    f.setDepth(16);
+    EXPECT_TRUE(f.usesInlineStorage());
+    exerciseRingAt(16);
+    TokenFifo g(16);
+    g.setDepth(17);
+    EXPECT_FALSE(g.usesInlineStorage());
+    exerciseRingAt(17);
+}
+
+TEST(TokenFifoDeathTest, SetDepthOnNonEmptyFifoRejected)
+{
+    TokenFifo f(4);
+    f.push({1});
+    EXPECT_DEATH(f.setDepth(8), "non-empty token fifo");
+}
+
 TEST(TokenFifo, BornStampsTravel)
 {
     TokenFifo f(2);

@@ -41,6 +41,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 
 #include "analysis/placement.hh"
@@ -49,6 +50,7 @@
 #include "core/system.hh"
 #include "dfg/dot.hh"
 #include "figures/figures.hh"
+#include "runner/serve.hh"
 #include "runner/sweep.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
@@ -159,6 +161,14 @@ usage()
         "(takes no .sir file)",
         "[--jobs=N --smoke --cache-dir=D --out-dir=D "
         "--only=id,id --json]");
+    std::fprintf(
+        stderr,
+        "  %-10s %s\n             %s\n", "serve",
+        "resident simulation daemon: newline-delimited JSON "
+        "requests on stdin, responses on stdout (no .sir file; "
+        "see docs/serve.md)",
+        "[--jobs=N --queue=N --cache-dir=D --bench=N "
+        "--bench-out=F]");
     std::fprintf(
         stderr,
         "\ncommon options:\n"
@@ -597,11 +607,20 @@ cmdTrace(const Options &opts, const ParseResult &parsed)
         stalls.writeJson(f);
     }
 
+    // A watchdog expiry is not a deadlock: the fabric was still
+    // making progress when maxCycles elapsed. Report (and exit)
+    // distinctly so callers never mistake a slow kernel for a
+    // certified deadlock.
+    const char *status = !r.deadlocked        ? "ok"
+                         : r.watchdogExpired ? "watchdog"
+                                             : "deadlock";
     sim::Report report = sim::reportFor(r.stats);
     report.add("trace_file", outFile)
         .add("spans", chrome.spanCount())
         .add("instants", chrome.instantCount())
-        .add("deadlocked", r.deadlocked);
+        .add("status", status)
+        .add("deadlocked", r.deadlocked && !r.watchdogExpired)
+        .add("watchdog_expired", r.watchdogExpired);
     if (opts.json) {
         std::printf("%s\n", report.toJson().c_str());
     } else {
@@ -613,7 +632,10 @@ cmdTrace(const Options &opts, const ParseResult &parsed)
                     static_cast<long long>(chrome.instantCount()));
         std::printf("%s", stalls.toString().c_str());
     }
-    return r.deadlocked ? 1 : 0;
+    // 0 = clean, 1 = quiesced deadlock, 4 = watchdog expiry.
+    if (!r.deadlocked)
+        return 0;
+    return r.watchdogExpired ? 4 : 1;
 }
 
 /**
@@ -666,6 +688,7 @@ cmdLint(const Options &opts, const ParseResult &parsed)
     }
 
     bool simDeadlocked = false;
+    bool simWatchdog = false;
     bool disagree = false;
     if (opts.crossCheck) {
         auto cfg = res.simConfig;
@@ -675,13 +698,13 @@ cmdLint(const Options &opts, const ParseResult &parsed)
             mem.size(),
             static_cast<size_t>(kernel.prog.memWords)));
         auto r = sim::simulate(res.graph, mem, cfg);
-        simDeadlocked = r.deadlocked;
         // Watchdog expiry means the fabric was still live —
         // termination is input-dependent, outside what static
-        // certification claims — so only a quiesced deadlock
-        // counts as a disagreement.
-        disagree = report.deadlockFree && r.deadlocked &&
-                   !r.watchdogExpired;
+        // certification claims — so it is neither a deadlock
+        // verdict nor a disagreement.
+        simWatchdog = r.watchdogExpired;
+        simDeadlocked = r.deadlocked && !r.watchdogExpired;
+        disagree = report.deadlockFree && simDeadlocked;
         if (disagree && !opts.json) {
             std::fprintf(stderr,
                          "cross-check: analyzer certified the graph "
@@ -694,13 +717,15 @@ cmdLint(const Options &opts, const ParseResult &parsed)
     if (opts.json) {
         std::printf("{\"kernel\":\"%s\",\"variant\":\"%s\","
                     "\"operators\":%d,\"crossChecked\":%s,"
-                    "\"simDeadlocked\":%s,\"agree\":%s,"
+                    "\"simDeadlocked\":%s,"
+                    "\"simWatchdogExpired\":%s,\"agree\":%s,"
                     "\"analysis\":%s}\n",
                     kernel.name.c_str(),
                     compiler::archVariantName(opts.variant),
                     res.graph.size(),
                     opts.crossCheck ? "true" : "false",
                     simDeadlocked ? "true" : "false",
+                    simWatchdog ? "true" : "false",
                     disagree ? "false" : "true",
                     report.toJson(res.graph).c_str());
     } else {
@@ -711,8 +736,11 @@ cmdLint(const Options &opts, const ParseResult &parsed)
                     report.toString(res.graph).c_str());
         if (opts.crossCheck) {
             std::printf("cross-check: simulator %s; %s\n",
-                        simDeadlocked ? "deadlocked"
-                                      : "retired cleanly",
+                        simDeadlocked
+                            ? "deadlocked"
+                            : simWatchdog
+                                  ? "hit the cycle watchdog"
+                                  : "retired cleanly",
                         disagree ? "DISAGREES with the analyzer"
                                  : "agrees with the analyzer");
         }
@@ -928,6 +956,8 @@ cmdFigures(int argc, char **argv)
             .add("map_hits", stats.mapHits)
             .add("map_disk_hits", stats.mapDiskHits)
             .add("map_computes", stats.mapComputes)
+            .add("prepared_hits", stats.preparedHits)
+            .add("prepared_computes", stats.preparedComputes)
             .add("run_dedup_hits", runner.dedupHits());
         std::printf("%s\n", r.toJson().c_str());
     } else {
@@ -949,6 +979,62 @@ cmdFigures(int argc, char **argv)
     return 0;
 }
 
+/**
+ * `pstool serve` — a resident simulation service (runner/serve.hh):
+ * one JSON request per stdin line, one JSON response per stdout
+ * line, executed concurrently on a bounded thread-pool queue with
+ * content dedup onto the shared MemoCache. `--bench=N` runs the
+ * built-in load generator instead and writes the throughput/latency
+ * record to --bench-out (default BENCH_serve.json).
+ */
+int
+cmdServe(int argc, char **argv)
+{
+    runner::ServeOptions sopts;
+    int bench = 0;
+    std::string benchOut = "BENCH_serve.json";
+    for (int i = 2; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg.rfind("--jobs=", 0) == 0) {
+            sopts.jobs = std::atoi(arg.c_str() + 7);
+        } else if (arg.rfind("--queue=", 0) == 0) {
+            sopts.maxQueue = std::atoi(arg.c_str() + 8);
+        } else if (arg.rfind("--cache-dir=", 0) == 0) {
+            sopts.cacheDir = arg.substr(12);
+        } else if (arg.rfind("--bench=", 0) == 0) {
+            bench = std::atoi(arg.c_str() + 8);
+        } else if (arg.rfind("--bench-out=", 0) == 0) {
+            benchOut = arg.substr(12);
+        } else {
+            usage();
+        }
+    }
+    if (bench > 0) {
+        std::string json = runner::runServeBench(
+            sopts, runner::ServeBenchOptions{bench});
+        std::ofstream f(benchOut);
+        if (!f)
+            fatal("cannot write '%s'", benchOut.c_str());
+        f << json << "\n";
+        std::printf("%s\n", json.c_str());
+        return 0;
+    }
+    runner::ServeServer server(sopts);
+    int rc = runner::serveLoop(server, std::cin, std::cout);
+    runner::ServeStats st = server.stats();
+    std::fprintf(
+        stderr,
+        "serve: %lld received, %lld executed, %lld dedup hits, "
+        "%lld rejected, %lld bad, peak queue %lld\n",
+        static_cast<long long>(st.received),
+        static_cast<long long>(st.completed),
+        static_cast<long long>(st.dedupHits),
+        static_cast<long long>(st.rejected),
+        static_cast<long long>(st.badRequests),
+        static_cast<long long>(st.peakQueued));
+    return rc;
+}
+
 int
 cmdScalar(const Options &opts, const ParseResult &parsed)
 {
@@ -968,9 +1054,12 @@ cmdScalar(const Options &opts, const ParseResult &parsed)
 int
 main(int argc, char **argv)
 {
-    // `figures` takes no .sir file; dispatch before parseArgs.
+    // `figures` and `serve` take no .sir file; dispatch before
+    // parseArgs.
     if (argc >= 2 && std::string(argv[1]) == "figures")
         return cmdFigures(argc, argv);
+    if (argc >= 2 && std::string(argv[1]) == "serve")
+        return cmdServe(argc, argv);
     Options opts = parseArgs(argc, argv);
     auto parsed = sir::parseSir(readFile(opts.file), opts.file);
     for (const Command &c : kCommands) {
