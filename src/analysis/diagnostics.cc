@@ -49,6 +49,10 @@ ruleRegistry()
          Severity::Error, "Sec. 4.4 (SyncPlane spans the PE grid)"},
         {"PS-P05", "route congestion exceeds link capacity",
          Severity::Error, "Sec. 5.1 (statically-routed NoC)"},
+        {"PS-P06", "inter-tile route congestion exceeds boundary "
+         "link capacity", Severity::Error,
+         "multi-tile extension of Sec. 5.1 (statically-routed NoC "
+         "across tile boundaries)"},
     };
     return rules;
 }

@@ -289,22 +289,44 @@ class PlacementLint
             }
         }
 
-        int capacity = fab.config().linkCapacity;
+        // Tile-boundary links belong to the inter-tile NoC and have
+        // their own capacity (PS-P06); interior links keep the
+        // tile's wire budget (PS-P05). The boundary classifier is
+        // the same one the tiled mapper's merge pass prices with.
+        const fabric::Topology &topo = fab.topology();
+        int capacity = topo.tile.linkCapacity;
         for (size_t l = 0; l < load.size(); l++) {
-            if (load[l] <= capacity)
+            bool boundary =
+                mapper::routecost::linkCrossesTile(topo, w, l);
+            int capHere =
+                boundary ? topo.interTileCapacity : capacity;
+            if (load[l] <= capHere)
                 continue;
             Coord at = mapper::routecost::linkCoord(w, l);
-            Diagnostic &d = diag(
-                "PS-P05", dfg::NoNode,
-                csprintf("link (%d,%d)%s carries %d "
-                         "circuit-switched routes but has "
-                         "%d wires",
-                         at.x, at.y,
-                         mapper::routecost::linkDirName(
-                             mapper::routecost::linkDir(l)),
-                         load[l], capacity),
-                "re-map with a different seed or raise "
-                "linkCapacity");
+            Diagnostic &d =
+                boundary
+                    ? diag("PS-P06", dfg::NoNode,
+                           csprintf(
+                               "inter-tile link (%d,%d)%s carries "
+                               "%d circuit-switched routes but the "
+                               "boundary has %d wires",
+                               at.x, at.y,
+                               mapper::routecost::linkDirName(
+                                   mapper::routecost::linkDir(l)),
+                               load[l], capHere),
+                           "re-partition (different mapper seed) "
+                           "or raise interTileCapacity")
+                    : diag("PS-P05", dfg::NoNode,
+                           csprintf(
+                               "link (%d,%d)%s carries %d "
+                               "circuit-switched routes but has "
+                               "%d wires",
+                               at.x, at.y,
+                               mapper::routecost::linkDirName(
+                                   mapper::routecost::linkDir(l)),
+                               load[l], capHere),
+                           "re-map with a different seed or raise "
+                           "linkCapacity");
             d.edges = users[l];
             for (const EdgeRef &e : d.edges) {
                 d.nodes.push_back(e.from);

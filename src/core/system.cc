@@ -3,6 +3,7 @@
 #include "analysis/placement.hh"
 #include "base/logging.hh"
 #include "compiler/timemux.hh"
+#include "mapper/tiled.hh"
 #include "scalar/interpreter.hh"
 #include "sim/execution.hh"
 
@@ -69,11 +70,50 @@ prepareKernel(const workloads::KernelInstance &kernel,
         }
     }
 
-    fabric::Fabric fab(config.fabric);
+    prep->tiled = config.tiled();
+    prep->topo = config.topology();
+    if (prep->tiled) {
+        std::string terr;
+        if (!prep->topo.validate(&terr)) {
+            reportFailure(
+                error,
+                csprintf("kernel %s: invalid tiled topology: %s",
+                         kernel.name.c_str(), terr.c_str()));
+            return nullptr;
+        }
+        if (!config.map) {
+            reportFailure(
+                error,
+                csprintf("kernel %s: tiled fabrics require mapping "
+                         "(the tile partition drives the inter-tile "
+                         "channel model)",
+                         kernel.name.c_str()));
+            return nullptr;
+        }
+        if (prep->compiled->simConfig.buffering ==
+            sim::SimConfig::Buffering::Source) {
+            reportFailure(
+                error,
+                csprintf("kernel %s: tiled fabrics model inter-tile "
+                         "edges as destination-buffered channels; "
+                         "the %s variant's source buffering is not "
+                         "supported across tiles",
+                         kernel.name.c_str(),
+                         compiler::archVariantName(config.variant)));
+            return nullptr;
+        }
+    }
+
+    // The lint/area fabric: the whole tile grid when tiled (so the
+    // placement rules see boundary links and PS-P06 applies), the
+    // plain grid otherwise.
+    fabric::Fabric fab = prep->tiled ? fabric::Fabric(prep->topo)
+                                     : fabric::Fabric(config.fabric);
     compiler::ShareGroups shareGroups;
     if (config.allowTimeMultiplex) {
-        shareGroups =
-            compiler::planTimeMultiplexing(graph, config.fabric);
+        shareGroups = compiler::planTimeMultiplexing(
+            graph, prep->tiled ? prep->topo.globalConfig()
+                               : config.fabric);
     }
     if (config.map) {
         mapper::MapperOptions mopts;
@@ -81,9 +121,19 @@ prepareKernel(const workloads::KernelInstance &kernel,
         mopts.portfolioSeeds = config.mapperSeeds;
         mopts.jobs = config.mapperJobs;
         mopts.shareGroups = shareGroups;
-        if (!config.cache ||
-            !config.cache->lookupMapping(graph, config.fabric, mopts,
-                                         prep->mapping)) {
+        if (prep->tiled) {
+            // Tiled placements bypass the mapping memo — its key and
+            // disk format are per-grid. Whole-artifact prepared
+            // caching still covers them.
+            mapper::TiledMapping tm =
+                mapper::mapGraphTiled(graph, prep->topo, mopts);
+            prep->mapping = std::move(tm.merged);
+            prep->tileOf = std::move(tm.tileOf);
+            prep->cutEdges = tm.cutEdges;
+            prep->interTileLoadMax = tm.interTileLoadMax;
+        } else if (!config.cache ||
+                   !config.cache->lookupMapping(
+                       graph, config.fabric, mopts, prep->mapping)) {
             prep->mapping = mapper::mapGraph(graph, fab, mopts);
             if (config.cache)
                 config.cache->storeMapping(graph, config.fabric,
@@ -126,7 +176,31 @@ prepareKernel(const workloads::KernelInstance &kernel,
     auto simCfg = config.sim;
     simCfg.buffering = prep->compiled->simConfig.buffering;
     simCfg.memBypass = prep->compiled->simConfig.memBypass;
-    simCfg.memBanks = config.fabric.memBanks;
+    simCfg.memBanks = prep->tiled
+                          ? prep->topo.globalConfig().memBanks
+                          : config.fabric.memBanks;
+    simCfg.edgeLatencies.clear();
+    if (prep->tiled) {
+        // Every cross-tile wire edge becomes a latency-N channel in
+        // the simulator, priced at the topology's boundary latency.
+        // The trigger (tile -1) injects from the scalar core, not
+        // over the inter-tile NoC.
+        for (dfg::NodeId id = 0; id < graph.size(); id++) {
+            const dfg::Node &n = graph.at(id);
+            int ct = prep->tileOf[static_cast<size_t>(id)];
+            for (int i = 0; i < n.numInputs(); i++) {
+                const auto &in = n.inputs[static_cast<size_t>(i)];
+                if (!in.isWire())
+                    continue;
+                int pt =
+                    prep->tileOf[static_cast<size_t>(in.port.node)];
+                if (pt >= 0 && ct >= 0 && pt != ct) {
+                    simCfg.edgeLatencies.push_back(
+                        {id, i, config.interTileLatency});
+                }
+            }
+        }
+    }
     simCfg.shareGroups.clear();
     for (const auto &group : shareGroups) {
         simCfg.shareGroups.emplace_back(group.begin(), group.end());
@@ -242,10 +316,12 @@ executeOnFabric(const PreparedKernel &prepared,
 
 FabricRun
 runOnFabric(const workloads::KernelInstance &kernel,
-            const RunConfig &config)
+            const RunConfig &config, std::string *error)
 {
-    PreparedPtr prepared = prepareKernel(kernel, config, nullptr);
-    return executeOnFabric(*prepared, kernel, config, nullptr);
+    PreparedPtr prepared = prepareKernel(kernel, config, error);
+    if (!prepared)
+        return FabricRun{};
+    return executeOnFabric(*prepared, kernel, config, error);
 }
 
 ScalarRun

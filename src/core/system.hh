@@ -116,7 +116,19 @@ struct RunConfig
 {
     compiler::ArchVariant variant =
         compiler::ArchVariant::Pipestitch;
+
+    /** The per-tile grid. With tilesX/tilesY at 1 (the default)
+     *  this is the whole fabric — the legacy single-grid setup. */
     fabric::FabricConfig fabric;
+
+    /** Tile grid (see fabric::Topology). More than one tile routes
+     *  the prepare pipeline through the partition-then-place tiled
+     *  mapper and models cross-tile edges as latency-N channels. */
+    int tilesX = 1;
+    int tilesY = 1;
+    int interTileLatency = 4;
+    int interTileCapacity = 4;
+
     compiler::CompileOptions::Threading threading =
         compiler::CompileOptions::Threading::Heuristic;
     bool useStreams = true;
@@ -186,6 +198,20 @@ struct RunConfig
      * from the time-multiplexing planner.
      */
     sim::SimConfig sim;
+
+    bool tiled() const { return tilesX * tilesY > 1; }
+
+    fabric::Topology
+    topology() const
+    {
+        fabric::Topology t;
+        t.tile = fabric;
+        t.tilesX = tilesX;
+        t.tilesY = tilesY;
+        t.interTileLatency = interTileLatency;
+        t.interTileCapacity = interTileCapacity;
+        return t;
+    }
 };
 
 /** Everything produced by one fabric execution. */
@@ -231,6 +257,13 @@ struct PreparedKernel
     fabric::AreaBreakdown area;
     double avgHops = 2.0; ///< mapping's, or the unmapped fallback
     bool mapped = false;
+
+    // Tiled-fabric extras (RunConfig::tiled() prepares these).
+    bool tiled = false;
+    fabric::Topology topo;     ///< 1×1 wrapping `fabric` otherwise
+    std::vector<int> tileOf;   ///< node → tile (-1 trigger)
+    int64_t cutEdges = 0;      ///< cross-tile consumer edges
+    int interTileLoadMax = 0;  ///< max routes on a boundary link
 };
 
 using PreparedPtr = std::shared_ptr<const PreparedKernel>;
@@ -273,10 +306,16 @@ struct ScalarRun
     double edp = 0;
 };
 
-/** Compile+map+simulate @p kernel under @p config. fatal()s on
- *  deadlock or golden-model mismatch — these are bugs, not data. */
+/**
+ * Compile+map+simulate @p kernel under @p config — prepareKernel +
+ * executeOnFabric in one call, under the same error contract: with
+ * @p error null any failure is fatal() (legacy batch behavior);
+ * with @p error non-null, *error is set and the partial FabricRun
+ * (default-constructed when even prepare failed) is returned.
+ */
 FabricRun runOnFabric(const workloads::KernelInstance &kernel,
-                      const RunConfig &config);
+                      const RunConfig &config,
+                      std::string *error = nullptr);
 
 /** Interpret @p kernel under @p profile (default: the RISC-V
  *  control core the paper's "Scalar" bars use). */

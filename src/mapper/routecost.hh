@@ -141,6 +141,26 @@ traceTree(const dfg::Graph &graph, dfg::NodeId src, int port,
     }
 }
 
+/**
+ * True iff @p link crosses a tile boundary of @p topo (laid out on
+ * the flattened global grid of width @p width). Boundary links model
+ * the inter-tile NoC: they have their own capacity
+ * (Topology::interTileCapacity, checked by the tiled mapper's merge
+ * pass and the PS-P06 lint) and latency (simulated as channels).
+ */
+inline bool
+linkCrossesTile(const fabric::Topology &topo, int width, size_t link)
+{
+    if (topo.singleTile())
+        return false;
+    fabric::Coord c = linkCoord(width, link);
+    int dir = linkDir(link);
+    int nx = c.x + (dir == 0 ? 1 : dir == 1 ? -1 : 0);
+    int ny = c.y + (dir == 2 ? 1 : dir == 3 ? -1 : 0);
+    return nx / topo.tile.width != c.x / topo.tile.width ||
+           ny / topo.tile.height != c.y / topo.tile.height;
+}
+
 /** Change in total overload when one link's load moves by ±1. */
 inline int64_t
 overflowDelta(int loadBefore, int capacity, int delta)

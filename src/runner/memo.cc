@@ -89,6 +89,19 @@ hashFabric(Hasher &h, const fabric::FabricConfig &f)
         .f64(f.clockMHz);
 }
 
+/** The tile-grid fields of a RunConfig. Part of runKey and
+ *  preparedKey: a 2×2 arrangement of the same per-tile grid is a
+ *  different prepared artifact (partitioned mapping, channel
+ *  latencies) than the 1×1 one. */
+void
+hashTiling(Hasher &h, const RunConfig &cfg)
+{
+    h.i32(cfg.tilesX)
+        .i32(cfg.tilesY)
+        .i32(cfg.interTileLatency)
+        .i32(cfg.interTileCapacity);
+}
+
 } // namespace
 
 MemoCache::MemoCache(std::string cacheDir) : dir(std::move(cacheDir))
@@ -193,6 +206,7 @@ MemoCache::runKey(const workloads::KernelInstance &k,
         .u64(cfg.mapperSeed)
         .i32(cfg.mapperSeeds);
     hashFabric(h, cfg.fabric);
+    hashTiling(h, cfg);
     // SimConfig: only the user-settable fields. The derived ones
     // (buffering, memBypass, memBanks, shareGroups) are functions of
     // the inputs above, and quiet/trace/observer do not affect the
@@ -226,6 +240,7 @@ MemoCache::preparedKey(const workloads::KernelInstance &k,
         .u64(cfg.mapperSeed)
         .i32(cfg.mapperSeeds);
     hashFabric(h, cfg.fabric);
+    hashTiling(h, cfg);
     h.i32(static_cast<int32_t>(cfg.sim.scheduler))
         .i32(cfg.sim.bufferDepth)
         .i32(cfg.sim.memLatency)

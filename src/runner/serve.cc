@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <deque>
 #include <fstream>
 #include <istream>
@@ -10,6 +11,7 @@
 
 #include "base/hash.hh"
 #include "base/logging.hh"
+#include "core/batch.hh"
 #include "core/system.hh"
 #include "runner/sweep.hh"
 #include "scalar/interpreter.hh"
@@ -39,6 +41,7 @@ struct ParsedRequest
     KernelPtr kernel;
     RunConfig cfg;
     std::string traceFile;
+    int batch = 1; ///< shard count (>1 runs the batched path)
     uint64_t key = 0; ///< content key (kernel + config + trace file)
 };
 
@@ -65,6 +68,7 @@ std::string
 statusPayload(const char *status, const std::string &error)
 {
     sim::Report r;
+    r.add("schema_version", sim::kJsonSchemaVersion);
     r.add("status", status);
     if (!error.empty())
         r.add("error", error);
@@ -120,6 +124,26 @@ parseRequest(const std::string &line, const RunConfig &base,
         cfg.sim.maxCycles = c->asInt(cfg.sim.maxCycles);
     if (const auto *tf = v.find("trace_file"))
         out.traceFile = tf->asString();
+    if (const auto *t = v.find("tiles")) {
+        // "TXxTY" overriding the server-default tile arrangement.
+        int tx = 0, ty = 0;
+        char junk;
+        if (std::sscanf(t->asString().c_str(), "%dx%d%c", &tx, &ty,
+                        &junk) != 2 ||
+            tx < 1 || ty < 1) {
+            error = "\"tiles\" must be \"TXxTY\" (e.g. \"2x2\")";
+            return false;
+        }
+        cfg.tilesX = tx;
+        cfg.tilesY = ty;
+    }
+    if (const auto *b = v.find("batch")) {
+        out.batch = static_cast<int>(b->asInt(1));
+        if (out.batch < 1) {
+            error = "\"batch\" must be >= 1";
+            return false;
+        }
+    }
 
     // The SIR parser and memory binding below were written for batch
     // tools and fatal() on user error; trap that into a response.
@@ -180,9 +204,58 @@ parseRequest(const std::string &line, const RunConfig &base,
 
     out.cfg = cfg;
     Hasher h;
-    h.u64(MemoCache::runKey(*out.kernel, cfg)).str(out.traceFile);
+    h.u64(MemoCache::runKey(*out.kernel, cfg))
+        .str(out.traceFile)
+        .i32(out.batch);
     out.key = h.digest();
     return true;
+}
+
+/** Deep-copy a kernel instance (sir::Program bodies are move-only,
+ *  so shard replication clones via cloneStmts). */
+workloads::KernelInstance
+cloneKernel(const workloads::KernelInstance &k)
+{
+    workloads::KernelInstance out;
+    out.name = k.name;
+    out.prog = sir::Program(k.prog.name);
+    out.prog.numRegs = k.prog.numRegs;
+    out.prog.arrays = k.prog.arrays;
+    out.prog.regNames = k.prog.regNames;
+    out.prog.liveIns = k.prog.liveIns;
+    out.prog.memWords = k.prog.memWords;
+    out.prog.body = sir::cloneStmts(k.prog.body);
+    out.liveIns = k.liveIns;
+    out.memory = k.memory;
+    return out;
+}
+
+/** The batched path: @p req.batch shards of the request's kernel
+ *  dealt across the topology's tiles (core/batch.hh). */
+std::string
+runServeBatch(const ParsedRequest &req)
+{
+    std::vector<workloads::KernelInstance> shards;
+    shards.reserve(static_cast<size_t>(req.batch));
+    for (int i = 0; i < req.batch; i++)
+        shards.push_back(cloneKernel(*req.kernel));
+    std::string err;
+    BatchRun batch = runBatch(shards, req.cfg, &err);
+    if (!batch.success)
+        return statusPayload("error", err);
+
+    sim::Report r;
+    r.add("schema_version", sim::kJsonSchemaVersion)
+        .add("status", "ok")
+        .add("kernel", req.kernel->name)
+        .add("variant", compiler::archVariantName(req.cfg.variant))
+        .add("tiles", batch.tiles)
+        .add("batch", batch.shards)
+        .add("total_cycles", batch.totalCycles)
+        .add("makespan_cycles", batch.makespanCycles)
+        .add("modeled_speedup", batch.modeledSpeedup)
+        .add("seconds", batch.seconds);
+    return r.toJson();
 }
 
 /** Execute one admitted request and render its response payload. */
@@ -195,6 +268,8 @@ runServeRequest(const ParsedRequest &req)
     // server exit.
     ScopedFatalTrap trap;
     try {
+        if (req.batch > 1)
+            return runServeBatch(req);
         std::string err;
         PreparedPtr prepared =
             prepareKernel(*req.kernel, req.cfg, &err);
@@ -218,10 +293,15 @@ runServeRequest(const ParsedRequest &req)
                 : (!err.empty() ? "error" : "ok");
 
         sim::Report r;
-        r.add("status", status)
+        r.add("schema_version", sim::kJsonSchemaVersion)
+            .add("status", status)
             .add("kernel", req.kernel->name)
             .add("variant",
                  compiler::archVariantName(req.cfg.variant));
+        if (req.cfg.tiled()) {
+            r.add("tiles_x", req.cfg.tilesX)
+                .add("tiles_y", req.cfg.tilesY);
+        }
         if (std::string(status) == "ok") {
             Hasher mem;
             mem.vec(run.memory);
@@ -289,6 +369,11 @@ ServeServer::submit(const std::string &line)
         RunConfig base;
         base.quiet = true;
         base.cache = &memo;
+        base.fabric = opts.topology.tile;
+        base.tilesX = opts.topology.tilesX;
+        base.tilesY = opts.topology.tilesY;
+        base.interTileLatency = opts.topology.interTileLatency;
+        base.interTileCapacity = opts.topology.interTileCapacity;
         if (!parseRequest(line, base, req, error)) {
             nBadRequests.fetch_add(1, std::memory_order_relaxed);
             return immediate(req.id,
@@ -536,7 +621,8 @@ runServeBench(const ServeOptions &options,
 
     ServeStats st = server.stats();
     sim::Report r;
-    r.add("requests", n)
+    r.add("schema_version", sim::kJsonSchemaVersion)
+        .add("requests", n)
         .add("unique", static_cast<int64_t>(bodies.size()))
         .add("jobs", server.threadCount())
         .add("queue_limit", opts.maxQueue)

@@ -43,6 +43,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "fabric/fabric.hh"
 #include "runner/memo.hh"
 #include "runner/pool.hh"
 
@@ -59,6 +60,10 @@ struct ServeOptions
 
     /** On-disk mapping cache directory ("" disables). */
     std::string cacheDir;
+
+    /** Default fabric for every request (`pstool serve --fabric=`).
+     *  A request's `tiles` field overrides the tile arrangement. */
+    fabric::Topology topology;
 };
 
 /** Snapshot of server activity since construction. */

@@ -95,6 +95,7 @@ ExecutionState::reset()
     inNocEval = false;
     drainList.clear();
     inDrainList.assign(static_cast<size_t>(n), 0);
+    chan.assign(prog.channels.size(), {});
     seqFiredAt.assign(static_cast<size_t>(n), -1);
     nocFiredAt.assign(static_cast<size_t>(n), -1);
 
@@ -308,6 +309,19 @@ bool
 ExecutionState::consumersAccept(NodeId id, int port) const
 {
     for (const auto &c : graph.consumersOf({id, port})) {
+        if (prog.hasChannels) {
+            int ch = prog.chanIdOf[static_cast<size_t>(c.node)]
+                                  [static_cast<size_t>(c.inputIndex)];
+            if (ch >= 0) {
+                // Channel edge: the producer backpressures on the
+                // inter-tile channel, not the far-side buffer.
+                if (static_cast<int>(
+                        chan[static_cast<size_t>(ch)].size()) >=
+                    prog.channels[static_cast<size_t>(ch)].capacity)
+                    return false;
+                continue;
+            }
+        }
         const TokenFifo &f =
             rt[static_cast<size_t>(c.node)]
                 .ins[static_cast<size_t>(c.inputIndex)];
@@ -341,6 +355,30 @@ ExecutionState::deliver(NodeId from, int port, const Token &token)
         if (prog.threadRegionOf[static_cast<size_t>(from)] !=
             prog.threadRegionOf[static_cast<size_t>(c.node)]) {
             t.tag = NoTag;
+        }
+        if (prog.hasChannels) {
+            int ch = prog.chanIdOf[static_cast<size_t>(c.node)]
+                                  [static_cast<size_t>(c.inputIndex)];
+            if (ch >= 0) {
+                // Channel edge: the token enters the inter-tile
+                // channel and matures `latency` cycles later
+                // (advanceChannels moves it into the destination
+                // buffer). The consumer is not woken yet.
+                const Program::Channel &cc =
+                    prog.channels[static_cast<size_t>(ch)];
+                ps_assert(static_cast<int>(
+                              chan[static_cast<size_t>(ch)].size()) <
+                              cc.capacity,
+                          "delivery into full channel (node %d)",
+                          c.node);
+                chan[static_cast<size_t>(ch)].push_back(
+                    {t, cycle + cc.latency});
+                tokensInFlight++;
+                stats.bufferWrites++;
+                stats.nocTraversals++;
+                stats.interTileTokens++;
+                continue;
+            }
         }
         TokenFifo &f = rt[static_cast<size_t>(c.node)]
                            .ins[static_cast<size_t>(c.inputIndex)];
@@ -495,6 +533,41 @@ ExecutionState::handleMemCompletions()
             }
         }
         active = true;
+    }
+}
+
+void
+ExecutionState::advanceChannels()
+{
+    bornStamp = cycle - 1; // matured tokens aged in the channel
+    for (size_t ch = 0; ch < chan.size(); ch++) {
+        std::deque<ChanTok> &q = chan[ch];
+        if (q.empty())
+            continue;
+        const Program::Channel &cc = prog.channels[ch];
+        TokenFifo &f = rt[static_cast<size_t>(cc.dst)]
+                           .ins[static_cast<size_t>(cc.dstIn)];
+        bool freed = false;
+        while (!q.empty() && q.front().ready <= cycle &&
+               !f.full()) {
+            Token t = q.front().tok;
+            q.pop_front();
+            t.born = bornStamp;
+            f.push(t); // still one in-flight token: channel -> fifo
+            stats.bufferWrites++;
+            wake(cc.dst);
+            freed = true;
+            active = true;
+        }
+        if (freed) {
+            // Channel space opened up; the producer may fire again.
+            wake(cc.src);
+        }
+        if (!q.empty() && q.front().ready > cycle) {
+            // Tokens still crossing the boundary keep the fabric
+            // busy — this is latency, not deadlock.
+            active = true;
+        }
     }
 }
 
@@ -1222,6 +1295,10 @@ ExecutionState::quiescentSlow() const
 {
     if (!memsys->idle())
         return false;
+    for (const auto &q : chan) {
+        if (!q.empty())
+            return false;
+    }
     for (NodeId id = 0; id < graph.size(); id++) {
         const NodeRt &r = rt[static_cast<size_t>(id)];
         const Node &node = graph.at(id);
@@ -1267,6 +1344,14 @@ ExecutionState::diagnose() const
             out << f.size() << " ";
         out << "] fsm=" << static_cast<int>(r.fsm) << "\n";
     }
+    for (size_t ch = 0; ch < chan.size(); ch++) {
+        if (chan[ch].empty())
+            continue;
+        const Program::Channel &cc = prog.channels[ch];
+        out << "  channel " << ch << " (node " << cc.src << " -> "
+            << cc.dst << " in " << cc.dstIn << ") holds "
+            << chan[ch].size() << " token(s)\n";
+    }
     return out.str();
 }
 
@@ -1283,6 +1368,8 @@ ExecutionState::runLoop()
 
         drainOutputBuffers();
         handleMemCompletions();
+        if (prog.hasChannels)
+            advanceChannels();
 
         // Router CF settles over tokens left from the previous
         // cycle before the PEs sample their inputs.

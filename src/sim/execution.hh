@@ -25,6 +25,7 @@
 #ifndef PIPESTITCH_SIM_EXECUTION_HH
 #define PIPESTITCH_SIM_EXECUTION_HH
 
+#include <deque>
 #include <initializer_list>
 #include <memory>
 #include <optional>
@@ -91,6 +92,7 @@ class ExecutionState
     // --- per-cycle phases -------------------------------------------
     void drainOutputBuffers();
     void handleMemCompletions();
+    void advanceChannels();
     void decideDispatchGroups();
     Blocked canFire(dfg::NodeId id);
     void commitFire(dfg::NodeId id);
@@ -191,6 +193,16 @@ class ExecutionState
     // Nodes with possibly non-empty output buffers (dest mode).
     std::vector<dfg::NodeId> drainList;
     std::vector<uint8_t> inDrainList;
+
+    // Inter-tile FIFO channels (one deque per Program::Channel):
+    // tokens mature at `ready` and then land in the destination
+    // buffer. Counted in tokensInFlight while in the channel.
+    struct ChanTok
+    {
+        Token tok;
+        int64_t ready = 0;
+    };
+    std::vector<std::deque<ChanTok>> chan;
 
     // Quiescence counters: exact mirrors of the fabric state the
     // O(n) scan used to inspect (verified against quiescentSlow()

@@ -1,5 +1,7 @@
 #include "sim/program.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 #include "dfg/analysis.hh"
 
@@ -180,6 +182,47 @@ Program::Program(std::shared_ptr<const dfg::Graph> graph,
             allSeqNodes.push_back(id);
         if (g.at(id).kind == NodeKind::Trigger)
             triggersTotal++;
+    }
+
+    // Inter-tile FIFO channels (tiled fabrics). Each entry turns one
+    // consumer edge into a latency-N channel; see execution.cc
+    // advanceChannels().
+    chanIdOf.resize(static_cast<size_t>(n));
+    for (NodeId id = 0; id < n; id++) {
+        chanIdOf[static_cast<size_t>(id)].assign(
+            static_cast<size_t>(g.at(id).numInputs()), -1);
+    }
+    for (const SimConfig::EdgeLatency &el : cfg.edgeLatencies) {
+        ps_assert(!sourceMode, "inter-tile channels require "
+                               "destination buffering");
+        ps_assert(el.node >= 0 && el.node < n,
+                  "edge latency names node %d outside the graph",
+                  el.node);
+        const Node &node = g.at(el.node);
+        ps_assert(el.input >= 0 && el.input < node.numInputs(),
+                  "edge latency names input %d of node %d (has %d)",
+                  el.input, el.node, node.numInputs());
+        const InputRef &ref =
+            inputRefs[static_cast<size_t>(el.node)]
+                     [static_cast<size_t>(el.input)];
+        ps_assert(ref.wired(),
+                  "edge latency on unwired input %d of node %d",
+                  el.input, el.node);
+        ps_assert(el.latency >= 1, "edge latency must be >= 1");
+        int &slot = chanIdOf[static_cast<size_t>(el.node)]
+                            [static_cast<size_t>(el.input)];
+        ps_assert(slot == -1, "duplicate edge latency on node %d "
+                              "input %d", el.node, el.input);
+        Channel ch;
+        ch.src = ref.prod;
+        ch.srcPort = ref.prodPort;
+        ch.dst = el.node;
+        ch.dstIn = el.input;
+        ch.latency = el.latency;
+        ch.capacity = std::max(el.latency, 1);
+        slot = static_cast<int>(channels.size());
+        channels.push_back(ch);
+        hasChannels = true;
     }
 }
 

@@ -111,6 +111,27 @@ class Program
 
     int triggersTotal = 0;
 
+    /**
+     * Inter-tile FIFO channel on one consumer edge (from
+     * SimConfig::edgeLatencies): tokens spend `latency` cycles in
+     * the channel before landing in the consumer's input buffer, and
+     * the producer backpressures on channel occupancy (capacity =
+     * max(latency, 1)) instead of the destination FIFO.
+     */
+    struct Channel
+    {
+        dfg::NodeId src = dfg::NoNode;
+        int srcPort = 0;
+        dfg::NodeId dst = dfg::NoNode;
+        int dstIn = 0;
+        int latency = 1;
+        int capacity = 1;
+    };
+
+    std::vector<Channel> channels;
+    std::vector<std::vector<int>> chanIdOf; ///< [node][in] (-1 = none)
+    bool hasChannels = false;
+
   private:
     std::shared_ptr<const dfg::Graph> graphHold;
 };

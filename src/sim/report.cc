@@ -133,6 +133,10 @@ reportFor(const SimStats &stats)
     r.add("stall_input", stats.stallNoInput);
     r.add("stall_space", stats.stallNoSpace);
     r.add("stall_bank", stats.bankConflictStalls);
+    // Only meaningful on tiled fabrics; omitted otherwise so
+    // single-tile summaries stay byte-identical to the legacy form.
+    if (stats.interTileTokens > 0)
+        r.add("inter_tile_tokens", stats.interTileTokens);
     return r;
 }
 

@@ -28,6 +28,15 @@
 
 namespace pipestitch::sim {
 
+/**
+ * Version stamp carried as `schema_version` in every machine-
+ * readable pstool output (run/map/lint/trace --json, serve
+ * responses, figures --json, BENCH_*.json). Bump on any
+ * backwards-incompatible field change and record the delta in
+ * docs/json-schemas.md.
+ */
+constexpr int kJsonSchemaVersion = 1;
+
 /** Ordered key/value result record with text and JSON renderings. */
 class Report
 {

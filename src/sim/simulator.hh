@@ -118,6 +118,24 @@ struct SimConfig
      * gate FSMs); only the functional unit is shared.
      */
     std::vector<std::vector<int>> shareGroups;
+
+    /**
+     * Extra latency on one consumer edge: tokens bound for input
+     * @c input of node @c node spend @c latency cycles in an
+     * inter-tile FIFO channel before landing in the destination
+     * buffer. Used by tiled fabrics (fabric::Topology) to model the
+     * inter-tile NoC; the channel also bounds in-flight tokens at
+     * max(latency, 1), giving boundary links real backpressure.
+     * Only supported under destination buffering.
+     */
+    struct EdgeLatency
+    {
+        int node = 0;    ///< consumer node id
+        int input = 0;   ///< consumer input index
+        int latency = 0; ///< cycles in the channel (>= 1)
+    };
+
+    std::vector<EdgeLatency> edgeLatencies;
 };
 
 struct SimResult

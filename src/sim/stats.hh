@@ -45,6 +45,7 @@ struct SimStats
     int64_t dispatchConts = 0;
     int64_t shareConflicts = 0;  ///< fires deferred by PE sharing
     int64_t muxSwitches = 0;     ///< shared-PE resident alternations
+    int64_t interTileTokens = 0; ///< tokens through inter-tile links
 
     // Stall census over sequential nodes: cycles in which a node had
     // at least one pending input token but did not fire.

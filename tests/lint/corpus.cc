@@ -299,7 +299,7 @@ buildChain()
 
 /** PS-P01: the add lands on a memory-class PE. */
 void
-placeWrongClass(const Graph &g, fabric::FabricConfig &,
+placeWrongClass(const Graph &g, fabric::Topology &,
                 mapper::Mapping &m, analysis::PlacementLintOptions &)
 {
     fabric::Fabric fab{fabric::FabricConfig{}};
@@ -325,7 +325,7 @@ buildUnhostedSteer()
 /** PS-P02: the steer is CF-in-NoC but no router hosts it (the
  *  mapping stays all -1). */
 void
-placeNothing(const Graph &, fabric::FabricConfig &,
+placeNothing(const Graph &, fabric::Topology &,
              mapper::Mapping &, analysis::PlacementLintOptions &)
 {}
 
@@ -359,7 +359,7 @@ buildCarrySteerLoop()
  *  on routers — the backedge that is harmless between buffered PEs
  *  becomes a combinational loop through the router fabric. */
 void
-placeLoopOnRouters(const Graph &g, fabric::FabricConfig &,
+placeLoopOnRouters(const Graph &g, fabric::Topology &,
                    mapper::Mapping &m,
                    analysis::PlacementLintOptions &)
 {
@@ -399,7 +399,7 @@ buildDispatchSteerLoop()
 /** PS-P04: the dispatch gate is (corruptly) router-hosted; the
  *  SyncPlane only spans the PE grid. */
 void
-placeDispatchOnRouter(const Graph &g, fabric::FabricConfig &,
+placeDispatchOnRouter(const Graph &g, fabric::Topology &,
                       mapper::Mapping &m,
                       analysis::PlacementLintOptions &)
 {
@@ -436,16 +436,42 @@ buildSteerChain()
  *  trigger tree and the steer-to-steer values pile onto the same
  *  +x links. */
 void
-placeCongested(const Graph &g, fabric::FabricConfig &fc,
+placeCongested(const Graph &g, fabric::Topology &topo,
                mapper::Mapping &m,
                analysis::PlacementLintOptions &)
 {
-    fc.linkCapacity = 1;
-    fabric::Fabric fab(fc);
+    topo.tile.linkCapacity = 1;
+    fabric::Fabric fab(topo);
     // Routers indexed like the PE grid: (x, 0) for x = 0, 1, 2.
     m.routerOf[1] = fab.peAt({0, 0});
     m.routerOf[2] = fab.peAt({1, 0});
     m.routerOf[3] = fab.peAt({2, 0});
+    (void)g;
+}
+
+/**
+ * PS-P06: the same steer chain hosted along row 0 of a 2×1 tiled
+ * fabric (2×2 tiles, so the boundary falls between x=1 and x=2).
+ * The trigger multicast plus the steer-to-steer value both claim
+ * the +x boundary link — load 2 against a 1-wire boundary — while
+ * every interior link stays within the tile's 8-wire budget, so
+ * only the inter-tile rule fires.
+ */
+void
+placeCrossTileCongested(const Graph &g, fabric::Topology &topo,
+                        mapper::Mapping &m,
+                        analysis::PlacementLintOptions &)
+{
+    topo.tile.width = 2;
+    topo.tile.height = 2;
+    topo.tile.peMix = fabric::scaleMixFor(2, 2);
+    topo.tilesX = 2;
+    topo.tilesY = 1;
+    topo.interTileCapacity = 1;
+    fabric::Fabric fab(topo);
+    m.routerOf[1] = fab.peAt({1, 0});
+    m.routerOf[2] = fab.peAt({2, 0});
+    m.routerOf[3] = fab.peAt({3, 0});
     (void)g;
 }
 
@@ -503,6 +529,8 @@ corpus()
          analysis::AnalysisOptions{}, placeDispatchOnRouter},
         {"PS-P05", "congestion", buildSteerChain,
          analysis::AnalysisOptions{}, placeCongested},
+        {"PS-P06", "cross_tile_congestion", buildSteerChain,
+         analysis::AnalysisOptions{}, placeCrossTileCongested},
     };
     return cases;
 }

@@ -35,11 +35,12 @@ struct CorpusCase
     analysis::AnalysisOptions options;
 
     /**
-     * Placement cases: populate the fabric config and the hand-
-     * corrupted mapping to lint. The mapping arrives sized to the
-     * graph and filled with -1. Null for graph-pass cases.
+     * Placement cases: populate the fabric topology (defaulted to
+     * the single-tile 8×8 grid) and the hand-corrupted mapping to
+     * lint. The mapping arrives sized to the graph and filled with
+     * -1. Null for graph-pass cases.
      */
-    void (*place)(const dfg::Graph &, fabric::FabricConfig &,
+    void (*place)(const dfg::Graph &, fabric::Topology &,
                   mapper::Mapping &,
                   analysis::PlacementLintOptions &) = nullptr;
 

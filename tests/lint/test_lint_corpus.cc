@@ -31,13 +31,13 @@ runCase(const CorpusCase &c, const dfg::Graph &g)
     analysis::AnalysisReport report =
         analysis::analyzeGraph(g, c.options);
     if (c.place) {
-        fabric::FabricConfig fc;
+        fabric::Topology topo;
         mapper::Mapping m;
         m.peOf.assign(static_cast<size_t>(g.size()), -1);
         m.routerOf.assign(static_cast<size_t>(g.size()), -1);
         analysis::PlacementLintOptions po;
-        c.place(g, fc, m, po);
-        fabric::Fabric fab(fc);
+        c.place(g, topo, m, po);
+        fabric::Fabric fab(topo);
         analysis::lintPlacement(g, fab, m, report, po);
     }
     return report;

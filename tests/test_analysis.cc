@@ -53,7 +53,7 @@ analyzeKernel(const workloads::KernelInstance &kernel,
 TEST(Analysis, RuleRegistryIsWellFormed)
 {
     const auto &rules = analysis::ruleRegistry();
-    EXPECT_EQ(rules.size(), 16u);
+    EXPECT_EQ(rules.size(), 17u);
     for (const auto &info : rules) {
         EXPECT_EQ(analysis::findRule(info.id), &info);
         EXPECT_EQ(std::string(info.id).substr(0, 3), "PS-");

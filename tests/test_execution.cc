@@ -58,6 +58,7 @@ expectSameResult(const sim::SimResult &want,
     PS_EQ(stallNoInput);
     PS_EQ(stallNoSpace);
     PS_EQ(bankConflictStalls);
+    PS_EQ(interTileTokens);
 #undef PS_EQ
     EXPECT_EQ(want.deadlocked, got.deadlocked) << tag;
     EXPECT_EQ(want.watchdogExpired, got.watchdogExpired) << tag;

@@ -131,6 +131,7 @@ expectSameStats(const sim::SimResult &dense,
     PS_EQ(stallNoInput);
     PS_EQ(stallNoSpace);
     PS_EQ(bankConflictStalls);
+    PS_EQ(interTileTokens);
 #undef PS_EQ
     EXPECT_EQ(dense.deadlocked, ready.deadlocked) << tag;
     EXPECT_EQ(dense.diagnostic, ready.diagnostic) << tag;

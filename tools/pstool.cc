@@ -31,9 +31,14 @@
  *                               process, concurrently (takes no
  *                               .sir file; see --jobs/--smoke/
  *                               --cache-dir/--out-dir/--only)
+ *   pstool bench-tiles          batched data-parallel SpMV shards
+ *                               across tile arrangements; writes the
+ *                               scaling curve to BENCH_tiles.json
  *
  * Variants: riptide, pipestitch (default), pipesb, pipecfin,
- * pipecfop.
+ * pipecfop. The fabric defaults to the paper's single 8×8 grid;
+ * `--fabric=WxH[,tiles=TXxTY,...]` (docs/fabric.md) retargets any
+ * subcommand that maps or simulates.
  */
 
 #include <chrono>
@@ -47,10 +52,14 @@
 #include "analysis/placement.hh"
 #include "base/logging.hh"
 #include "compiler/timemux.hh"
+#include "core/batch.hh"
 #include "core/system.hh"
 #include "dfg/dot.hh"
 #include "figures/figures.hh"
+#include "mapper/tiled.hh"
 #include "runner/serve.hh"
+#include "trace/json.hh"
+#include "workloads/kernels.hh"
 #include "runner/sweep.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
@@ -83,6 +92,9 @@ struct Options
     int jobs = 1;             ///< map: mapper worker threads
     uint64_t seed = 1;        ///< map: base RNG seed
     int iterations = 20000;   ///< map: total anneal budget
+    /** Fabric topology from --fabric=WxH[,tiles=TXxTY,...] and the
+     *  --tiles=TXxTY shorthand; defaults to the single 8×8 grid. */
+    fabric::Topology topo;
     std::string out;          ///< trace: output file
     std::string stallsOut;    ///< trace: stall-timeline JSON file
     int interval = 256;       ///< trace: stall bucket width
@@ -115,7 +127,8 @@ constexpr Command kCommands[] = {
      "compile and report threading/II/operator-count/fabric fit",
      cmdCompile},
     {"run",
-     "[--variant=V --depth=N --unroll=N --tm --report --trace]",
+     "[--variant=V --depth=N --unroll=N --tm --report --trace "
+     "--fabric=S --tiles=TXxTY]",
      "compile, map, simulate, verify against the interpreter",
      cmdRun},
     {"scalar", "", "run the sequential interpreter only",
@@ -132,13 +145,13 @@ constexpr Command kCommands[] = {
      cmdTrace},
     {"lint",
      "[--variant=V --depth=N --unroll=N --tm --no-map "
-     "--cross-check]",
+     "--cross-check --fabric=S --tiles=TXxTY]",
      "run the static analyzer (deadlock/balance/placement rules); "
      "nonzero exit on any error diagnostic",
      cmdLint},
     {"map",
      "[--variant=V --unroll=N --tm --seeds=N --jobs=N --seed=N "
-     "--iters=N]",
+     "--iters=N --fabric=S --tiles=TXxTY]",
      "run the portfolio mapper alone; report placement quality and "
      "wall-clock, nonzero exit on failure or dirty placement lint",
      cmdMap},
@@ -167,17 +180,76 @@ usage()
         "resident simulation daemon: newline-delimited JSON "
         "requests on stdin, responses on stdout (no .sir file; "
         "see docs/serve.md)",
-        "[--jobs=N --queue=N --cache-dir=D --bench=N "
+        "[--jobs=N --queue=N --cache-dir=D --fabric=S --bench=N "
         "--bench-out=F]");
+    std::fprintf(
+        stderr,
+        "  %-10s %s\n             %s\n", "bench-tiles",
+        "batched SpMV shards across 1x1/1x2/2x2 tile arrangements "
+        "(no .sir file); writes the scaling curve JSON",
+        "[--shards=N --n=N --seed=N --fabric=S "
+        "--out=BENCH_tiles.json]");
     std::fprintf(
         stderr,
         "\ncommon options:\n"
         "  --variant=riptide|pipestitch|pipesb|pipecfin|pipecfop\n"
+        "  --fabric=WxH[,tiles=TXxTY][,cap=N][,lat=N]"
+        "[,mix=a:m:c:me:s]\n"
+        "                          fabric topology (docs/fabric.md)\n"
+        "  --tiles=TXxTY           tile arrangement shorthand\n"
         "  --json                  machine-readable primary output\n"
         "  --livein name=value     bind a kernel parameter\n"
         "  --init arr=v0,v1,...    initialize array contents\n"
         "  --dump arr              print an array after the run\n");
     std::exit(2);
+}
+
+/**
+ * The one shared CLI → fabric::Topology path: `--fabric=` takes the
+ * full spec grammar (`WxH[,tiles=TXxTY][,cap=N][,lat=N][,mix=...]`,
+ * see fabric::parseFabricSpec), `--tiles=` is the shorthand that
+ * only changes the tile arrangement. Validation — including the
+ * peMix-sum-matches-grid check — happens in Topology::validate, so
+ * every subcommand rejects a bad fabric with the same structured
+ * error.
+ */
+void
+parseFabricArg(const std::string &spec, fabric::Topology &topo)
+{
+    std::string err;
+    if (!fabric::parseFabricSpec(spec, topo, &err)) {
+        std::fprintf(stderr, "--fabric=%s: %s\n", spec.c_str(),
+                     err.c_str());
+        std::exit(2);
+    }
+}
+
+void
+parseTilesArg(const std::string &spec, fabric::Topology &topo)
+{
+    int tx = 0, ty = 0;
+    char junk;
+    if (std::sscanf(spec.c_str(), "%dx%d%c", &tx, &ty, &junk) != 2 ||
+        tx < 1 || ty < 1) {
+        std::fprintf(stderr,
+                     "--tiles=%s: expected TXxTY (e.g. 2x2)\n",
+                     spec.c_str());
+        std::exit(2);
+    }
+    topo.tilesX = tx;
+    topo.tilesY = ty;
+}
+
+/** Copy the CLI topology into a RunConfig (fabric = per-tile grid,
+ *  tile arrangement + inter-tile link model alongside). */
+void
+applyFabric(const fabric::Topology &topo, RunConfig &cfg)
+{
+    cfg.fabric = topo.tile;
+    cfg.tilesX = topo.tilesX;
+    cfg.tilesY = topo.tilesY;
+    cfg.interTileLatency = topo.interTileLatency;
+    cfg.interTileCapacity = topo.interTileCapacity;
 }
 
 compiler::ArchVariant
@@ -232,6 +304,10 @@ parseArgs(int argc, char **argv)
         } else if (arg.rfind("--iters=", 0) == 0) {
             opts.iterations =
                 std::atoi(value("--iters=").c_str());
+        } else if (arg.rfind("--fabric=", 0) == 0) {
+            parseFabricArg(value("--fabric="), opts.topo);
+        } else if (arg.rfind("--tiles=", 0) == 0) {
+            parseTilesArg(value("--tiles="), opts.topo);
         } else if (arg == "--tm") {
             opts.timeMultiplex = true;
         } else if (arg == "--no-map") {
@@ -403,7 +479,8 @@ cmdCompile(const Options &opts, const ParseResult &parsed)
     }
     std::printf("\noperators: %d", res.graph.size());
     auto counts = res.graph.peClassCounts();
-    fabric::FabricConfig fc;
+    // Fit check against the whole requested fabric (all tiles).
+    fabric::FabricConfig fc = opts.topo.globalConfig();
     bool fits = true;
     static const char *names[] = {"arith", "mult", "cf", "mem",
                                   "stream"};
@@ -413,7 +490,8 @@ cmdCompile(const Options &opts, const ParseResult &parsed)
                     fc.peMix[c]);
         fits &= counts[c] <= fc.peMix[c];
     }
-    std::printf("\nfits 8x8 fabric: %s\n", fits ? "yes" : "no");
+    std::printf("\nfits %dx%d fabric: %s\n", fc.width, fc.height,
+                fits ? "yes" : "no");
     return 0;
 }
 
@@ -426,6 +504,7 @@ cmdRun(const Options &opts, const ParseResult &parsed)
     cfg.sim.bufferDepth = opts.depth;
     cfg.unrollFactor = opts.unroll;
     cfg.allowTimeMultiplex = opts.timeMultiplex;
+    applyFabric(opts.topo, cfg);
     if (opts.trace) {
         // Trace implies an unmapped functional run to keep output
         // readable; the stderr dump flows straight through the
@@ -433,12 +512,28 @@ cmdRun(const Options &opts, const ParseResult &parsed)
         cfg.map = false;
         cfg.sim.trace = true;
     }
-    FabricRun run = runOnFabric(kernel, cfg);
+    std::string err;
+    FabricRun run = runOnFabric(kernel, cfg, &err);
+    if (!err.empty()) {
+        if (opts.json) {
+            sim::Report r;
+            r.add("schema_version", sim::kJsonSchemaVersion)
+                .add("kernel", kernel.name)
+                .add("status", "error")
+                .add("error", err);
+            std::printf("%s\n", r.toJson().c_str());
+        } else {
+            std::fprintf(stderr, "%s: %s\n", kernel.name.c_str(),
+                         err.c_str());
+        }
+        return 1;
+    }
 
     if (opts.json) {
         const auto &st = run.sim.stats;
         sim::Report r;
-        r.add("kernel", kernel.name)
+        r.add("schema_version", sim::kJsonSchemaVersion)
+            .add("kernel", kernel.name)
             .add("variant",
                  compiler::archVariantName(opts.variant))
             .add("cycles", run.cycles())
@@ -458,6 +553,11 @@ cmdRun(const Options &opts, const ParseResult &parsed)
             .add("threaded", run.compiled.threaded)
             .add("operators", run.compiled.graph.size())
             .add("avg_hops", run.mapping.avgHops);
+        if (cfg.tiled()) {
+            r.add("tiles_x", cfg.tilesX)
+                .add("tiles_y", cfg.tilesY)
+                .add("inter_tile_tokens", st.interTileTokens);
+        }
         std::printf("%s\n", r.toJson().c_str());
     } else {
         std::printf("%s on %s: %lld cycles @%.1f MHz, %.1f pJ, "
@@ -475,7 +575,7 @@ cmdRun(const Options &opts, const ParseResult &parsed)
                         .c_str());
     }
     if (opts.report) {
-        fabric::Fabric fab(cfg.fabric);
+        fabric::Fabric fab(opts.topo);
         std::printf("\n%s\n%s",
                     sim::utilizationMap(run.compiled.graph, fab,
                                         run.mapping, run.sim.stats)
@@ -529,7 +629,8 @@ cmdBenchSim(const Options &opts, const ParseResult &parsed)
     double speedup = readyMs > 0 ? denseMs / readyMs : 0;
     if (opts.json) {
         sim::Report r;
-        r.add("kernel", kernel.name)
+        r.add("schema_version", sim::kJsonSchemaVersion)
+            .add("kernel", kernel.name)
             .add("nodes", res.graph.size())
             .add("cycles", denseCycles)
             .add("dense_ms", denseMs)
@@ -622,6 +723,7 @@ cmdTrace(const Options &opts, const ParseResult &parsed)
         .add("deadlocked", r.deadlocked && !r.watchdogExpired)
         .add("watchdog_expired", r.watchdogExpired);
     if (opts.json) {
+        report.add("schema_version", sim::kJsonSchemaVersion);
         std::printf("%s\n", report.toJson().c_str());
     } else {
         std::printf("%s\n", report.toString().c_str());
@@ -664,22 +766,42 @@ cmdLint(const Options &opts, const ParseResult &parsed)
     analysis::AnalysisReport report =
         analysis::analyzeGraph(res.graph, aopts);
 
-    fabric::FabricConfig fcfg;
-    fabric::Fabric fab(fcfg);
+    fabric::Fabric fab(opts.topo);
     if (!opts.noMap) {
         compiler::ShareGroups shareGroups;
         if (opts.timeMultiplex) {
-            shareGroups =
-                compiler::planTimeMultiplexing(res.graph, fcfg);
+            shareGroups = compiler::planTimeMultiplexing(
+                res.graph, fab.config());
         }
         mapper::MapperOptions mopts;
         mopts.shareGroups = shareGroups;
-        auto mapping = mapper::mapGraph(res.graph, fab, mopts);
+        mapper::Mapping mapping;
+        if (opts.topo.singleTile()) {
+            mapping = mapper::mapGraph(res.graph, fab, mopts);
+        } else {
+            mapper::TiledMapping tm = mapper::mapGraphTiled(
+                res.graph, opts.topo, mopts);
+            mapping = std::move(tm.merged);
+        }
         if (!mapping.success) {
-            fatal("%s does not map onto the fabric (%s): %s",
-                  kernel.name.c_str(),
-                  compiler::archVariantName(opts.variant),
-                  mapping.error.c_str());
+            if (opts.json) {
+                sim::Report r;
+                r.add("schema_version", sim::kJsonSchemaVersion)
+                    .add("kernel", kernel.name)
+                    .add("variant",
+                         compiler::archVariantName(opts.variant))
+                    .add("status", "error")
+                    .add("error", mapping.error);
+                std::printf("%s\n", r.toJson().c_str());
+            } else {
+                std::fprintf(
+                    stderr,
+                    "%s does not map onto the fabric (%s): %s\n",
+                    kernel.name.c_str(),
+                    compiler::archVariantName(opts.variant),
+                    mapping.error.c_str());
+            }
+            return 1;
         }
         analysis::PlacementLintOptions popts;
         popts.shareGroups = shareGroups;
@@ -715,11 +837,13 @@ cmdLint(const Options &opts, const ParseResult &parsed)
     }
 
     if (opts.json) {
-        std::printf("{\"kernel\":\"%s\",\"variant\":\"%s\","
+        std::printf("{\"schema_version\":%d,"
+                    "\"kernel\":\"%s\",\"variant\":\"%s\","
                     "\"operators\":%d,\"crossChecked\":%s,"
                     "\"simDeadlocked\":%s,"
                     "\"simWatchdogExpired\":%s,\"agree\":%s,"
                     "\"analysis\":%s}\n",
+                    sim::kJsonSchemaVersion,
                     kernel.name.c_str(),
                     compiler::archVariantName(opts.variant),
                     res.graph.size(),
@@ -768,11 +892,12 @@ cmdMap(const Options &opts, const ParseResult &parsed)
     auto res = compiler::compileProgram(kernel.prog, kernel.liveIns,
                                         copts);
 
-    fabric::FabricConfig fcfg;
-    fabric::Fabric fab(fcfg);
+    fabric::Fabric fab(opts.topo);
     compiler::ShareGroups shareGroups;
-    if (opts.timeMultiplex)
-        shareGroups = compiler::planTimeMultiplexing(res.graph, fcfg);
+    if (opts.timeMultiplex) {
+        shareGroups =
+            compiler::planTimeMultiplexing(res.graph, fab.config());
+    }
 
     mapper::MapperOptions mopts;
     mopts.rngSeed = opts.seed;
@@ -781,8 +906,22 @@ cmdMap(const Options &opts, const ParseResult &parsed)
     mopts.annealIterations = opts.iterations;
     mopts.shareGroups = shareGroups;
 
+    const bool tiled = !opts.topo.singleTile();
+    int64_t cutEdges = 0;
+    int interTileLoadMax = 0;
+    int partitionAttempts = 0;
     auto t0 = std::chrono::steady_clock::now();
-    auto mapping = mapper::mapGraph(res.graph, fab, mopts);
+    mapper::Mapping mapping;
+    if (tiled) {
+        mapper::TiledMapping tm =
+            mapper::mapGraphTiled(res.graph, opts.topo, mopts);
+        mapping = std::move(tm.merged);
+        cutEdges = tm.cutEdges;
+        interTileLoadMax = tm.interTileLoadMax;
+        partitionAttempts = tm.attempts;
+    } else {
+        mapping = mapper::mapGraph(res.graph, fab, mopts);
+    }
     double mapMs = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - t0)
                        .count();
@@ -802,7 +941,8 @@ cmdMap(const Options &opts, const ParseResult &parsed)
 
     if (opts.json) {
         sim::Report r;
-        r.add("kernel", kernel.name)
+        r.add("schema_version", sim::kJsonSchemaVersion)
+            .add("kernel", kernel.name)
             .add("variant", compiler::archVariantName(opts.variant))
             .add("operators", res.graph.size())
             .add("seeds", opts.seeds)
@@ -818,6 +958,15 @@ cmdMap(const Options &opts, const ParseResult &parsed)
             .add("early_exits", mapping.seedsEarlyExited)
             .add("seeds_halved", mapping.seedsHalved)
             .add("map_ms", mapMs);
+        if (tiled) {
+            r.add("tiles_x", opts.topo.tilesX)
+                .add("tiles_y", opts.topo.tilesY)
+                .add("cut_edges", cutEdges)
+                .add("inter_tile_load_max", interTileLoadMax)
+                .add("inter_tile_capacity",
+                     opts.topo.interTileCapacity)
+                .add("partition_attempts", partitionAttempts);
+        }
         if (!mapping.success)
             r.add("error", mapping.error)
                 .add("failed_nodes",
@@ -837,10 +986,19 @@ cmdMap(const Options &opts, const ParseResult &parsed)
             res.graph.size(), opts.seeds, opts.jobs, mapping.cost,
             static_cast<long long>(mapping.totalWireLength),
             static_cast<long long>(mapping.congestionOverflow),
-            mapping.maxLinkLoad, fcfg.linkCapacity, mapping.avgHops,
+            mapping.maxLinkLoad, fab.config().linkCapacity,
+            mapping.avgHops,
             mapping.winningSeed, mapping.seedsEarlyExited,
             mapping.seedsHalved, mapMs,
             lintClean ? "clean" : "DIRTY");
+        if (tiled) {
+            std::printf(
+                "  tiles %dx%d: %lld cut edge(s), boundary load "
+                "%d/%d, %d partition attempt(s)\n",
+                opts.topo.tilesX, opts.topo.tilesY,
+                static_cast<long long>(cutEdges), interTileLoadMax,
+                opts.topo.interTileCapacity, partitionAttempts);
+        }
         if (!lintClean)
             std::printf("%s\n", lintText.c_str());
     } else {
@@ -947,7 +1105,8 @@ cmdFigures(int argc, char **argv)
     auto stats = runner.cache().stats();
     if (json) {
         sim::Report r;
-        r.add("figures", rendered)
+        r.add("schema_version", sim::kJsonSchemaVersion)
+            .add("figures", rendered)
             .add("jobs", runner.pool().threadCount())
             .add("smoke", fopts.smoke)
             .add("wall_ms", wallMs)
@@ -980,6 +1139,114 @@ cmdFigures(int argc, char **argv)
 }
 
 /**
+ * `pstool bench-tiles` — the multi-tile scaling benchmark. Builds
+ * @c --shards data-parallel SpMV shards (one CSR structure, fresh
+ * dense vectors), then runs the batch through 1×1, 1×2, and 2×2
+ * arrangements of the base tile via core runBatch: one mapping
+ * prepared once, every tile executing its shard queue on its own
+ * thread with a warmed ExecutionState. Emits the scaling curve as
+ * JSON (schema_version, per-arrangement total/makespan cycles and
+ * modeled speedup) to --out and stdout. `modeled_speedup` of an
+ * arrangement is exactly its throughput gain over the single tile,
+ * since per-shard cycles are arrangement-invariant.
+ */
+int
+cmdBenchTiles(int argc, char **argv)
+{
+    fabric::Topology base;
+    int shards = 8;
+    int size = 64;
+    double sparsity = 0.2;
+    uint64_t seed = 1;
+    std::string outFile = "BENCH_tiles.json";
+    for (int i = 2; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg.rfind("--fabric=", 0) == 0) {
+            parseFabricArg(arg.substr(9), base);
+        } else if (arg.rfind("--shards=", 0) == 0) {
+            shards = std::atoi(arg.c_str() + 9);
+        } else if (arg.rfind("--n=", 0) == 0) {
+            size = std::atoi(arg.c_str() + 4);
+        } else if (arg.rfind("--sparsity=", 0) == 0) {
+            sparsity = std::atof(arg.c_str() + 11);
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            seed = static_cast<uint64_t>(
+                std::atoll(arg.c_str() + 7));
+        } else if (arg.rfind("--out=", 0) == 0) {
+            outFile = arg.substr(6);
+        } else {
+            usage();
+        }
+    }
+    if (shards < 1)
+        fatal("bench-tiles: --shards must be >= 1");
+
+    setQuiet(true);
+    auto shardSet =
+        workloads::makeSpmvShards(size, sparsity, seed, shards);
+
+    struct Arrangement
+    {
+        int tx;
+        int ty;
+    };
+    static constexpr Arrangement kArrangements[] = {
+        {1, 1}, {1, 2}, {2, 2}};
+
+    std::ostringstream out;
+    trace::JsonWriter w(out);
+    w.beginObject();
+    w.key("schema_version").value(sim::kJsonSchemaVersion);
+    w.key("kernel").value(shardSet.front().name);
+    w.key("shards").value(shards);
+    w.key("tile_width").value(base.tile.width);
+    w.key("tile_height").value(base.tile.height);
+    w.key("inter_tile_latency").value(base.interTileLatency);
+    w.key("configs");
+    w.beginArray();
+    for (const Arrangement &a : kArrangements) {
+        fabric::Topology topo = base;
+        topo.tilesX = a.tx;
+        topo.tilesY = a.ty;
+        RunConfig cfg;
+        applyFabric(topo, cfg);
+        cfg.quiet = true;
+        std::string err;
+        BatchRun batch = runBatch(shardSet, cfg, &err);
+        if (!batch.success) {
+            std::fprintf(stderr, "bench-tiles %dx%d: %s\n", a.tx,
+                         a.ty, err.c_str());
+            return 1;
+        }
+        w.beginObject();
+        w.key("tiles_x").value(a.tx);
+        w.key("tiles_y").value(a.ty);
+        w.key("tiles").value(batch.tiles);
+        w.key("total_cycles").value(batch.totalCycles);
+        w.key("makespan_cycles").value(batch.makespanCycles);
+        w.key("modeled_speedup").value(batch.modeledSpeedup);
+        w.key("seconds").value(batch.seconds);
+        w.key("wall_s").value(batch.wallSeconds);
+        w.endObject();
+        std::fprintf(stderr,
+                     "bench-tiles %dx%d: %lld shard(s), makespan "
+                     "%lld cycles, %.2fx\n",
+                     a.tx, a.ty, static_cast<long long>(shards),
+                     static_cast<long long>(batch.makespanCycles),
+                     batch.modeledSpeedup);
+    }
+    w.endArray();
+    w.endObject();
+
+    std::ofstream f(outFile);
+    if (!f)
+        fatal("cannot write '%s'", outFile.c_str());
+    f << out.str() << "\n";
+    std::printf("%s\n", out.str().c_str());
+    return 0;
+}
+
+/**
  * `pstool serve` — a resident simulation service (runner/serve.hh):
  * one JSON request per stdin line, one JSON response per stdout
  * line, executed concurrently on a bounded thread-pool queue with
@@ -1001,6 +1268,8 @@ cmdServe(int argc, char **argv)
             sopts.maxQueue = std::atoi(arg.c_str() + 8);
         } else if (arg.rfind("--cache-dir=", 0) == 0) {
             sopts.cacheDir = arg.substr(12);
+        } else if (arg.rfind("--fabric=", 0) == 0) {
+            parseFabricArg(arg.substr(9), sopts.topology);
         } else if (arg.rfind("--bench=", 0) == 0) {
             bench = std::atoi(arg.c_str() + 8);
         } else if (arg.rfind("--bench-out=", 0) == 0) {
@@ -1054,12 +1323,14 @@ cmdScalar(const Options &opts, const ParseResult &parsed)
 int
 main(int argc, char **argv)
 {
-    // `figures` and `serve` take no .sir file; dispatch before
-    // parseArgs.
+    // `figures`, `serve`, and `bench-tiles` take no .sir file;
+    // dispatch before parseArgs.
     if (argc >= 2 && std::string(argv[1]) == "figures")
         return cmdFigures(argc, argv);
     if (argc >= 2 && std::string(argv[1]) == "serve")
         return cmdServe(argc, argv);
+    if (argc >= 2 && std::string(argv[1]) == "bench-tiles")
+        return cmdBenchTiles(argc, argv);
     Options opts = parseArgs(argc, argv);
     auto parsed = sir::parseSir(readFile(opts.file), opts.file);
     for (const Command &c : kCommands) {
