@@ -4,17 +4,24 @@
  * shards, streamed through the replicated tiles of a
  * fabric::Topology. Every tile holds the same per-tile placement
  * (prepared once from the first shard), so a shard can run on any
- * tile; runBatch deals shards round-robin and executes each tile's
- * queue on its own thread with one warmed sim::ExecutionState —
- * the prepare-once / execute-N machinery from core/system.hh.
+ * tile; shards sit in one shared queue and every tile worker (one
+ * thread + one warmed sim::ExecutionState each — the prepare-once /
+ * execute-N machinery from core/system.hh) claims the next shard
+ * the moment it goes idle, stealing work a slower tile would have
+ * owned under a fixed round-robin deal.
  *
  * The throughput model is deliberately simple: a tile runs its
  * shards back-to-back, and a shard on a remote tile (any tile but
  * the scalar core's tile 0) pays one inter-tile round trip
  * (2 × interTileLatency) to inject arguments and drain results.
- * `totalCycles` (the sum over shards) is then the single-tile
- * serial baseline and `makespanCycles` (the max per-tile sum) the
- * batched finish time, so modeledSpeedup = total / makespan.
+ * Because per-shard cycles are arrangement-invariant, the model
+ * replays the stealing schedule deterministically: longest
+ * remaining shard first, each onto the tile that finishes it
+ * earliest. `totalCycles` (the sum over shards) is the single-tile
+ * serial baseline and `makespanCycles` (the latest tile finish) the
+ * batched finish time, so modeledSpeedup = total / makespan;
+ * `roundRobinSpeedup` reports the legacy shard-i → tile-i%tiles
+ * deal on the same measured cycles as the regression baseline.
  */
 
 #ifndef PIPESTITCH_CORE_BATCH_HH
@@ -44,7 +51,9 @@ struct BatchRun
      *  inter-tile injection overhead — that is a property of the
      *  tile a shard landed on, reported via makespanCycles). */
     std::vector<int64_t> shardCycles;
-    /** Tile each shard executed on (shard i → tile i % tiles). */
+    /** Tile the throughput model schedules each shard onto
+     *  (longest-first onto the earliest-finishing tile — the
+     *  deterministic replay of the stealing executor). */
     std::vector<int> shardTile;
 
     /** Σ shardCycles: the one-tile serial baseline. */
@@ -54,6 +63,10 @@ struct BatchRun
     int64_t makespanCycles = 0;
     /** totalCycles / makespanCycles (≥ 1 when batching helps). */
     double modeledSpeedup = 1.0;
+    /** Modeled speedup of the legacy round-robin deal on the same
+     *  per-shard cycles — the baseline the stealing schedule must
+     *  never lose to. */
+    double roundRobinSpeedup = 1.0;
 
     double seconds = 0;     ///< makespan at the tile clock
     double wallSeconds = 0; ///< host time spent simulating

@@ -210,7 +210,10 @@ MemoCache::runKey(const workloads::KernelInstance &k,
     // SimConfig: only the user-settable fields. The derived ones
     // (buffering, memBypass, memBanks, shareGroups) are functions of
     // the inputs above, and quiet/trace/observer do not affect the
-    // result.
+    // result. parallelJobs/parallelThreads are deliberately
+    // excluded too: the ParallelRegions engine is bit-identical to
+    // the oracle at every job and thread count, so they must not
+    // fragment the cache.
     h.i32(static_cast<int32_t>(cfg.sim.scheduler))
         .i32(cfg.sim.bufferDepth)
         .i32(cfg.sim.memLatency)
@@ -241,6 +244,9 @@ MemoCache::preparedKey(const workloads::KernelInstance &k,
         .i32(cfg.mapperSeeds);
     hashFabric(h, cfg.fabric);
     hashTiling(h, cfg);
+    // Same SimConfig subset as runKey (and the same
+    // parallelJobs/parallelThreads exclusion — job count never
+    // changes the result).
     h.i32(static_cast<int32_t>(cfg.sim.scheduler))
         .i32(cfg.sim.bufferDepth)
         .i32(cfg.sim.memLatency)

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "base/logging.hh"
+#include "sim/parallel.hh"
 #include "trace/observer.hh"
 
 namespace pipestitch::sim {
@@ -22,6 +23,8 @@ ExecutionState::ExecutionState(std::shared_ptr<const Program> program)
 {
     reset();
 }
+
+ExecutionState::~ExecutionState() = default;
 
 void
 ExecutionState::reset()
@@ -95,7 +98,16 @@ ExecutionState::reset()
     inNocEval = false;
     drainList.clear();
     inDrainList.assign(static_cast<size_t>(n), 0);
-    chan.assign(prog.channels.size(), {});
+    chanSlabBase.assign(prog.channels.size() + 1, 0);
+    for (size_t ch = 0; ch < prog.channels.size(); ch++) {
+        chanSlabBase[ch + 1] =
+            chanSlabBase[ch] + prog.channels[ch].capacity;
+    }
+    chanTok.assign(static_cast<size_t>(chanSlabBase.back()),
+                   Token{});
+    chanReady.assign(static_cast<size_t>(chanSlabBase.back()), 0);
+    chanHead.assign(prog.channels.size(), 0);
+    chanCount.assign(prog.channels.size(), 0);
     seqFiredAt.assign(static_cast<size_t>(n), -1);
     nocFiredAt.assign(static_cast<size_t>(n), -1);
 
@@ -120,6 +132,18 @@ ExecutionState::run(MemImage &mem, const RunOptions &opts)
     if (opts.maxCycles > 0)
         cfg.maxCycles = opts.maxCycles;
     obs = cfg.observer;
+
+    // ParallelRegions: delegate to the region-partitioned engine.
+    // Observer/trace runs need the oracle's per-fire hooks, so they
+    // pin ReadyList — same policy DenseScan uses (docs/simulator.md).
+    if (cfg.scheduler == SimConfig::Scheduler::ParallelRegions &&
+        !obs && !cfg.trace && parallelSupported(prog)) {
+        if (!parEngine) {
+            parEngine = std::make_unique<ParallelEngine>(
+                progHold, cfg.parallelJobs, cfg.parallelThreads);
+        }
+        return parEngine->run(mem, opts.maxCycles);
+    }
 
     reset();
     memsys.emplace(mem, cfg.memBanks, cfg.memLatency);
@@ -315,8 +339,7 @@ ExecutionState::consumersAccept(NodeId id, int port) const
             if (ch >= 0) {
                 // Channel edge: the producer backpressures on the
                 // inter-tile channel, not the far-side buffer.
-                if (static_cast<int>(
-                        chan[static_cast<size_t>(ch)].size()) >=
+                if (chanCount[static_cast<size_t>(ch)] >=
                     prog.channels[static_cast<size_t>(ch)].capacity)
                     return false;
                 continue;
@@ -366,13 +389,18 @@ ExecutionState::deliver(NodeId from, int port, const Token &token)
                 // buffer). The consumer is not woken yet.
                 const Program::Channel &cc =
                     prog.channels[static_cast<size_t>(ch)];
-                ps_assert(static_cast<int>(
-                              chan[static_cast<size_t>(ch)].size()) <
-                              cc.capacity,
+                const size_t ci = static_cast<size_t>(ch);
+                ps_assert(chanCount[ci] < cc.capacity,
                           "delivery into full channel (node %d)",
                           c.node);
-                chan[static_cast<size_t>(ch)].push_back(
-                    {t, cycle + cc.latency});
+                int pos = chanHead[ci] + chanCount[ci];
+                if (pos >= cc.capacity)
+                    pos -= cc.capacity;
+                size_t slot =
+                    static_cast<size_t>(chanSlabBase[ci] + pos);
+                chanTok[slot] = t;
+                chanReady[slot] = cycle + cc.latency;
+                chanCount[ci]++;
                 tokensInFlight++;
                 stats.bufferWrites++;
                 stats.nocTraversals++;
@@ -540,18 +568,24 @@ void
 ExecutionState::advanceChannels()
 {
     bornStamp = cycle - 1; // matured tokens aged in the channel
-    for (size_t ch = 0; ch < chan.size(); ch++) {
-        std::deque<ChanTok> &q = chan[ch];
-        if (q.empty())
+    for (size_t ch = 0; ch < chanCount.size(); ch++) {
+        if (chanCount[ch] == 0)
             continue;
         const Program::Channel &cc = prog.channels[ch];
         TokenFifo &f = rt[static_cast<size_t>(cc.dst)]
                            .ins[static_cast<size_t>(cc.dstIn)];
         bool freed = false;
-        while (!q.empty() && q.front().ready <= cycle &&
+        while (chanCount[ch] > 0 &&
+               chanReady[static_cast<size_t>(chanSlabBase[ch] +
+                                             chanHead[ch])] <=
+                   cycle &&
                !f.full()) {
-            Token t = q.front().tok;
-            q.pop_front();
+            size_t slot = static_cast<size_t>(chanSlabBase[ch] +
+                                              chanHead[ch]);
+            Token t = chanTok[slot];
+            int h = chanHead[ch] + 1;
+            chanHead[ch] = h >= cc.capacity ? 0 : h;
+            chanCount[ch]--;
             t.born = bornStamp;
             f.push(t); // still one in-flight token: channel -> fifo
             stats.bufferWrites++;
@@ -563,7 +597,9 @@ ExecutionState::advanceChannels()
             // Channel space opened up; the producer may fire again.
             wake(cc.src);
         }
-        if (!q.empty() && q.front().ready > cycle) {
+        if (chanCount[ch] > 0 &&
+            chanReady[static_cast<size_t>(chanSlabBase[ch] +
+                                          chanHead[ch])] > cycle) {
             // Tokens still crossing the boundary keep the fabric
             // busy — this is latency, not deadlock.
             active = true;
@@ -1295,8 +1331,8 @@ ExecutionState::quiescentSlow() const
 {
     if (!memsys->idle())
         return false;
-    for (const auto &q : chan) {
-        if (!q.empty())
+    for (int c : chanCount) {
+        if (c > 0)
             return false;
     }
     for (NodeId id = 0; id < graph.size(); id++) {
@@ -1344,13 +1380,13 @@ ExecutionState::diagnose() const
             out << f.size() << " ";
         out << "] fsm=" << static_cast<int>(r.fsm) << "\n";
     }
-    for (size_t ch = 0; ch < chan.size(); ch++) {
-        if (chan[ch].empty())
+    for (size_t ch = 0; ch < chanCount.size(); ch++) {
+        if (chanCount[ch] == 0)
             continue;
         const Program::Channel &cc = prog.channels[ch];
         out << "  channel " << ch << " (node " << cc.src << " -> "
             << cc.dst << " in " << cc.dstIn << ") holds "
-            << chan[ch].size() << " token(s)\n";
+            << chanCount[ch] << " token(s)\n";
     }
     return out.str();
 }

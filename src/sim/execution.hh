@@ -25,7 +25,6 @@
 #ifndef PIPESTITCH_SIM_EXECUTION_HH
 #define PIPESTITCH_SIM_EXECUTION_HH
 
-#include <deque>
 #include <initializer_list>
 #include <memory>
 #include <optional>
@@ -35,6 +34,8 @@
 #include "sim/program.hh"
 
 namespace pipestitch::sim {
+
+class ParallelEngine;
 
 /** Per-run knobs stripped from the Program's SimConfig. */
 struct RunOptions
@@ -51,12 +52,19 @@ class ExecutionState
 {
   public:
     explicit ExecutionState(std::shared_ptr<const Program> program);
+    ~ExecutionState();
 
     /**
      * Execute the program against @p mem until the fabric drains.
      * @p mem is mutated in place and referenced only for the
      * duration of the call. Resets all run state first, so the same
      * ExecutionState can be reused sequentially.
+     *
+     * Scheduler::ParallelRegions runs delegate to a cached
+     * sim::ParallelEngine (bit-identical to the ReadyList oracle);
+     * configurations the engine does not model — source buffering,
+     * share groups — and runs with an observer or stderr trace
+     * attached fall back to the oracle, as DenseScan did for PR 2.
      */
     SimResult run(MemImage &mem, const RunOptions &opts = {});
 
@@ -194,15 +202,18 @@ class ExecutionState
     std::vector<dfg::NodeId> drainList;
     std::vector<uint8_t> inDrainList;
 
-    // Inter-tile FIFO channels (one deque per Program::Channel):
-    // tokens mature at `ready` and then land in the destination
-    // buffer. Counted in tokensInFlight while in the channel.
-    struct ChanTok
-    {
-        Token tok;
-        int64_t ready = 0;
-    };
-    std::vector<std::deque<ChanTok>> chan;
+    // Inter-tile FIFO channels, structure-of-arrays ring slabs (one
+    // `capacity`-slot segment per Program::Channel at chanSlabBase):
+    // tokens mature at `chanReady` and then land in the destination
+    // buffer. Counted in tokensInFlight while in the channel. The
+    // ParallelEngine (sim/parallel.hh) carries the full SoA layout
+    // for NodeRt's hot fields as well; here only the channel rings
+    // are flattened (channel capacities are small and fixed, so the
+    // deque-of-structs was pure allocator churn).
+    std::vector<Token> chanTok;
+    std::vector<int64_t> chanReady;
+    std::vector<int> chanSlabBase; ///< [C+1] slab offsets
+    std::vector<int> chanHead, chanCount;
 
     // Quiescence counters: exact mirrors of the fabric state the
     // O(n) scan used to inspect (verified against quiescentSlow()
@@ -222,6 +233,10 @@ class ExecutionState
 
     SimStats stats;
     std::string failure;
+
+    /** Cached ParallelRegions engine (built on first use; jobs and
+     *  threads come from the Program's immutable config). */
+    std::unique_ptr<ParallelEngine> parEngine;
 };
 
 } // namespace pipestitch::sim

@@ -40,7 +40,10 @@ Program::Program(std::shared_ptr<const dfg::Graph> graph,
     cfg.trace = false;
 
     sourceMode = cfg.buffering == SimConfig::Buffering::Source;
-    readyMode = cfg.scheduler == SimConfig::Scheduler::ReadyList;
+    // ParallelRegions keeps the full ready-list tables so its
+    // fallback paths (observer/trace/source-mode/share-group runs)
+    // execute as the ReadyList oracle.
+    readyMode = cfg.scheduler != SimConfig::Scheduler::DenseScan;
 
     for (const auto &node : g.nodes) {
         if (node.kind == NodeKind::Dispatch) {

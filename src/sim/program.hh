@@ -83,7 +83,7 @@ class Program
     // ----------------------------------------------------------------
     SimConfig cfg;    ///< observer/trace stripped
     bool sourceMode;  ///< buffering == Source
-    bool readyMode;   ///< scheduler == ReadyList
+    bool readyMode;   ///< scheduler != DenseScan (ready-list tables)
 
     std::vector<std::vector<InputRef>> inputRefs; // [node][in]
     std::vector<NodePlan> plan;                   // [node]

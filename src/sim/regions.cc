@@ -1,0 +1,287 @@
+#include "sim/regions.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/logging.hh"
+
+namespace pipestitch::sim {
+
+using dfg::Graph;
+using dfg::NodeId;
+
+namespace {
+
+struct UnionFind
+{
+    std::vector<int> parent;
+
+    explicit UnionFind(int n) : parent(static_cast<size_t>(n))
+    {
+        std::iota(parent.begin(), parent.end(), 0);
+    }
+
+    int
+    find(int x)
+    {
+        while (parent[static_cast<size_t>(x)] != x) {
+            parent[static_cast<size_t>(x)] =
+                parent[static_cast<size_t>(
+                    parent[static_cast<size_t>(x)])];
+            x = parent[static_cast<size_t>(x)];
+        }
+        return x;
+    }
+
+    void
+    unite(int a, int b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a != b)
+            parent[static_cast<size_t>(std::max(a, b))] =
+                std::min(a, b);
+    }
+};
+
+struct Unit
+{
+    int id = 0; ///< lowest member node id (determinism key)
+    int weight = 0;
+    std::vector<NodeId> members;
+};
+
+} // namespace
+
+RegionPlan
+partitionRegions(const Program &prog, int jobs)
+{
+    const Graph &g = prog.graph();
+    const int n = g.size();
+    RegionPlan plan;
+    plan.count = std::max(1, std::min(jobs, std::max(1, n)));
+    plan.regionOf.assign(static_cast<size_t>(n), 0);
+    plan.channelCut = prog.hasChannels;
+
+    // --- atomic units -------------------------------------------------
+    // Dispatch groups stay whole (one region owns each SyncPlane);
+    // for tiled programs every wire edge is intra-tile, so uniting
+    // wire endpoints reproduces the tile decomposition exactly.
+    UnionFind uf(n);
+    for (const auto &group : prog.dispatchGroups) {
+        for (size_t i = 1; i < group.size(); i++)
+            uf.unite(group[0], group[i]);
+    }
+    if (prog.hasChannels) {
+        for (NodeId id = 0; id < n; id++) {
+            const auto &refs = prog.inputRefs[static_cast<size_t>(id)];
+            for (size_t in = 0; in < refs.size(); in++) {
+                if (!refs[in].wired())
+                    continue;
+                if (prog.chanIdOf[static_cast<size_t>(id)][in] >= 0)
+                    continue; // channel edges may cross regions
+                uf.unite(refs[in].prod, id);
+            }
+        }
+    }
+
+    std::vector<int> unitOf(static_cast<size_t>(n), -1);
+    std::vector<Unit> units;
+    for (NodeId id = 0; id < n; id++) {
+        int root = uf.find(id);
+        if (unitOf[static_cast<size_t>(root)] < 0) {
+            unitOf[static_cast<size_t>(root)] =
+                static_cast<int>(units.size());
+            units.push_back(Unit{id, 0, {}});
+        }
+        int u = unitOf[static_cast<size_t>(root)];
+        unitOf[static_cast<size_t>(id)] = u;
+        units[static_cast<size_t>(u)].weight++;
+        units[static_cast<size_t>(u)].members.push_back(id);
+    }
+    const int nu = static_cast<int>(units.size());
+    std::vector<int> regionOfUnit(static_cast<size_t>(nu), 0);
+
+    // Unit adjacency over wire (non-channel) edges, weighted by edge
+    // multiplicity.
+    std::vector<std::vector<std::pair<int, int>>> adj(
+        static_cast<size_t>(nu));
+    auto addAdj = [&](int a, int b) {
+        for (auto &e : adj[static_cast<size_t>(a)]) {
+            if (e.first == b) {
+                e.second++;
+                return;
+            }
+        }
+        adj[static_cast<size_t>(a)].push_back({b, 1});
+    };
+    for (NodeId id = 0; id < n; id++) {
+        const auto &refs = prog.inputRefs[static_cast<size_t>(id)];
+        for (size_t in = 0; in < refs.size(); in++) {
+            if (!refs[in].wired())
+                continue;
+            if (prog.hasChannels &&
+                prog.chanIdOf[static_cast<size_t>(id)][in] >= 0)
+                continue;
+            int a = unitOf[static_cast<size_t>(refs[in].prod)];
+            int b = unitOf[static_cast<size_t>(id)];
+            if (a == b)
+                continue;
+            addAdj(a, b);
+            addAdj(b, a);
+        }
+    }
+
+    const int k = plan.count;
+    if (prog.hasChannels) {
+        // Tile-boundary mode: bin-pack whole tiles onto K regions,
+        // heaviest first, always into the lightest region (ties to
+        // the lowest index) — deterministic LPT.
+        std::vector<int> order(static_cast<size_t>(nu));
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(), [&](int a, int b) {
+            const Unit &ua = units[static_cast<size_t>(a)];
+            const Unit &ub = units[static_cast<size_t>(b)];
+            if (ua.weight != ub.weight)
+                return ua.weight > ub.weight;
+            return ua.id < ub.id;
+        });
+        std::vector<int> load(static_cast<size_t>(k), 0);
+        for (int u : order) {
+            int best = 0;
+            for (int r = 1; r < k; r++) {
+                if (load[static_cast<size_t>(r)] <
+                    load[static_cast<size_t>(best)])
+                    best = r;
+            }
+            regionOfUnit[static_cast<size_t>(u)] = best;
+            load[static_cast<size_t>(best)] +=
+                units[static_cast<size_t>(u)].weight;
+        }
+    } else {
+        // BFS min-cut growth (the tiled mapper's partitioning idiom):
+        // lay units out in BFS order over the wire adjacency — a
+        // rough pipeline-depth layering for compiler-emitted graphs —
+        // and cut the sequence into K weight-balanced chunks.
+        std::vector<int> order;
+        order.reserve(static_cast<size_t>(nu));
+        std::vector<uint8_t> seen(static_cast<size_t>(nu), 0);
+        for (int seed = 0; seed < nu; seed++) {
+            if (seen[static_cast<size_t>(seed)])
+                continue;
+            size_t qhead = order.size();
+            order.push_back(seed);
+            seen[static_cast<size_t>(seed)] = 1;
+            while (qhead < order.size()) {
+                int u = order[qhead++];
+                std::vector<int> next;
+                for (const auto &e : adj[static_cast<size_t>(u)]) {
+                    if (!seen[static_cast<size_t>(e.first)])
+                        next.push_back(e.first);
+                }
+                std::sort(next.begin(), next.end(), [&](int a, int b) {
+                    return units[static_cast<size_t>(a)].id <
+                           units[static_cast<size_t>(b)].id;
+                });
+                for (int v : next) {
+                    if (!seen[static_cast<size_t>(v)]) {
+                        seen[static_cast<size_t>(v)] = 1;
+                        order.push_back(v);
+                    }
+                }
+            }
+        }
+        int total = n;
+        int placed = 0;
+        int region = 0;
+        for (int u : order) {
+            // Advance to the next chunk once this one reached its
+            // proportional share of the node weight.
+            while (region < k - 1 &&
+                   placed >= ((region + 1) * total + k - 1) / k) {
+                region++;
+            }
+            regionOfUnit[static_cast<size_t>(u)] = region;
+            placed += units[static_cast<size_t>(u)].weight;
+        }
+
+        // Refinement: move units toward the region they are most
+        // connected to when that strictly cuts fewer wires and keeps
+        // the balance within slack (mirrors the tiled mapper's
+        // connectivity-gain passes).
+        const int slack = std::max(1, (total + k - 1) / k +
+                                          std::max(1, total / (4 * k)));
+        std::vector<int> load(static_cast<size_t>(k), 0);
+        for (int u = 0; u < nu; u++) {
+            load[static_cast<size_t>(
+                regionOfUnit[static_cast<size_t>(u)])] +=
+                units[static_cast<size_t>(u)].weight;
+        }
+        for (int pass = 0; pass < 4; pass++) {
+            bool moved = false;
+            for (int u : order) {
+                int cur = regionOfUnit[static_cast<size_t>(u)];
+                std::vector<int> conn(static_cast<size_t>(k), 0);
+                for (const auto &e : adj[static_cast<size_t>(u)]) {
+                    conn[static_cast<size_t>(regionOfUnit[
+                        static_cast<size_t>(e.first)])] += e.second;
+                }
+                int best = cur;
+                for (int r = 0; r < k; r++) {
+                    if (r == cur)
+                        continue;
+                    if (conn[static_cast<size_t>(r)] <=
+                        conn[static_cast<size_t>(best)])
+                        continue;
+                    if (load[static_cast<size_t>(r)] +
+                            units[static_cast<size_t>(u)].weight >
+                        slack)
+                        continue;
+                    best = r;
+                }
+                if (best != cur) {
+                    load[static_cast<size_t>(cur)] -=
+                        units[static_cast<size_t>(u)].weight;
+                    load[static_cast<size_t>(best)] +=
+                        units[static_cast<size_t>(u)].weight;
+                    regionOfUnit[static_cast<size_t>(u)] = best;
+                    moved = true;
+                }
+            }
+            if (!moved)
+                break;
+        }
+    }
+
+    for (NodeId id = 0; id < n; id++) {
+        plan.regionOf[static_cast<size_t>(id)] =
+            regionOfUnit[static_cast<size_t>(
+                unitOf[static_cast<size_t>(id)])];
+    }
+    plan.nodes.assign(static_cast<size_t>(k), {});
+    for (NodeId id = 0; id < n; id++) {
+        plan.nodes[static_cast<size_t>(
+            plan.regionOf[static_cast<size_t>(id)])].push_back(id);
+    }
+
+    for (NodeId id = 0; id < n; id++) {
+        const auto &refs = prog.inputRefs[static_cast<size_t>(id)];
+        for (size_t in = 0; in < refs.size(); in++) {
+            if (!refs[in].wired())
+                continue;
+            if (plan.regionOf[static_cast<size_t>(refs[in].prod)] ==
+                plan.regionOf[static_cast<size_t>(id)])
+                continue;
+            bool isChan =
+                prog.hasChannels &&
+                prog.chanIdOf[static_cast<size_t>(id)][in] >= 0;
+            if (isChan)
+                plan.cutChannels++;
+            else
+                plan.cutWires++;
+        }
+    }
+    return plan;
+}
+
+} // namespace pipestitch::sim

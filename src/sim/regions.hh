@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Spatial region partitioning for the ParallelRegions scheduler.
+ *
+ * A Program's fabric is split into K disjoint regions whose
+ * select/census phases can execute independently each cycle. For
+ * tiled programs (inter-tile channels present) the partition follows
+ * the channel cut — regions are whole tiles, grouped to K bins — so
+ * region boundaries coincide with the latency-N channels that
+ * already decouple the tiles. Single-grid programs are layered with
+ * the same BFS-order min-cut growth the tiled mapper uses to
+ * partition units across tiles: atomic units (dispatch groups stay
+ * whole so one region owns each SyncPlane) are laid out in BFS order
+ * over the wire adjacency, cut into K balanced chunks, and refined
+ * by moving boundary units toward the region they are most connected
+ * to.
+ *
+ * The partition never affects simulation results — the engine's
+ * coordinated commit keeps every job count bit-identical to the
+ * ReadyList oracle — it only balances per-region work and, for
+ * channel-cut partitions, bounds the lookahead window (see
+ * sim/parallel.hh).
+ */
+
+#ifndef PIPESTITCH_SIM_REGIONS_HH
+#define PIPESTITCH_SIM_REGIONS_HH
+
+#include <vector>
+
+#include "sim/program.hh"
+
+namespace pipestitch::sim {
+
+struct RegionPlan
+{
+    /** Number of regions (trailing regions may be empty). */
+    int count = 1;
+    /** Node id -> region index. */
+    std::vector<int> regionOf;
+    /** Per region: member node ids, ascending. */
+    std::vector<std::vector<dfg::NodeId>> nodes;
+    /** Partition follows tile/channel boundaries. */
+    bool channelCut = false;
+    /** Wire (non-channel) edges crossing region boundaries. */
+    int cutWires = 0;
+    /** Channel edges crossing region boundaries. */
+    int cutChannels = 0;
+};
+
+/** Partition @p prog 's fabric into (at most) @p jobs regions. */
+RegionPlan partitionRegions(const Program &prog, int jobs);
+
+} // namespace pipestitch::sim
+
+#endif // PIPESTITCH_SIM_REGIONS_HH

@@ -66,9 +66,41 @@ struct SimConfig
          * with DenseScan (enforced by tests/test_golden_stats.cc).
          */
         ReadyList,
+        /**
+         * Region-partitioned engine over structure-of-arrays token
+         * state (sim/parallel.hh): the fabric is split into
+         * `parallelJobs` spatial regions (mapper-style BFS min-cut,
+         * or tile/channel boundaries for tiled programs); region
+         * select/census phases run per region — on ThreadPool
+         * workers when more than one hardware thread is available —
+         * and commit/drain/memory/NoC phases stay coordinated so
+         * results are bit-identical to ReadyList at every job count
+         * (enforced by tests/test_sim_par.cc). Runs that attach an
+         * observer or trace, use source buffering, or time-multiplex
+         * PEs fall back to the ReadyList oracle.
+         */
+        ParallelRegions,
     };
 
     Scheduler scheduler = Scheduler::ReadyList;
+
+    /**
+     * ParallelRegions: number of spatial regions the fabric is
+     * partitioned into. Results are bit-identical for any value
+     * (like RunConfig::mapperJobs, this never enters memo keys);
+     * it only shifts how select/census work is divided. <= 0 means
+     * one region.
+     */
+    int parallelJobs = 4;
+
+    /**
+     * ParallelRegions: worker threads executing the per-region
+     * phases. 0 (default) = min(parallelJobs, hardware threads),
+     * so a single-core host runs the regions inline with zero
+     * synchronization; > 1 forces real ThreadPool workers (used by
+     * the TSan determinism tests); 1 forces the inline path.
+     */
+    int parallelThreads = 0;
 
     /** Token-buffer depth (the paper uses 4; Fig. 20 sweeps 4/8/16). */
     int bufferDepth = 4;

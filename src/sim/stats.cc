@@ -22,6 +22,29 @@ SimStats::ipc() const
            static_cast<double>(cycles);
 }
 
+bool
+statsEqual(const SimStats &a, const SimStats &b)
+{
+    return a.cycles == b.cycles && a.nodeFires == b.nodeFires &&
+           a.portReads == b.portReads &&
+           a.classFires == b.classFires &&
+           a.nocCfFires == b.nocCfFires &&
+           a.bufferWrites == b.bufferWrites &&
+           a.bufferReads == b.bufferReads &&
+           a.nocTraversals == b.nocTraversals &&
+           a.memLoads == b.memLoads && a.memStores == b.memStores &&
+           a.steerDrops == b.steerDrops &&
+           a.syncPlaneCycles == b.syncPlaneCycles &&
+           a.dispatchSpawns == b.dispatchSpawns &&
+           a.dispatchConts == b.dispatchConts &&
+           a.shareConflicts == b.shareConflicts &&
+           a.muxSwitches == b.muxSwitches &&
+           a.interTileTokens == b.interTileTokens &&
+           a.stallNoInput == b.stallNoInput &&
+           a.stallNoSpace == b.stallNoSpace &&
+           a.bankConflictStalls == b.bankConflictStalls;
+}
+
 LoopIpc
 computeLoopIpc(const dfg::Graph &graph, const SimStats &stats)
 {

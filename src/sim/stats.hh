@@ -64,6 +64,13 @@ struct SimStats
     int64_t totalPeFires() const;
 };
 
+/**
+ * Field-by-field equality over every counter. The parallel-scheduler
+ * contract (docs/simulator.md) is bit-identity with the ReadyList
+ * oracle, so "equal" means every field, not just cycles.
+ */
+bool statsEqual(const SimStats &a, const SimStats &b);
+
 /** Inner- vs outer-loop per-unit IPC split (Fig. 18). */
 struct LoopIpc
 {

@@ -261,6 +261,51 @@ TEST(Serve, TraceFileRequestWritesChromeTrace)
     fs::remove_all(dir);
 }
 
+TEST(Serve, ParallelSchedulerMatchesReadyAndRejectsTracing)
+{
+    ServeServer server(withJobs(1));
+
+    // scheduler:"parallel" must run and agree bit-for-bit with a
+    // ready-scheduler run of the same kernel (cycles + mem hash).
+    std::string par = scaleRequest("p", 3);
+    par.insert(par.size() - 1, ",\"scheduler\":\"parallel\"");
+    JsonValue vp =
+        parseResponse(ServeServer::render(server.submit(par)));
+    EXPECT_EQ(field(vp, "status"), "ok") << field(vp, "error");
+
+    std::string rdy = scaleRequest("r", 3);
+    rdy.insert(rdy.size() - 1, ",\"scheduler\":\"ready\"");
+    JsonValue vr =
+        parseResponse(ServeServer::render(server.submit(rdy)));
+    EXPECT_EQ(field(vr, "status"), "ok");
+    EXPECT_EQ(vp.find("cycles")->asInt(),
+              vr.find("cycles")->asInt());
+    EXPECT_EQ(field(vp, "mem_hash"), field(vr, "mem_hash"));
+
+    // trace_file needs an observed run; combining it with the
+    // parallel engine is a structured error up front, never a
+    // silent fallback to another scheduler.
+    std::string bad = scaleRequest("b", 3);
+    bad.insert(bad.size() - 1,
+               ",\"scheduler\":\"parallel\","
+               "\"trace_file\":\"/tmp/ps_never_written.json\"");
+    JsonValue vb =
+        parseResponse(ServeServer::render(server.submit(bad)));
+    EXPECT_EQ(field(vb, "status"), "error");
+    EXPECT_NE(field(vb, "error").find("trace_file"),
+              std::string::npos)
+        << field(vb, "error");
+
+    // Unknown scheduler names bounce with the offending name.
+    std::string unk = scaleRequest("u", 3);
+    unk.insert(unk.size() - 1, ",\"scheduler\":\"magic\"");
+    JsonValue vu =
+        parseResponse(ServeServer::render(server.submit(unk)));
+    EXPECT_EQ(field(vu, "status"), "error");
+    EXPECT_NE(field(vu, "error").find("magic"), std::string::npos)
+        << field(vu, "error");
+}
+
 TEST(Serve, LoopPumpsRequestsInSubmissionOrder)
 {
     ServeServer server(withJobs(2));

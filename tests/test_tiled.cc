@@ -250,13 +250,28 @@ TEST(BatchRun, QuadTileSpmvShardsReachTargetSpeedup)
     ASSERT_EQ(batch.shardCycles.size(), 8u);
     for (size_t i = 0; i < batch.shardCycles.size(); i++) {
         EXPECT_GT(batch.shardCycles[i], 0) << i;
-        EXPECT_EQ(batch.shardTile[i],
-                  static_cast<int>(i) % batch.tiles);
+        EXPECT_GE(batch.shardTile[i], 0) << i;
+        EXPECT_LT(batch.shardTile[i], batch.tiles) << i;
     }
     EXPECT_GT(batch.totalCycles, batch.makespanCycles);
     // The acceptance bar: 2×2 batched throughput at least 1.8× the
-    // single-tile serial baseline.
+    // single-tile serial baseline, and the stealing schedule never
+    // loses to the legacy round-robin deal.
     EXPECT_GE(batch.modeledSpeedup, 1.8);
+    EXPECT_GE(batch.modeledSpeedup + 1e-9, batch.roundRobinSpeedup);
+
+    // The reported schedule must reproduce the reported makespan:
+    // per-tile finish = its shards' cycles plus one injection round
+    // trip per shard on every tile but 0.
+    std::vector<int64_t> finish(static_cast<size_t>(batch.tiles), 0);
+    for (size_t i = 0; i < batch.shardCycles.size(); i++) {
+        int t = batch.shardTile[i];
+        finish[static_cast<size_t>(t)] +=
+            batch.shardCycles[i] +
+            (t > 0 ? 2 * cfg.interTileLatency : 0);
+    }
+    EXPECT_EQ(batch.makespanCycles,
+              *std::max_element(finish.begin(), finish.end()));
 
     // Single tile is the serial baseline by definition.
     RunConfig one = cfg;

@@ -10,7 +10,10 @@
  *   pstool compile <file.sir>   compile and report fit/threading
  *   pstool run <file.sir>       compile, map, simulate, verify
  *   pstool scalar <file.sir>    sequential interpreter only
- *   pstool bench-sim <file.sir> time both simulator schedulers
+ *   pstool bench-sim <file.sir> time a scheduler against the
+ *                               ready-list reference
+ *   pstool bench-sim-par        parallel engine vs ready-list oracle
+ *                               sweep; writes BENCH_sim_par.json
  *   pstool trace <file.sir>     simulate under observation; write a
  *                               Chrome-trace JSON (chrome://tracing
  *                               or https://ui.perfetto.dev) and a
@@ -48,6 +51,7 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include "analysis/placement.hh"
 #include "base/logging.hh"
@@ -59,6 +63,7 @@
 #include "mapper/tiled.hh"
 #include "runner/serve.hh"
 #include "trace/json.hh"
+#include "workloads/dnn.hh"
 #include "workloads/kernels.hh"
 #include "runner/sweep.hh"
 #include "sim/report.hh"
@@ -89,7 +94,8 @@ struct Options
     bool noMap = false;     ///< lint: skip mapping + placement rules
     bool crossCheck = false; ///< lint: simulate and compare verdicts
     int seeds = 4;            ///< map: portfolio restarts
-    int jobs = 1;             ///< map: mapper worker threads
+    int jobs = 1;             ///< map/bench-sim: worker threads
+    std::string scheduler;    ///< bench-sim: contender scheduler
     uint64_t seed = 1;        ///< map: base RNG seed
     int iterations = 20000;   ///< map: total anneal budget
     /** Fabric topology from --fabric=WxH[,tiles=TXxTY,...] and the
@@ -133,9 +139,11 @@ constexpr Command kCommands[] = {
      cmdRun},
     {"scalar", "", "run the sequential interpreter only",
      cmdScalar},
-    {"bench-sim", "[--variant=V --depth=N --unroll=N]",
-     "time the dense-scan and ready-list schedulers (cycle counts "
-     "must agree)",
+    {"bench-sim",
+     "[--variant=V --depth=N --unroll=N --scheduler=dense|ready|"
+     "parallel --jobs=N]",
+     "time a scheduler against the ready-list reference (default "
+     "contender: dense-scan; parallel must be bit-identical)",
      cmdBenchSim},
     {"trace",
      "[--variant=V --depth=N --unroll=N --out=F --stalls=F "
@@ -189,6 +197,13 @@ usage()
         "(no .sir file); writes the scaling curve JSON",
         "[--shards=N --n=N --seed=N --fabric=S "
         "--out=BENCH_tiles.json]");
+    std::fprintf(
+        stderr,
+        "  %-10s %s\n             %s\n", "bench-sim-par",
+        "parallel scheduler vs ready-list oracle across a job-count "
+        "sweep (no .sir file); bit-identity checked at every job "
+        "count",
+        "[--smoke --reps=N --out=BENCH_sim_par.json]");
     std::fprintf(
         stderr,
         "\ncommon options:\n"
@@ -298,6 +313,8 @@ parseArgs(int argc, char **argv)
             opts.seeds = std::atoi(value("--seeds=").c_str());
         } else if (arg.rfind("--jobs=", 0) == 0) {
             opts.jobs = std::atoi(value("--jobs=").c_str());
+        } else if (arg.rfind("--scheduler=", 0) == 0) {
+            opts.scheduler = value("--scheduler=");
         } else if (arg.rfind("--seed=", 0) == 0) {
             opts.seed = static_cast<uint64_t>(
                 std::atoll(value("--seed=").c_str()));
@@ -588,6 +605,43 @@ cmdRun(const Options &opts, const ParseResult &parsed)
     return 0;
 }
 
+/**
+ * One timed scheduler sample: a warmup run, then best-of-@p reps on
+ * a fresh memory image each time. bench-sim and bench-sim-par share
+ * this harness so their numbers are comparable by construction.
+ */
+struct SimTiming
+{
+    double ms = 0;
+    int64_t cycles = 0;
+    sim::SimStats stats;
+    bool deadlocked = false;
+};
+
+SimTiming
+timeSim(const dfg::Graph &graph,
+        const workloads::KernelInstance &kernel,
+        const sim::SimConfig &cfg, int reps)
+{
+    SimTiming t;
+    for (int rep = 0; rep < reps + 1; rep++) {
+        auto mem = kernel.memory;
+        mem.resize(static_cast<size_t>(kernel.prog.memWords));
+        auto t0 = std::chrono::steady_clock::now();
+        auto r = sim::simulate(graph, mem, cfg);
+        auto t1 = std::chrono::steady_clock::now();
+        double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0)
+                .count();
+        t.cycles = r.stats.cycles;
+        t.stats = std::move(r.stats);
+        t.deadlocked = r.deadlocked;
+        if (rep > 0 && (t.ms == 0 || ms < t.ms))
+            t.ms = ms;
+    }
+    return t;
+}
+
 int
 cmdBenchSim(const Options &opts, const ParseResult &parsed)
 {
@@ -595,55 +649,92 @@ cmdBenchSim(const Options &opts, const ParseResult &parsed)
     auto res = compileForSim(opts, kernel);
     auto cfg = res.simConfig;
     cfg.bufferDepth = opts.depth;
+    const int reps = 3;
 
-    // Best-of-3 after one warmup run, per scheduler.
-    auto time = [&](sim::SimConfig::Scheduler sched, int64_t &cyc) {
-        cfg.scheduler = sched;
-        double best = 0;
-        for (int rep = 0; rep < 4; rep++) {
-            auto mem = kernel.memory;
-            mem.resize(static_cast<size_t>(kernel.prog.memWords));
-            auto t0 = std::chrono::steady_clock::now();
-            auto r = sim::simulate(res.graph, mem, cfg);
-            auto t1 = std::chrono::steady_clock::now();
-            cyc = r.stats.cycles;
-            double ms = std::chrono::duration<double, std::milli>(
-                            t1 - t0)
-                            .count();
-            if (rep > 0 && (best == 0 || ms < best))
-                best = ms;
-        }
-        return best;
-    };
-    int64_t denseCycles = 0;
-    int64_t readyCycles = 0;
-    double denseMs =
-        time(sim::SimConfig::Scheduler::DenseScan, denseCycles);
-    double readyMs =
-        time(sim::SimConfig::Scheduler::ReadyList, readyCycles);
-    if (denseCycles != readyCycles)
-        fatal("scheduler divergence: dense %lld cycles, "
+    // --scheduler picks the contender timed against the ready-list
+    // reference; the historical default pairing is dense-scan vs
+    // ready-list. --jobs sets the parallel contender's region count
+    // (worker threads follow hardware concurrency).
+    const std::string sched =
+        opts.scheduler.empty() ? "dense" : opts.scheduler;
+    sim::SimConfig::Scheduler contender;
+    if (sched == "dense") {
+        contender = sim::SimConfig::Scheduler::DenseScan;
+    } else if (sched == "ready") {
+        contender = sim::SimConfig::Scheduler::ReadyList;
+    } else if (sched == "parallel") {
+        contender = sim::SimConfig::Scheduler::ParallelRegions;
+    } else {
+        fatal("--scheduler=%s: expected dense, ready, or parallel",
+              sched.c_str());
+    }
+
+    auto refCfg = cfg;
+    refCfg.scheduler = sim::SimConfig::Scheduler::ReadyList;
+    SimTiming ready = timeSim(res.graph, kernel, refCfg, reps);
+
+    auto conCfg = cfg;
+    conCfg.scheduler = contender;
+    conCfg.parallelJobs = opts.jobs;
+    SimTiming con =
+        contender == sim::SimConfig::Scheduler::ReadyList
+            ? ready
+            : timeSim(res.graph, kernel, conCfg, reps);
+
+    if (con.cycles != ready.cycles)
+        fatal("scheduler divergence: %s %lld cycles, "
               "ready %lld cycles",
-              static_cast<long long>(denseCycles),
-              static_cast<long long>(readyCycles));
-    double speedup = readyMs > 0 ? denseMs / readyMs : 0;
+              sched.c_str(), static_cast<long long>(con.cycles),
+              static_cast<long long>(ready.cycles));
+    // The parallel engine's contract is stronger than matching
+    // cycle counts: every stats field must be bit-identical.
+    if (sched == "parallel" &&
+        !sim::statsEqual(con.stats, ready.stats))
+        fatal("parallel scheduler stats diverge from the "
+              "ready-list oracle on %s", kernel.name.c_str());
+
+    // Historical orientation: the default report shows how much
+    // faster ready-list is than dense-scan (speedup = dense/ready);
+    // for an explicit contender the speedup is over the ready-list
+    // reference (ready/contender).
+    double speedup;
+    const char *conKey;
+    if (sched == "dense") {
+        speedup = ready.ms > 0 ? con.ms / ready.ms : 0;
+        conKey = "dense_ms";
+    } else {
+        speedup = con.ms > 0 ? ready.ms / con.ms : 0;
+        conKey = sched == "parallel" ? "parallel_ms" : "ready_ms";
+    }
     if (opts.json) {
         sim::Report r;
         r.add("schema_version", sim::kJsonSchemaVersion)
             .add("kernel", kernel.name)
             .add("nodes", res.graph.size())
-            .add("cycles", denseCycles)
-            .add("dense_ms", denseMs)
-            .add("ready_ms", readyMs)
-            .add("speedup", speedup);
+            .add("cycles", ready.cycles)
+            .add("scheduler", sched);
+        if (sched != "ready")
+            r.add(conKey, con.ms);
+        r.add("ready_ms", ready.ms).add("speedup", speedup);
+        if (sched == "parallel")
+            r.add("jobs", opts.jobs)
+                .add("identical", true);
         std::printf("%s\n", r.toJson().c_str());
-    } else {
+    } else if (sched == "dense") {
         std::printf("%s: %d operators, %lld cycles\n"
                     "  dense-scan  %9.3f ms\n"
                     "  ready-list  %9.3f ms  (%.2fx speedup)\n",
                     kernel.name.c_str(), res.graph.size(),
-                    static_cast<long long>(denseCycles), denseMs,
-                    readyMs, speedup);
+                    static_cast<long long>(ready.cycles), con.ms,
+                    ready.ms, speedup);
+    } else {
+        std::printf("%s: %d operators, %lld cycles\n"
+                    "  ready-list  %9.3f ms\n"
+                    "  %-10s  %9.3f ms  (%.2fx speedup%s)\n",
+                    kernel.name.c_str(), res.graph.size(),
+                    static_cast<long long>(ready.cycles), ready.ms,
+                    sched.c_str(), con.ms, speedup,
+                    sched == "parallel" ? ", bit-identical" : "");
     }
     return 0;
 }
@@ -1218,6 +1309,16 @@ cmdBenchTiles(int argc, char **argv)
                          a.ty, err.c_str());
             return 1;
         }
+        // The stealing schedule must never lose to the legacy
+        // round-robin deal on the same measured cycles.
+        if (batch.modeledSpeedup + 1e-9 < batch.roundRobinSpeedup) {
+            std::fprintf(stderr,
+                         "bench-tiles %dx%d: modeled speedup %.4f "
+                         "regressed below round-robin %.4f\n",
+                         a.tx, a.ty, batch.modeledSpeedup,
+                         batch.roundRobinSpeedup);
+            return 1;
+        }
         w.beginObject();
         w.key("tiles_x").value(a.tx);
         w.key("tiles_y").value(a.ty);
@@ -1225,15 +1326,17 @@ cmdBenchTiles(int argc, char **argv)
         w.key("total_cycles").value(batch.totalCycles);
         w.key("makespan_cycles").value(batch.makespanCycles);
         w.key("modeled_speedup").value(batch.modeledSpeedup);
+        w.key("round_robin_speedup").value(batch.roundRobinSpeedup);
         w.key("seconds").value(batch.seconds);
         w.key("wall_s").value(batch.wallSeconds);
         w.endObject();
         std::fprintf(stderr,
                      "bench-tiles %dx%d: %lld shard(s), makespan "
-                     "%lld cycles, %.2fx\n",
+                     "%lld cycles, %.2fx (round-robin %.2fx)\n",
                      a.tx, a.ty, static_cast<long long>(shards),
                      static_cast<long long>(batch.makespanCycles),
-                     batch.modeledSpeedup);
+                     batch.modeledSpeedup,
+                     batch.roundRobinSpeedup);
     }
     w.endArray();
     w.endObject();
@@ -1244,6 +1347,143 @@ cmdBenchTiles(int argc, char **argv)
     f << out.str() << "\n";
     std::printf("%s\n", out.str().c_str());
     return 0;
+}
+
+/**
+ * `pstool bench-sim-par` — the parallel-scheduler benchmark. Times
+ * the ParallelRegions engine against the ReadyList oracle on the
+ * paper-scale kernels over a job-count sweep, verifies bit-identical
+ * SimStats at every job count, and writes BENCH_sim_par.json. The
+ * shared timeSim harness (same warmup + best-of-reps policy as
+ * bench-sim) keeps the numbers comparable. Region count (--jobs
+ * sweep) is a semantic-free knob; worker threads are capped at
+ * hardware concurrency (parallelThreads=0), so on a single-core host
+ * the reported speedup is pure engine efficiency. Exit is nonzero if
+ * any run diverges from the oracle.
+ */
+int
+cmdBenchSimPar(int argc, char **argv)
+{
+    bool smoke = false;
+    int reps = 2;
+    std::string outFile = "BENCH_sim_par.json";
+    for (int i = 2; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg.rfind("--reps=", 0) == 0) {
+            reps = std::atoi(arg.c_str() + 7);
+        } else if (arg.rfind("--out=", 0) == 0) {
+            outFile = arg.substr(6);
+        } else {
+            usage();
+        }
+    }
+    setQuiet(true);
+
+    struct Case
+    {
+        std::string name;
+        workloads::KernelInstance kernel;
+        int unroll;
+    };
+    // The _uN suffix is the spatial unroll factor, as in
+    // BENCH_sim_sched.json. Larger unrolls grow the mapped graph —
+    // the oracle's per-cycle scan cost grows with the live-node
+    // count while the parallel engine's dormancy tracking keeps its
+    // working set small, so the speedup widens with kernel size.
+    std::vector<Case> cases;
+    cases.push_back(
+        {"spmspmd_u8", workloads::makeSpMSpMd(64, 0.89, 4), 8});
+    if (!smoke) {
+        cases.push_back(
+            {"spmspmd_u32", workloads::makeSpMSpMd(64, 0.89, 4),
+             32});
+        auto dnn = workloads::buildDnn();
+        cases.push_back(
+            {"dnn_layer0_u8",
+             workloads::makeSpMSpVdFrom(dnn.weights[0], dnn.input,
+                                        "dnn_layer0"),
+             8});
+    }
+    const std::vector<int> jobSweep =
+        smoke ? std::vector<int>{1, 4}
+              : std::vector<int>{1, 2, 4, 8};
+    if (smoke)
+        reps = 1;
+
+    constexpr double kTargetSpeedup = 3.0;
+    bool allIdentical = true;
+    bool targetMet = false;
+    std::ostringstream out;
+    trace::JsonWriter w(out);
+    w.beginObject();
+    w.key("schema_version").value(sim::kJsonSchemaVersion);
+    w.key("benchmark").value("sim_parallel");
+    w.key("host_threads")
+        .value(static_cast<int64_t>(
+            std::thread::hardware_concurrency()));
+    w.key("kernels");
+    w.beginArray();
+    for (const Case &c : cases) {
+        compiler::CompileOptions copts;
+        copts.unrollFactor = c.unroll;
+        auto res = compiler::compileProgram(c.kernel.prog,
+                                            c.kernel.liveIns, copts);
+        auto cfg = res.simConfig;
+        cfg.maxCycles = 8000000;
+        cfg.scheduler = sim::SimConfig::Scheduler::ReadyList;
+        SimTiming ready = timeSim(res.graph, c.kernel, cfg, reps);
+
+        w.beginObject();
+        w.key("kernel").value(c.name);
+        w.key("unroll").value(c.unroll);
+        w.key("nodes").value(res.graph.size());
+        w.key("cycles").value(ready.cycles);
+        w.key("ready_ms").value(ready.ms);
+        w.key("runs");
+        w.beginArray();
+        for (int jobs : jobSweep) {
+            cfg.scheduler =
+                sim::SimConfig::Scheduler::ParallelRegions;
+            cfg.parallelJobs = jobs;
+            SimTiming par = timeSim(res.graph, c.kernel, cfg, reps);
+            bool identical =
+                sim::statsEqual(par.stats, ready.stats) &&
+                par.deadlocked == ready.deadlocked;
+            allIdentical &= identical;
+            double speedup = par.ms > 0 ? ready.ms / par.ms : 0;
+            if (identical && jobs >= 4 &&
+                speedup >= kTargetSpeedup)
+                targetMet = true;
+            w.beginObject();
+            w.key("jobs").value(jobs);
+            w.key("parallel_ms").value(par.ms);
+            w.key("speedup").value(speedup);
+            w.key("identical").value(identical);
+            w.endObject();
+            std::fprintf(stderr,
+                         "bench-sim-par %-13s jobs=%d  ready=%9.3f "
+                         "ms  parallel=%9.3f ms  %.2fx  %s\n",
+                         c.name.c_str(), jobs, ready.ms, par.ms,
+                         speedup,
+                         identical ? "bit-identical" : "DIVERGED");
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.key("target_speedup").value(kTargetSpeedup);
+    w.key("target_met").value(targetMet);
+    w.key("all_identical").value(allIdentical);
+    w.endObject();
+
+    std::ofstream f(outFile);
+    if (!f)
+        fatal("cannot write '%s'", outFile.c_str());
+    f << out.str() << "\n";
+    std::printf("%s\n", out.str().c_str());
+    return allIdentical ? 0 : 1;
 }
 
 /**
@@ -1323,14 +1563,16 @@ cmdScalar(const Options &opts, const ParseResult &parsed)
 int
 main(int argc, char **argv)
 {
-    // `figures`, `serve`, and `bench-tiles` take no .sir file;
-    // dispatch before parseArgs.
+    // `figures`, `serve`, `bench-tiles`, and `bench-sim-par` take
+    // no .sir file; dispatch before parseArgs.
     if (argc >= 2 && std::string(argv[1]) == "figures")
         return cmdFigures(argc, argv);
     if (argc >= 2 && std::string(argv[1]) == "serve")
         return cmdServe(argc, argv);
     if (argc >= 2 && std::string(argv[1]) == "bench-tiles")
         return cmdBenchTiles(argc, argv);
+    if (argc >= 2 && std::string(argv[1]) == "bench-sim-par")
+        return cmdBenchSimPar(argc, argv);
     Options opts = parseArgs(argc, argv);
     auto parsed = sir::parseSir(readFile(opts.file), opts.file);
     for (const Command &c : kCommands) {
