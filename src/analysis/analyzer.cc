@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "analysis/throughput.hh"
 #include "base/logging.hh"
 #include "trace/json.hh"
 
@@ -35,6 +36,14 @@ class Analyzer
             deadlockPass();
         if (options.balance)
             balancePass();
+        // The timing pass walks consumer lists (finalized graphs
+        // only) and assumes the operand contracts hold; skip it
+        // when the structural pass already found the graph
+        // malformed.
+        if (options.timing && report.structureOk &&
+            graph.isFinalized()) {
+            timingPass(graph, options, report);
+        }
     }
 
   private:
@@ -860,6 +869,9 @@ AnalysisReport::add(Diagnostic d)
           case 'P':
             placementOk = false;
             break;
+          case 'T':
+            timingOk = false;
+            break;
         }
     }
     diags.push_back(std::move(d));
@@ -874,12 +886,14 @@ AnalysisReport::toString(const dfg::Graph &graph) const
         s += '\n';
     }
     s += csprintf("%d error(s), %d warning(s); structure=%s "
-                  "deadlock-free=%s balanced=%s placement=%s",
+                  "deadlock-free=%s balanced=%s placement=%s "
+                  "timing=%s",
                   errorCount(), warningCount(),
                   structureOk ? "ok" : "FAIL",
                   deadlockFree ? "yes" : "NO",
                   balanced ? "yes" : "NO",
-                  placementOk ? "ok" : "FAIL");
+                  placementOk ? "ok" : "FAIL",
+                  timingOk ? "ok" : "FAIL");
     return s;
 }
 
@@ -894,8 +908,34 @@ AnalysisReport::toJson(const dfg::Graph &graph) const
     w.key("deadlockFree").value(deadlockFree);
     w.key("balanced").value(balanced);
     w.key("placementOk").value(placementOk);
+    w.key("timingOk").value(timingOk);
     w.key("errors").value(errorCount());
     w.key("warnings").value(warningCount());
+    // Per-family diagnostic counts (errors + warnings), keyed by
+    // the rule-id family letter, so CI gates can assert on one
+    // family without parsing every diagnostic.
+    {
+        struct Family
+        {
+            char letter;
+            const char *name;
+        };
+        static constexpr Family families[] = {
+            {'S', "structural"}, {'D', "deadlock"},
+            {'B', "balance"},    {'P', "placement"},
+            {'T', "timing"},
+        };
+        w.key("families").beginObject();
+        for (const Family &f : families) {
+            int n = 0;
+            for (const auto &d : diags) {
+                if (d.rule.size() >= 4 && d.rule[3] == f.letter)
+                    n++;
+            }
+            w.key(f.name).value(n);
+        }
+        w.endObject();
+    }
     w.key("diagnostics").beginArray();
     for (const auto &d : diags)
         writeJson(w, d, graph);

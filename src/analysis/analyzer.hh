@@ -54,6 +54,16 @@ struct AnalysisOptions
     bool structural = true;
     bool deadlock = true;
     bool balance = true;
+    /** PS-T throughput-bound warnings (analysis/throughput.hh). */
+    bool timing = true;
+
+    /** PS-T01 fires when a loop-carried recurrence exceeds this
+     *  many cycles per iteration. */
+    int recurrenceLimit = 8;
+
+    /** Memory banks the PS-T03 pressure check assumes (the fabric
+     *  default; lintPlacement-independent). */
+    int memBanks = 16;
 };
 
 /** Result of analyzing one graph (plus, optionally, its placement). */
@@ -70,6 +80,11 @@ struct AnalysisReport
     bool balanced = true;
     /** No PS-P* errors (meaningful only after lintPlacement). */
     bool placementOk = true;
+    /** No PS-T* errors. PS-T rules ship as warnings (the graph
+     *  still runs, just bounded), so this stays true today; the
+     *  flag exists so a future hard timing contract slots in
+     *  beside the other verdicts. */
+    bool timingOk = true;
 
     int errorCount() const;
     int warningCount() const;

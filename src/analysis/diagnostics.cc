@@ -53,6 +53,24 @@ ruleRegistry()
          "link capacity", Severity::Error,
          "multi-tile extension of Sec. 5.1 (statically-routed NoC "
          "across tile boundaries)"},
+        {"PS-T01", "loop-carried recurrence limits throughput",
+         Severity::Warning,
+         "Sec. 4.2 (ordered dataflow serializes loop-carried "
+         "dependences; cf. Fig. 18 per-unit IPC)"},
+        {"PS-T02", "reconvergent path imbalance exceeds buffer slack",
+         Severity::Warning,
+         "Sec. 4.7, Fig. 20 (buffer depths bound backpressure "
+         "slack)"},
+        {"PS-T03", "memory-bank pressure bounds throughput",
+         Severity::Warning,
+         "Sec. 5.1 (banked scratchpad, per-bank port arbitration)"},
+        {"PS-T04", "recurrence cycle crosses a tile boundary",
+         Severity::Warning,
+         "multi-tile extension of Sec. 5.1 (inter-tile links add "
+         "latency on the critical cycle)"},
+        {"PS-T05", "statically-routed link saturated to capacity",
+         Severity::Warning,
+         "Sec. 5.1 (statically-routed NoC link provisioning)"},
     };
     return rules;
 }

@@ -14,6 +14,10 @@
  *                        (Sec. 4.4 Fig. 10, Sec. 4.8 Fig. 20)
  *   PS-B* token balance — SDF-style production/consumption rates
  *   PS-P* placement    — post-map fabric lint (Sec. 4.8, Sec. 5.1)
+ *   PS-T* timing       — throughput-bound warnings (recurrences,
+ *                        buffer slack, bank/link pressure); the
+ *                        graph still runs, just no faster than the
+ *                        certified bound (analysis/throughput.hh)
  */
 
 #ifndef PIPESTITCH_ANALYSIS_DIAGNOSTICS_HH

@@ -1,8 +1,10 @@
 #include "analysis/placement.hh"
 
 #include <map>
+#include <set>
 #include <utility>
 
+#include "analysis/throughput.hh"
 #include "base/logging.hh"
 #include "mapper/routecost.hh"
 
@@ -37,6 +39,7 @@ class PlacementLint
         checkRouterCycles();
         checkSyncPlane();
         checkCongestion();
+        checkRecurrenceTileSpan();
     }
 
   private:
@@ -300,6 +303,29 @@ class PlacementLint
                 mapper::routecost::linkCrossesTile(topo, w, l);
             int capHere =
                 boundary ? topo.interTileCapacity : capacity;
+            if (load[l] == capHere && load[l] > 0) {
+                // PS-T05: legal but saturated — the next routed
+                // edge through this link fails PS-P05/P06, and the
+                // placement has no slack left here.
+                Coord at = mapper::routecost::linkCoord(w, l);
+                Diagnostic &d = diag(
+                    "PS-T05", dfg::NoNode,
+                    csprintf("%slink (%d,%d)%s is saturated: %d "
+                             "routes on %d wires leaves no slack",
+                             boundary ? "inter-tile " : "", at.x,
+                             at.y,
+                             mapper::routecost::linkDirName(
+                                 mapper::routecost::linkDir(l)),
+                             load[l], capHere),
+                    "re-map to spread these routes or raise the "
+                    "link capacity");
+                d.edges = users[l];
+                for (const EdgeRef &e : d.edges) {
+                    d.nodes.push_back(e.from);
+                    d.nodes.push_back(e.to);
+                }
+                continue;
+            }
             if (load[l] <= capHere)
                 continue;
             Coord at = mapper::routecost::linkCoord(w, l);
@@ -332,6 +358,43 @@ class PlacementLint
                 d.nodes.push_back(e.from);
                 d.nodes.push_back(e.to);
             }
+        }
+    }
+
+    /**
+     * PS-T04: a loop-carried recurrence whose members land in more
+     * than one tile pays interTileLatency on every boundary
+     * crossing of its critical cycle — usually the single biggest
+     * placement-induced throughput loss (the Program-level bound
+     * prices it exactly via channel latencies).
+     */
+    void
+    checkRecurrenceTileSpan()
+    {
+        const fabric::Topology &topo = fab.topology();
+        if (topo.singleTile())
+            return;
+        for (const RecurrenceInfo &rc : recurrenceCycles(graph)) {
+            std::set<int> tiles;
+            for (NodeId v : rc.members) {
+                int pos = peOf(v) >= 0 ? peOf(v) : routerOf(v);
+                if (pos >= 0)
+                    tiles.insert(fab.tileOfPe(pos));
+            }
+            if (tiles.size() < 2)
+                continue;
+            Diagnostic &d = diag(
+                "PS-T04", rc.gate,
+                csprintf("loop-carried recurrence of %lld cycles "
+                         "spans %zu tiles; every boundary crossing "
+                         "adds %d cycles to the critical cycle",
+                         static_cast<long long>(rc.pmin),
+                         tiles.size(), topo.interTileLatency),
+                csprintf("co-locate the %zu cycle members in one "
+                         "tile (different mapper seed, or a fabric "
+                         "with larger tiles)",
+                         rc.members.size()));
+            d.nodes = rc.members;
         }
     }
 

@@ -1,6 +1,7 @@
 /**
  * @file
- * Post-map placement lint (PS-P01..P05).
+ * Post-map placement lint (PS-P01..P06 errors, plus the
+ * placement-scoped PS-T04/PS-T05 timing warnings).
  *
  * The mapper promises class-compatible placement, bounded router
  * control-flow occupancy, and congestion-free circuit-switched

@@ -1,0 +1,559 @@
+#include "analysis/throughput.hh"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "base/logging.hh"
+#include "mapper/routecost.hh"
+
+namespace pipestitch::analysis {
+
+namespace {
+
+using dfg::Graph;
+using dfg::Node;
+using dfg::NodeId;
+using dfg::NodeKind;
+namespace pidx = dfg::port_idx;
+
+constexpr int64_t kInf = std::numeric_limits<int64_t>::max() / 4;
+
+/**
+ * True when input @p in of @p n is consumed on *every* fire AND the
+ * node's emission is order-preserving with drops (at most one output
+ * token per consumed input token, in order). Only such ports may
+ * serve as intermediates of a certified dependence path: they
+ * guarantee that output token #m derives from input token #k >= m.
+ *
+ * Gates (carry/invariant/dispatch/stream/trigger) replay, latch, or
+ * generate tokens — their emissions are not 1:1 with any input — so
+ * they never qualify; merge consumes its data sides conditionally;
+ * the optional load/store order tokens are excluded conservatively.
+ */
+bool
+allowedPort(const Node &n, int in)
+{
+    switch (n.kind) {
+      case NodeKind::Arith:
+        return true;
+      case NodeKind::Const:
+        return in == 0;
+      case NodeKind::Steer:
+        return in == pidx::SteerDecider || in == pidx::SteerValue;
+      case NodeKind::Merge:
+        return in == pidx::MergeDecider;
+      case NodeKind::Load:
+        return in == pidx::LoadAddr;
+      case NodeKind::Store:
+        return in == pidx::StoreAddr || in == pidx::StoreData;
+      default:
+        return false;
+    }
+}
+
+/**
+ * The timing model shared by the graph-only lint and the
+ * Program-level bound: per-edge delay lower bounds. Without a
+ * Program, sequentiality comes from Node::cfInNoc and there are no
+ * inter-tile channels.
+ */
+struct TimingView
+{
+    const Graph *graph;
+    const sim::Program *prog = nullptr;
+
+    bool
+    seq(NodeId v) const
+    {
+        if (prog)
+            return prog->nocNode[static_cast<size_t>(v)] == 0;
+        return !graph->at(v).cfInNoc;
+    }
+
+    /** Delay lower bound of a token crossing the wire into input
+     *  @p in of @p v: one cycle into a sequential consumer, zero
+     *  into a combinational router, the channel latency when the
+     *  edge crosses a tile boundary. */
+    int64_t
+    weight(NodeId v, int in) const
+    {
+        int64_t w = seq(v) ? 1 : 0;
+        if (prog && prog->hasChannels) {
+            int id = prog->chanIdOf[static_cast<size_t>(v)]
+                                   [static_cast<size_t>(in)];
+            if (id >= 0) {
+                w = std::max<int64_t>(
+                    w, prog->channels[static_cast<size_t>(id)]
+                           .latency);
+            }
+        }
+        return w;
+    }
+};
+
+struct ShortestPaths
+{
+    std::vector<int64_t> dist;
+    std::vector<NodeId> parent;
+    std::vector<int> hops; ///< edges on the chosen shortest path
+};
+
+/**
+ * Dijkstra over allowed edges (forward: producer to consumer).
+ * @p sources lists (node, initial distance); ties between equal
+ * distances prefer fewer hops, then the smaller predecessor, for
+ * deterministic diagnostics.
+ */
+ShortestPaths
+shortestPaths(const TimingView &view,
+              const std::vector<NodeId> &sources)
+{
+    const Graph &g = *view.graph;
+    const size_t n = static_cast<size_t>(g.size());
+    ShortestPaths sp;
+    sp.dist.assign(n, kInf);
+    sp.parent.assign(n, dfg::NoNode);
+    sp.hops.assign(n, 0);
+
+    using Item = std::pair<int64_t, NodeId>;
+    std::priority_queue<Item, std::vector<Item>,
+                        std::greater<Item>> pq;
+    for (NodeId s : sources) {
+        sp.dist[static_cast<size_t>(s)] = 0;
+        pq.push({0, s});
+    }
+    while (!pq.empty()) {
+        auto [d, u] = pq.top();
+        pq.pop();
+        if (d != sp.dist[static_cast<size_t>(u)])
+            continue;
+        const Node &nu = g.at(u);
+        for (int p = 0; p < nu.numOutputs(); p++) {
+            for (const dfg::Consumer &c : g.consumersOf({u, p})) {
+                if (!allowedPort(g.at(c.node), c.inputIndex))
+                    continue;
+                size_t v = static_cast<size_t>(c.node);
+                int64_t nd = d + view.weight(c.node, c.inputIndex);
+                int nh = sp.hops[static_cast<size_t>(u)] + 1;
+                if (nd < sp.dist[v] ||
+                    (nd == sp.dist[v] &&
+                     (nh < sp.hops[v] ||
+                      (nh == sp.hops[v] && u < sp.parent[v])))) {
+                    bool improved = nd < sp.dist[v];
+                    sp.dist[v] = nd;
+                    sp.parent[v] = u;
+                    sp.hops[v] = nh;
+                    if (improved)
+                        pq.push({nd, c.node});
+                }
+            }
+        }
+    }
+    return sp;
+}
+
+/** Earliest-first-fire depths: multi-source Dijkstra from every node
+ *  with no allowed wired input (gates, triggers, immediate-fed). */
+ShortestPaths
+computeDepths(const TimingView &view)
+{
+    const Graph &g = *view.graph;
+    std::vector<NodeId> sources;
+    for (NodeId id = 0; id < g.size(); id++) {
+        const Node &n = g.at(id);
+        bool fed = false;
+        for (int i = 0; i < n.numInputs() && !fed; i++) {
+            fed = n.inputs[static_cast<size_t>(i)].isWire() &&
+                  allowedPort(n, i);
+        }
+        if (!fed)
+            sources.push_back(id);
+    }
+    return shortestPaths(view, sources);
+}
+
+std::vector<RecurrenceInfo>
+findRecurrences(const TimingView &view)
+{
+    const Graph &g = *view.graph;
+    std::vector<RecurrenceInfo> out;
+    for (NodeId id = 0; id < g.size(); id++) {
+        const Node &n = g.at(id);
+        if (n.kind != NodeKind::Carry ||
+            pidx::CarryCont >= n.numInputs()) {
+            continue;
+        }
+        const dfg::Operand &cont =
+            n.inputs[static_cast<size_t>(pidx::CarryCont)];
+        if (!cont.isWire())
+            continue;
+        ShortestPaths sp = shortestPaths(view, {id});
+        NodeId tail = cont.port.node;
+        if (sp.dist[static_cast<size_t>(tail)] >= kInf)
+            continue; // no certified path closes this cycle
+        RecurrenceInfo rc;
+        rc.gate = id;
+        rc.pmin = sp.dist[static_cast<size_t>(tail)] +
+                  view.weight(id, pidx::CarryCont);
+        std::vector<NodeId> rev;
+        for (NodeId v = tail; v != id && v != dfg::NoNode;
+             v = sp.parent[static_cast<size_t>(v)]) {
+            rev.push_back(v);
+        }
+        rc.members.push_back(id);
+        rc.members.insert(rc.members.end(), rev.rbegin(),
+                          rev.rend());
+        out.push_back(std::move(rc));
+    }
+    return out;
+}
+
+std::vector<NodeId>
+memoryNodes(const Graph &g)
+{
+    std::vector<NodeId> mem;
+    for (NodeId id = 0; id < g.size(); id++) {
+        NodeKind k = g.at(id).kind;
+        if (k == NodeKind::Load || k == NodeKind::Store)
+            mem.push_back(id);
+    }
+    return mem;
+}
+
+const std::string &
+nameOf(const Graph &g, NodeId id)
+{
+    return g.at(id).name;
+}
+
+std::string
+label(const Graph &g, NodeId id)
+{
+    const std::string &n = nameOf(g, id);
+    if (n.empty())
+        return csprintf("node %d", id);
+    return csprintf("node %d (%s)", id, n.c_str());
+}
+
+} // namespace
+
+std::vector<RecurrenceInfo>
+recurrenceCycles(const dfg::Graph &graph)
+{
+    ps_assert(graph.isFinalized(), "graph not finalized");
+    TimingView view{&graph, nullptr};
+    return findRecurrences(view);
+}
+
+sim::BoundReport
+computeBound(const sim::Program &prog)
+{
+    const Graph &g = prog.graph();
+    TimingView view{&g, &prog};
+    sim::BoundReport rep;
+
+    for (RecurrenceInfo &rc : findRecurrences(view)) {
+        sim::BoundTerm t;
+        t.kind = sim::BoundTerm::Kind::Recurrence;
+        t.node = rc.gate;
+        t.weight = rc.pmin;
+        t.nodes = std::move(rc.members);
+        t.detail = csprintf(
+            "loop-carried recurrence through carry %s: every "
+            "continuation token trails a prior output by >= %lld "
+            "cycles over %zu operators",
+            label(g, rc.gate).c_str(),
+            static_cast<long long>(rc.pmin), t.nodes.size());
+        t.hint = csprintf(
+            "shorten the dependence cycle of carry %s (fewer "
+            "sequential operators between its output and its cont "
+            "input), or unroll the loop so independent iterations "
+            "overlap",
+            label(g, rc.gate).c_str());
+        rep.terms.push_back(std::move(t));
+    }
+
+    ShortestPaths depths = computeDepths(view);
+    if (!prog.allSeqNodes.empty()) {
+        sim::BoundTerm t;
+        t.kind = sim::BoundTerm::Kind::Pipeline;
+        for (NodeId v : prog.allSeqNodes) {
+            int64_t d = depths.dist[static_cast<size_t>(v)];
+            t.nodes.push_back(v);
+            t.weights.push_back(d >= kInf ? 0 : d);
+        }
+        t.detail = csprintf(
+            "pipeline fill: earliest-fire depths over %zu "
+            "sequential operators; a node at depth d firing f "
+            "times occupies at least d + f cycles",
+            t.nodes.size());
+        t.hint = "the deepest busy operator sets the floor; "
+                 "shorten its fill path or reduce its fire count";
+        rep.terms.push_back(std::move(t));
+    }
+
+    for (size_t l = 0; l < prog.dispatchGroups.size(); l++) {
+        std::vector<NodeId> gates;
+        for (NodeId gate : prog.dispatchGroups[l]) {
+            if (view.seq(gate))
+                gates.push_back(gate);
+        }
+        if (gates.empty())
+            continue;
+        sim::BoundTerm t;
+        t.kind = sim::BoundTerm::Kind::Dispatch;
+        t.node = gates.front();
+        t.nodes = std::move(gates);
+        t.detail = csprintf(
+            "SyncPlane dispatch group of loop %zu: each of its %zu "
+            "gates decides at most one token set per cycle",
+            l, t.nodes.size());
+        t.hint = "thread-level parallelism is serialized through "
+                 "this group; split the loop or widen the fabric "
+                 "to host more groups";
+        rep.terms.push_back(std::move(t));
+    }
+
+    for (const auto &grp : prog.cfg.shareGroups) {
+        if (grp.size() < 2)
+            continue;
+        sim::BoundTerm t;
+        t.kind = sim::BoundTerm::Kind::ShareGroup;
+        int64_t minDepth = kInf;
+        for (int member : grp) {
+            NodeId v = static_cast<NodeId>(member);
+            t.nodes.push_back(v);
+            minDepth = std::min(
+                minDepth, depths.dist[static_cast<size_t>(v)]);
+        }
+        t.node = t.nodes.front();
+        t.weight = minDepth >= kInf ? 0 : minDepth;
+        t.detail = csprintf(
+            "time-multiplexed PE shared by %zu operators: at most "
+            "one resident fires per cycle",
+            t.nodes.size());
+        t.hint = "give the hottest resident an exclusive PE";
+        rep.terms.push_back(std::move(t));
+    }
+
+    std::vector<NodeId> mem = memoryNodes(g);
+    if (!mem.empty()) {
+        sim::BoundTerm t;
+        t.kind = sim::BoundTerm::Kind::MemoryBanks;
+        t.capacity = std::max(1, prog.cfg.memBanks);
+        t.nodes = std::move(mem);
+        t.node = t.nodes.front();
+        t.detail = csprintf(
+            "%zu memory operators share %lld banks: at most %lld "
+            "requests initiate per cycle",
+            t.nodes.size(), static_cast<long long>(t.capacity),
+            static_cast<long long>(t.capacity));
+        t.hint = "raise memBanks or reduce memory traffic";
+        rep.terms.push_back(std::move(t));
+    }
+
+    for (const sim::Program::Channel &ch : prog.channels) {
+        sim::BoundTerm t;
+        t.kind = sim::BoundTerm::Kind::Channel;
+        t.node = ch.dst;
+        t.input = ch.dstIn;
+        t.latency = ch.latency;
+        t.capacity = std::max(1, ch.capacity);
+        t.detail = csprintf(
+            "inter-tile channel %s -> input %d of %s: each token "
+            "occupies the %lld-slot channel for %lld cycles",
+            label(g, ch.src).c_str(), ch.dstIn,
+            label(g, ch.dst).c_str(),
+            static_cast<long long>(t.capacity),
+            static_cast<long long>(t.latency));
+        t.hint = "remap so this edge stays inside one tile, or "
+                 "raise interTileCapacity";
+        rep.terms.push_back(std::move(t));
+    }
+
+    return rep;
+}
+
+void
+addRouteBound(sim::BoundReport &report, const dfg::Graph &graph,
+              const fabric::Fabric &fab,
+              const mapper::Mapping &mapping)
+{
+    namespace rc = mapper::routecost;
+    if (!mapping.success)
+        return;
+    const int width = fab.config().width;
+    const size_t links = rc::linkCount(fab.config());
+    auto posOf = [&](NodeId id) {
+        int pos = mapping.positionOf(id);
+        return pos >= 0 ? fab.coordOf(pos) : fabric::Coord{0, 0};
+    };
+
+    // Per link: routed-tree count plus, per tree, the consumer the
+    // shared route model attributes the link to — summing that
+    // consumer's token reads over all trees gives the link's
+    // traffic.
+    std::vector<int> load(links, 0);
+    std::vector<std::vector<std::pair<NodeId, int>>> users(links);
+    rc::ClaimScratch scratch;
+    scratch.ensure(links);
+    for (NodeId id = 0; id < graph.size(); id++) {
+        const Node &n = graph.at(id);
+        for (int p = 0; p < n.numOutputs(); p++) {
+            rc::traceTree(
+                graph, id, p, width, posOf, scratch,
+                [&](size_t l, const dfg::Consumer &c) {
+                    load[l]++;
+                    users[l].push_back({c.node, c.inputIndex});
+                },
+                [](const dfg::Consumer &, int) {});
+        }
+    }
+
+    size_t hot = 0;
+    for (size_t l = 1; l < links; l++) {
+        if (load[l] > load[hot])
+            hot = l;
+    }
+    if (links == 0 || load[hot] == 0)
+        return;
+
+    sim::BoundTerm t;
+    t.kind = sim::BoundTerm::Kind::HotLink;
+    t.certified = false;
+    for (const auto &[node, input] : users[hot]) {
+        t.nodes.push_back(node);
+        t.inputs.push_back(input);
+    }
+    t.node = t.nodes.front();
+    fabric::Coord c = rc::linkCoord(width, hot);
+    t.detail = csprintf(
+        "hottest statically-routed link (%d,%d)%s carries %d "
+        "multicast trees; their summed token traffic is a "
+        "provisioning signal, not a certified cycle bound "
+        "(circuit-switched links do not serialize)",
+        c.x, c.y, rc::linkDirName(rc::linkDir(hot)), load[hot]);
+    t.hint = "remap to spread these routes or raise linkCapacity";
+    report.terms.push_back(std::move(t));
+}
+
+void
+timingPass(const dfg::Graph &graph, const AnalysisOptions &options,
+           AnalysisReport &report)
+{
+    TimingView view{&graph, nullptr};
+
+    auto diag = [&](const char *rule, NodeId node,
+                    std::string message,
+                    std::string hint) -> Diagnostic & {
+        Diagnostic d;
+        d.rule = rule;
+        const RuleInfo *info = findRule(d.rule);
+        ps_assert(info != nullptr, "unknown rule %s", rule);
+        d.severity = info->severity;
+        d.node = node;
+        if (node != dfg::NoNode)
+            d.nodes.push_back(node);
+        d.message = std::move(message);
+        d.hint = std::move(hint);
+        report.add(std::move(d));
+        return report.diags.back();
+    };
+
+    // PS-T01: loop-carried recurrence longer than the limit.
+    for (const RecurrenceInfo &rc : findRecurrences(view)) {
+        if (rc.pmin <= options.recurrenceLimit)
+            continue;
+        Diagnostic &d = diag(
+            "PS-T01", rc.gate,
+            csprintf("loop-carried recurrence of %lld cycles over "
+                     "%zu operators limits the loop to one "
+                     "iteration per %lld cycles (limit %d)",
+                     static_cast<long long>(rc.pmin),
+                     rc.members.size(),
+                     static_cast<long long>(rc.pmin),
+                     options.recurrenceLimit),
+            "shorten the cycle between the carry's output and its "
+            "cont input, or unroll the loop");
+        d.nodes = rc.members;
+    }
+
+    // PS-T02: reconvergent paths whose arrival imbalance exceeds
+    // the buffer slack of the shorter path. Tokens on the shorter
+    // path queue while the longer path fills; once its FIFOs are
+    // full the short path backpressures its producers and the join
+    // runs at the long path's latency.
+    ShortestPaths depths = computeDepths(view);
+    for (NodeId id = 0; id < graph.size(); id++) {
+        const Node &n = graph.at(id);
+        int64_t maxArr = -1, minArr = kInf;
+        int maxIn = -1, minIn = -1;
+        int minEdges = 1;
+        for (int i = 0; i < n.numInputs(); i++) {
+            const auto &in = n.inputs[static_cast<size_t>(i)];
+            if (!in.isWire() || !allowedPort(n, i))
+                continue;
+            size_t p = static_cast<size_t>(in.port.node);
+            if (depths.dist[p] >= kInf)
+                continue;
+            int64_t arr = depths.dist[p] + view.weight(id, i);
+            if (arr > maxArr) {
+                maxArr = arr;
+                maxIn = i;
+            }
+            if (arr < minArr) {
+                minArr = arr;
+                minIn = i;
+                minEdges = depths.hops[p] + 1;
+            }
+        }
+        if (maxIn < 0 || minIn < 0 || maxIn == minIn)
+            continue;
+        int64_t imbalance = maxArr - minArr;
+        int64_t slack =
+            static_cast<int64_t>(options.bufferDepth) * minEdges;
+        if (imbalance <= slack)
+            continue;
+        int64_t perEdge =
+            (imbalance - slack + minEdges - 1) / minEdges;
+        const dfg::Operand &shortOp =
+            n.inputs[static_cast<size_t>(minIn)];
+        Diagnostic &d = diag(
+            "PS-T02", id,
+            csprintf("input %d arrives %lld cycles behind input "
+                     "%d, but the %d-edge shorter path buffers "
+                     "only %lld tokens; the join stalls on "
+                     "backpressure while the longer path fills",
+                     minIn, static_cast<long long>(imbalance),
+                     maxIn, minEdges,
+                     static_cast<long long>(slack)),
+            csprintf("+%lld buffer slots on each edge of the "
+                     "shorter path (e.g. edge %d.%d -> %d.%d) "
+                     "absorb the imbalance",
+                     static_cast<long long>(perEdge),
+                     shortOp.port.node, shortOp.port.index, id,
+                     minIn));
+        d.nodes.push_back(shortOp.port.node);
+        d.edges.push_back(
+            {shortOp.port.node, shortOp.port.index, id, minIn});
+    }
+
+    // PS-T03: more memory operators than banks.
+    std::vector<NodeId> mem = memoryNodes(graph);
+    if (static_cast<int>(mem.size()) > options.memBanks) {
+        Diagnostic &d = diag(
+            "PS-T03", mem.front(),
+            csprintf("%zu memory operators compete for %d banks; "
+                     "at most %d memory operations can initiate "
+                     "per cycle",
+                     mem.size(), options.memBanks,
+                     options.memBanks),
+            "reduce concurrent memory operators or raise memBanks");
+        d.nodes = std::move(mem);
+    }
+}
+
+} // namespace pipestitch::analysis

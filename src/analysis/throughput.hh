@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Static throughput-bound analysis (the PS-T rule family).
+ *
+ * Computes, per compiled graph, the dependence structure that limits
+ * steady-state throughput — and certifies it as a sim::BoundReport
+ * the simulator can never beat:
+ *
+ *  - loop-carried recurrences: the shortest dependence cycle from a
+ *    carry gate's output back into its continuation port, weighted
+ *    by the timing model's per-hop costs (one cycle into every
+ *    sequential consumer, zero into CF-in-NoC routers, channel
+ *    latency across tiles). Only ports a node provably consumes on
+ *    *every* fire, through operators whose emissions preserve token
+ *    order (drops allowed, insertions not), participate — that
+ *    restriction is what makes the bound sound rather than a
+ *    heuristic critical path;
+ *  - pipeline fill depths: the earliest cycle each sequential
+ *    operator can first fire, from the same edge weights;
+ *  - resource serialization: SyncPlane dispatch groups, shared-PE
+ *    time-multiplexing groups, memory-bank ports, and inter-tile
+ *    channel occupancy.
+ *
+ * The same structure drives the PS-T lint rules (warnings: the graph
+ * still runs, just no faster than the bound):
+ *
+ *   PS-T01  recurrence-limited loop (p_min exceeds the limit)
+ *   PS-T02  reconvergent path imbalance exceeds buffer slack
+ *   PS-T03  memory-port pressure (more memory ops than banks)
+ *   PS-T04  recurrence cycle crosses a tile boundary (placement)
+ *   PS-T05  statically-routed link saturated to capacity (placement)
+ *
+ * Tightness caveats are documented in docs/static-analysis.md: the
+ * bound is exact when one term dominates (recurrence-bound loops,
+ * long pipelines) and loose when stalls come from effects it prices
+ * conservatively (bank conflicts on skewed address streams,
+ * cross-thread dispatch interleaving).
+ */
+
+#ifndef PIPESTITCH_ANALYSIS_THROUGHPUT_HH
+#define PIPESTITCH_ANALYSIS_THROUGHPUT_HH
+
+#include <vector>
+
+#include "analysis/analyzer.hh"
+#include "dfg/graph.hh"
+#include "fabric/fabric.hh"
+#include "mapper/mapper.hh"
+#include "sim/bound.hh"
+#include "sim/program.hh"
+
+namespace pipestitch::analysis {
+
+/** One loop-carried recurrence: the shortest always-consumed
+ *  dependence cycle through a carry gate. */
+struct RecurrenceInfo
+{
+    dfg::NodeId gate = dfg::NoNode;
+    /** Cycle weight: minimum cycles for a value to travel
+     *  gate.out -> ... -> gate.cont. */
+    int64_t pmin = 0;
+    /** Cycle members, gate first, in dependence order. */
+    std::vector<dfg::NodeId> members;
+};
+
+/**
+ * All recurrence cycles of @p graph under the unmapped timing model
+ * (sequentiality from Node::cfInNoc, no inter-tile channels). Used
+ * by the PS-T01 lint and the PS-T04 placement rule; computeBound
+ * recomputes them with the Program's resolved tables.
+ */
+std::vector<RecurrenceInfo> recurrenceCycles(const dfg::Graph &graph);
+
+/**
+ * Build the certified bound for @p prog: one term per recurrence,
+ * dispatch group, share group, and inter-tile channel, plus the
+ * pipeline-depth term and the memory-bank term. Evaluate the result
+ * against any run's SimStats (sim/bound.hh); simulated cycles can
+ * never be smaller than the evaluation's certifiedCycles.
+ */
+sim::BoundReport computeBound(const sim::Program &prog);
+
+/**
+ * Append the advisory hot-link term: re-route every edge with the
+ * shared mapper::routecost X-Y model and record the edges over the
+ * most-loaded link. Advisory only — intra-tile links are
+ * circuit-switched wires the simulator does not serialize on — so
+ * the term never enters the certified max.
+ */
+void addRouteBound(sim::BoundReport &report, const dfg::Graph &graph,
+                   const fabric::Fabric &fab,
+                   const mapper::Mapping &mapping);
+
+/** Graph-level PS-T lint (T01..T03); the analyzer's timing pass. */
+void timingPass(const dfg::Graph &graph,
+                const AnalysisOptions &options,
+                AnalysisReport &report);
+
+} // namespace pipestitch::analysis
+
+#endif // PIPESTITCH_ANALYSIS_THROUGHPUT_HH

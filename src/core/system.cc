@@ -1,6 +1,7 @@
 #include "core/system.hh"
 
 #include "analysis/placement.hh"
+#include "analysis/throughput.hh"
 #include "base/logging.hh"
 #include "compiler/timemux.hh"
 #include "mapper/tiled.hh"
@@ -120,6 +121,7 @@ prepareKernel(const workloads::KernelInstance &kernel,
         mopts.rngSeed = config.mapperSeed;
         mopts.portfolioSeeds = config.mapperSeeds;
         mopts.jobs = config.mapperJobs;
+        mopts.boundPruneCycles = config.boundPruneCycles;
         mopts.shareGroups = shareGroups;
         if (prep->tiled) {
             // Tiled placements bypass the mapping memo — its key and
@@ -217,6 +219,17 @@ prepareKernel(const workloads::KernelInstance &kernel,
     prep->program = std::make_shared<const sim::Program>(
         std::move(graphPtr), simCfg);
 
+    if (config.analyze) {
+        // Static throughput bound over the built Program (so
+        // inter-tile channels are priced); the route term is
+        // advisory provisioning info on top.
+        prep->bound = analysis::computeBound(*prep->program);
+        if (prep->mapped) {
+            analysis::addRouteBound(prep->bound, graph, fab,
+                                    prep->mapping);
+        }
+    }
+
     auto areaVariant =
         config.variant == compiler::ArchVariant::RipTide
             ? fabric::AreaVariant::RipTide
@@ -282,6 +295,41 @@ executeOnFabric(const PreparedKernel &prepared,
                      compiler::archVariantName(config.variant),
                      run.sim.diagnostic.c_str()));
         return run;
+    }
+
+    if (config.analyze) {
+        // Cross-check the certified throughput bound, mirroring the
+        // deadlock-certification check above: the bound's terms are
+        // provable cycle floors, so a run that beats it means the
+        // analyzer and the simulator disagree about the timing
+        // model — a toolchain bug, not a kernel property.
+        sim::BoundReport::Evaluation ev =
+            prepared.bound.evaluate(run.sim.stats);
+        run.boundCycles = ev.certifiedCycles;
+        run.bound = prepared.bound;
+        run.boundEval = ev;
+        if (!ev.holds(run.sim.stats.cycles)) {
+            const char *binding =
+                ev.binding >= 0
+                    ? sim::boundTermKindName(
+                          prepared.bound
+                              .terms[static_cast<size_t>(ev.binding)]
+                              .kind)
+                    : "?";
+            reportFailure(
+                error,
+                csprintf(
+                    "kernel %s on %s: simulated %lld cycles beats "
+                    "the certified static bound of %lld cycles "
+                    "(binding term: %s) — analyzer and simulator "
+                    "disagree",
+                    kernel.name.c_str(),
+                    compiler::archVariantName(config.variant),
+                    static_cast<long long>(run.sim.stats.cycles),
+                    static_cast<long long>(ev.certifiedCycles),
+                    binding));
+            return run;
+        }
     }
 
     if (config.verifyAgainstGolden) {

@@ -36,6 +36,7 @@
 
 #include "analysis/analyzer.hh"
 #include "compiler/compile.hh"
+#include "sim/bound.hh"
 #include "energy/model.hh"
 #include "fabric/area.hh"
 #include "fabric/fabric.hh"
@@ -175,6 +176,12 @@ struct RunConfig
      *  keys. */
     int mapperJobs = 1;
 
+    /** Certified throughput floor handed to the mapper (see
+     *  MapperOptions::boundPruneCycles); result-bearing, part of
+     *  cache keys. Set by runner::Sweep::runPruned for candidates
+     *  explored after an incumbent exists; 0 (off) otherwise. */
+    int64_t boundPruneCycles = 0;
+
     /**
      * Memo cache for the compile and map stages (not owned; null
      * disables memoization). See PipelineCache.
@@ -230,6 +237,21 @@ struct FabricRun
     double seconds = 0;
     double edp = 0; ///< pJ·s
 
+    /**
+     * Certified static throughput bound instantiated with this
+     * run's fire counts (0 when RunConfig::analyze is off). On
+     * every clean analyzed run, executeOnFabric cross-checks
+     * boundCycles <= cycles() and fails the run on violation —
+     * mirroring the deadlock-certification cross-check.
+     */
+    int64_t boundCycles = 0;
+    /** The bound's structural terms and their per-run evaluation
+     *  (empty/zero when RunConfig::analyze is off). `pstool bound`
+     *  renders these; boundEval.binding indexes the term that set
+     *  boundCycles. */
+    sim::BoundReport bound;
+    sim::BoundReport::Evaluation boundEval;
+
     int64_t cycles() const { return sim.stats.cycles; }
 };
 
@@ -254,6 +276,14 @@ struct PreparedKernel
      *  time-multiplexing planner); observer/trace stripped. */
     sim::SimConfig simCfg;
     std::shared_ptr<const sim::Program> program;
+    /**
+     * Static throughput-bound terms for `program`
+     * (analysis::computeBound + the advisory route term when
+     * mapped). Structural only — evaluate against a run's SimStats
+     * to get that run's certified cycle floor. Empty when
+     * RunConfig::analyze is off.
+     */
+    sim::BoundReport bound;
     fabric::AreaBreakdown area;
     double avgHops = 2.0; ///< mapping's, or the unmapped fallback
     bool mapped = false;

@@ -14,6 +14,7 @@ verify(const Graph &graph)
     analysis::AnalysisOptions opts;
     opts.deadlock = false;
     opts.balance = false;
+    opts.timing = false;
     analysis::AnalysisReport report =
         analysis::analyzeGraph(graph, opts);
 

@@ -122,7 +122,12 @@ class MapperRun
           numLinks(routecost::linkCount(fab.config())),
           linkCap(fab.config().linkCapacity),
           cfCap(fab.config().routerCfCapacity),
-          seeds(std::max(1, opts.portfolioSeeds)),
+          // A certified throughput floor collapses the portfolio:
+          // when the bound says placement cannot buy cycles, one
+          // seed's descent is enough to find a legal mapping.
+          seeds(opts.boundPruneCycles > 0
+                    ? 1
+                    : std::max(1, opts.portfolioSeeds)),
           // Per-member schedule (the full budget when there is no
           // portfolio): bound-driven exits after the scouts'
           // burn-in and keep-one halving past 20% of the schedule

@@ -68,6 +68,18 @@ struct MapperOptions
     /** Time-multiplexing groups: members share one PE (the first
      *  member is the placement representative). */
     std::vector<std::vector<dfg::NodeId>> shareGroups;
+
+    /**
+     * Certified throughput floor in cycles (analysis::computeBound),
+     * or 0 when unknown. A DSE driver (runner::Sweep::runPruned)
+     * sets this to tell the mapper the graph cannot retire faster
+     * than this floor no matter where nodes land: the portfolio
+     * trims to a single seed, because polishing wirelength cannot
+     * buy cycles the recurrence/dispatch structure already forbids.
+     * Default off — standalone mapping quality and the CI mapper
+     * cost baseline are unchanged.
+     */
+    int64_t boundPruneCycles = 0;
 };
 
 struct Mapping

@@ -184,6 +184,7 @@ MemoCache::mappingKey(const dfg::Graph &graph,
         .f64(opts.congestionWeight)
         .f64(opts.congestionPhase)
         .i32(opts.maxTargetedRestarts);
+    h.u64(static_cast<uint64_t>(opts.boundPruneCycles));
     h.u64(opts.shareGroups.size());
     for (const auto &group : opts.shareGroups)
         h.vec(group);
@@ -204,7 +205,8 @@ MemoCache::runKey(const workloads::KernelInstance &k,
         .b(cfg.map)
         .b(cfg.verifyAgainstGolden)
         .u64(cfg.mapperSeed)
-        .i32(cfg.mapperSeeds);
+        .i32(cfg.mapperSeeds)
+        .i64(cfg.boundPruneCycles);
     hashFabric(h, cfg.fabric);
     hashTiling(h, cfg);
     // SimConfig: only the user-settable fields. The derived ones
@@ -241,7 +243,8 @@ MemoCache::preparedKey(const workloads::KernelInstance &k,
         .b(cfg.map)
         .b(cfg.analyze)
         .u64(cfg.mapperSeed)
-        .i32(cfg.mapperSeeds);
+        .i32(cfg.mapperSeeds)
+        .i64(cfg.boundPruneCycles);
     hashFabric(h, cfg.fabric);
     hashTiling(h, cfg);
     // Same SimConfig subset as runKey (and the same

@@ -119,6 +119,23 @@ struct SweepJob
     std::shared_future<FabricRun> result;
 };
 
+/** One point of a bound-pruned exploration (Sweep::runPruned). */
+struct PrunedRun
+{
+    /** True when the candidate was skipped because its certified
+     *  static bound already met or exceeded the incumbent's
+     *  simulated cycles; `run` is then default-constructed. */
+    bool pruned = false;
+
+    /** The certified cycle floor the decision used: the candidate's
+     *  pre-run bound when one could be evaluated (same compiled
+     *  graph as the reference), otherwise the run's own
+     *  FabricRun::boundCycles (0 with analysis off). */
+    int64_t boundCycles = 0;
+
+    FabricRun run;
+};
+
 class Sweep
 {
   public:
@@ -137,9 +154,43 @@ class Sweep
     /** Wait for all points; results in submission order. */
     std::vector<FabricRun> run();
 
+    /** Record a candidate for runPruned() without enqueuing it
+     *  (add() submits eagerly; pruning decides lazily). Returns the
+     *  candidate's index. */
+    size_t addCandidate(KernelPtr kernel, const RunConfig &config);
+
+    size_t candidateCount() const { return candidates.size(); }
+
+    /**
+     * Bound-guided design-space exploration over the recorded
+     * candidates — the lower-bound pruning consumer of the PS-T
+     * throughput analysis (docs/static-analysis.md).
+     *
+     * Candidates are alternatives for one workload (variants,
+     * unroll factors, buffer depths...). Each is compiled (a memo
+     * hit when cached) and, when an earlier completed run shares
+     * its graph, its certified bound is instantiated with that
+     * run's fire counts — fire counts are a property of the graph
+     * and its inputs, not of placement, buffering, or scheduler,
+     * so the reuse is exact. A candidate whose certified floor
+     * already meets or exceeds the incumbent's simulated cycles
+     * cannot win and is skipped — e.g. an unrolled incumbent's
+     * runtime certifies the plain graph's recurrence floor is too
+     * slow. Everything else runs fully (with the floor forwarded
+     * as RunConfig::boundPruneCycles so the mapper trims its
+     * portfolio) and may become the incumbent. Candidates whose
+     * graph has not been seen always run.
+     *
+     * Runs serially on the calling thread — pruning is inherently
+     * sequential (each decision needs the incumbent so far). Results
+     * are in submission order. Call from outside the pool.
+     */
+    std::vector<PrunedRun> runPruned();
+
   private:
     Runner &owner;
     std::vector<SweepJob> jobs;
+    std::vector<std::pair<KernelPtr, RunConfig>> candidates;
 };
 
 } // namespace pipestitch::runner

@@ -1,0 +1,159 @@
+#include "sim/bound.hh"
+
+#include <algorithm>
+
+#include "dfg/node.hh"
+
+namespace pipestitch::sim {
+
+namespace {
+
+int64_t
+readsAt(const SimStats &stats, dfg::NodeId node, int input)
+{
+    if (node < 0 ||
+        static_cast<size_t>(node) >= stats.portReads.size())
+        return 0;
+    const auto &ports = stats.portReads[static_cast<size_t>(node)];
+    if (input < 0 || static_cast<size_t>(input) >= ports.size())
+        return 0;
+    return ports[static_cast<size_t>(input)];
+}
+
+int64_t
+firesOf(const SimStats &stats, dfg::NodeId node)
+{
+    if (node < 0 ||
+        static_cast<size_t>(node) >= stats.nodeFires.size())
+        return 0;
+    return stats.nodeFires[static_cast<size_t>(node)];
+}
+
+int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    return b > 0 ? (a + b - 1) / b : 0;
+}
+
+BoundReport::TermEval
+evaluateTerm(const BoundTerm &t, const SimStats &stats)
+{
+    BoundReport::TermEval ev;
+    ev.node = t.node;
+    switch (t.kind) {
+      case BoundTerm::Kind::Recurrence: {
+        // Each init token starts one serial cont chain; conts split
+        // across the chains, so the longest is at least
+        // ceil(conts / entries) links, and every link trails its
+        // predecessor by >= p_min cycles. Entries come from the
+        // init-port reads, not from fire counts — a carry can fire
+        // more than once per iteration (the while lowering emits
+        // to both the body and the exit steer), which would
+        // overestimate entries and collapse the chain.
+        int64_t conts =
+            readsAt(stats, t.node, dfg::port_idx::CarryCont);
+        if (conts <= 0)
+            break;
+        int64_t entries = std::max<int64_t>(
+            1, readsAt(stats, t.node, dfg::port_idx::CarryInit));
+        int64_t chain = (conts - 1) / entries + 1;
+        ev.cycles = chain * t.weight + 1;
+        break;
+      }
+      case BoundTerm::Kind::Pipeline: {
+        for (size_t i = 0; i < t.nodes.size(); i++) {
+            int64_t fires = firesOf(stats, t.nodes[i]);
+            if (fires <= 0)
+                continue;
+            int64_t c = t.weights[i] + fires;
+            if (c > ev.cycles) {
+                ev.cycles = c;
+                ev.node = t.nodes[i];
+            }
+        }
+        break;
+      }
+      case BoundTerm::Kind::Dispatch: {
+        for (dfg::NodeId gate : t.nodes) {
+            int64_t fires = firesOf(stats, gate);
+            if (fires > ev.cycles) {
+                ev.cycles = fires;
+                ev.node = gate;
+            }
+        }
+        break;
+      }
+      case BoundTerm::Kind::ShareGroup: {
+        int64_t total = 0;
+        for (dfg::NodeId member : t.nodes)
+            total += firesOf(stats, member);
+        if (total > 0)
+            ev.cycles = t.weight + total;
+        break;
+      }
+      case BoundTerm::Kind::MemoryBanks:
+        ev.cycles =
+            ceilDiv(stats.memLoads + stats.memStores, t.capacity);
+        break;
+      case BoundTerm::Kind::Channel: {
+        int64_t reads = readsAt(stats, t.node, t.input);
+        ev.cycles = ceilDiv(reads * t.latency, t.capacity);
+        break;
+      }
+      case BoundTerm::Kind::HotLink: {
+        int64_t total = 0;
+        for (size_t i = 0; i < t.nodes.size(); i++)
+            total += readsAt(stats, t.nodes[i], t.inputs[i]);
+        ev.cycles = total;
+        break;
+      }
+    }
+    return ev;
+}
+
+} // namespace
+
+const char *
+boundTermKindName(BoundTerm::Kind k)
+{
+    switch (k) {
+      case BoundTerm::Kind::Recurrence:
+        return "recurrence";
+      case BoundTerm::Kind::Pipeline:
+        return "pipeline";
+      case BoundTerm::Kind::Dispatch:
+        return "dispatch";
+      case BoundTerm::Kind::ShareGroup:
+        return "share-group";
+      case BoundTerm::Kind::MemoryBanks:
+        return "memory-banks";
+      case BoundTerm::Kind::Channel:
+        return "channel";
+      case BoundTerm::Kind::HotLink:
+        return "hot-link";
+    }
+    return "?";
+}
+
+BoundReport::Evaluation
+BoundReport::evaluate(const SimStats &stats) const
+{
+    Evaluation ev;
+    ev.perTerm.reserve(terms.size());
+    for (size_t i = 0; i < terms.size(); i++) {
+        TermEval te = evaluateTerm(terms[i], stats);
+        ev.perTerm.push_back(te);
+        if (terms[i].certified) {
+            if (te.cycles > ev.certifiedCycles) {
+                ev.certifiedCycles = te.cycles;
+                ev.binding = static_cast<int>(i);
+            }
+        }
+        ev.advisoryCycles = std::max(ev.advisoryCycles, te.cycles);
+    }
+    ev.advisoryCycles =
+        std::max(ev.advisoryCycles, ev.certifiedCycles);
+    return ev;
+}
+
+} // namespace pipestitch::sim

@@ -54,6 +54,10 @@ ParallelEngine::ParallelEngine(std::shared_ptr<const Program> program,
     ps_assert(parallelSupported(prog),
               "ParallelEngine over an unsupported Program");
     plan = partitionRegions(prog, std::max(1, jobs));
+    PartitionVerdict verdict = verifyPartition(prog, plan);
+    ps_assert(verdict.ok, "region partition violates engine "
+                          "invariants:\n%s",
+              verdict.diagnostic.c_str());
     if (threads > 0) {
         physThreads = std::min(threads, plan.count);
     } else {

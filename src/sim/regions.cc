@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
+#include <set>
+#include <sstream>
 
 #include "base/logging.hh"
 
@@ -282,6 +284,135 @@ partitionRegions(const Program &prog, int jobs)
         }
     }
     return plan;
+}
+
+PartitionVerdict
+verifyPartition(const Program &prog, const RegionPlan &plan)
+{
+    const Graph &g = prog.graph();
+    const int n = g.size();
+    PartitionVerdict v;
+    std::ostringstream out;
+    std::set<NodeId> bad;
+
+    auto fail = [&](const std::string &line) {
+        v.ok = false;
+        out << line << "\n";
+    };
+
+    // --- plan shape ---------------------------------------------------
+    if (plan.count < 1)
+        fail("region count " + std::to_string(plan.count) + " < 1");
+    if (static_cast<int>(plan.regionOf.size()) != n) {
+        fail("regionOf covers " +
+             std::to_string(plan.regionOf.size()) + " nodes, graph has " +
+             std::to_string(n));
+        // Per-node checks below would index out of bounds.
+        v.diagnostic = out.str();
+        return v;
+    }
+    for (NodeId id = 0; id < n; id++) {
+        int r = plan.regionOf[static_cast<size_t>(id)];
+        if (r < 0 || r >= plan.count) {
+            fail("node " + std::to_string(id) + " in region " +
+                 std::to_string(r) + ", valid range [0, " +
+                 std::to_string(plan.count) + ")");
+            bad.insert(id);
+        }
+    }
+    if (static_cast<int>(plan.nodes.size()) != plan.count) {
+        fail("plan lists " + std::to_string(plan.nodes.size()) +
+             " regions, count says " + std::to_string(plan.count));
+    } else {
+        int listed = 0;
+        for (int r = 0; r < plan.count; r++) {
+            for (NodeId id : plan.nodes[static_cast<size_t>(r)]) {
+                listed++;
+                if (id < 0 || id >= n ||
+                    plan.regionOf[static_cast<size_t>(id)] != r) {
+                    fail("region " + std::to_string(r) +
+                         " lists node " + std::to_string(id) +
+                         " but regionOf disagrees");
+                    if (id >= 0 && id < n)
+                        bad.insert(id);
+                }
+            }
+        }
+        if (v.ok && listed != n)
+            fail("region lists hold " + std::to_string(listed) +
+                 " nodes, graph has " + std::to_string(n));
+    }
+    if (!v.ok) {
+        v.diagnostic = out.str();
+        v.violations.assign(bad.begin(), bad.end());
+        return v;
+    }
+
+    // --- dispatch groups atomic (one region owns each SyncPlane) ------
+    for (const auto &group : prog.dispatchGroups) {
+        if (group.empty())
+            continue;
+        int home = plan.regionOf[static_cast<size_t>(group[0])];
+        for (NodeId member : group) {
+            if (plan.regionOf[static_cast<size_t>(member)] == home)
+                continue;
+            fail("dispatch group of node " +
+                 std::to_string(group[0]) + " split: member " +
+                 std::to_string(member) + " in region " +
+                 std::to_string(
+                     plan.regionOf[static_cast<size_t>(member)]) +
+                 ", owner region " + std::to_string(home));
+            for (NodeId m : group)
+                bad.insert(m);
+            break;
+        }
+    }
+
+    // --- cut edges ----------------------------------------------------
+    int cutWires = 0;
+    int cutChannels = 0;
+    for (NodeId id = 0; id < n; id++) {
+        const auto &refs = prog.inputRefs[static_cast<size_t>(id)];
+        for (size_t in = 0; in < refs.size(); in++) {
+            if (!refs[in].wired())
+                continue;
+            NodeId prod = refs[in].prod;
+            if (plan.regionOf[static_cast<size_t>(prod)] ==
+                plan.regionOf[static_cast<size_t>(id)])
+                continue;
+            int ch = prog.hasChannels
+                         ? prog.chanIdOf[static_cast<size_t>(id)][in]
+                         : -1;
+            if (ch < 0) {
+                cutWires++;
+                continue;
+            }
+            cutChannels++;
+            const Program::Channel &c =
+                prog.channels[static_cast<size_t>(ch)];
+            if (c.latency < 1 || c.capacity < 1) {
+                fail("cut channel " + std::to_string(prod) + " -> " +
+                     std::to_string(id) + " (in " +
+                     std::to_string(in) + ") has latency " +
+                     std::to_string(c.latency) + ", capacity " +
+                     std::to_string(c.capacity) +
+                     "; the decoupling window needs both >= 1");
+                bad.insert(prod);
+                bad.insert(id);
+            }
+        }
+    }
+    if (cutWires != plan.cutWires)
+        fail("plan says " + std::to_string(plan.cutWires) +
+             " cut wires, recount finds " + std::to_string(cutWires));
+    if (cutChannels != plan.cutChannels)
+        fail("plan says " + std::to_string(plan.cutChannels) +
+             " cut channels, recount finds " +
+             std::to_string(cutChannels));
+
+    v.diagnostic = out.str();
+    v.violations.assign(bad.begin(), bad.end());
+    return v;
 }
 
 } // namespace pipestitch::sim

@@ -25,6 +25,7 @@
 #ifndef PIPESTITCH_SIM_REGIONS_HH
 #define PIPESTITCH_SIM_REGIONS_HH
 
+#include <string>
 #include <vector>
 
 #include "sim/program.hh"
@@ -49,6 +50,37 @@ struct RegionPlan
 
 /** Partition @p prog 's fabric into (at most) @p jobs regions. */
 RegionPlan partitionRegions(const Program &prog, int jobs);
+
+/** Verdict of verifyPartition: ok, or a structured diagnostic
+ *  naming every violated invariant and the nodes implicated. */
+struct PartitionVerdict
+{
+    bool ok = true;
+    /** Human-readable list of violations, one per line. */
+    std::string diagnostic;
+    /** Nodes implicated in the violations (split dispatch groups,
+     *  endpoints of bad cut edges), deduplicated and ascending. */
+    std::vector<dfg::NodeId> violations;
+};
+
+/**
+ * Check the invariants the ParallelRegions engine relies on:
+ *
+ *  - plan shape: regionOf covers every node with a region index in
+ *    [0, count), and the per-region node lists agree with it;
+ *  - dispatch groups are atomic — one region owns each SyncPlane,
+ *    so census/select for a group never spans engines;
+ *  - every cut channel has latency >= 1 and capacity >= 1, so the
+ *    engine's decoupling window (ParallelEngine::windowBound) is
+ *    always >= 1;
+ *  - the plan's cutWires/cutChannels counters match a recount.
+ *
+ * partitionRegions output always passes; the check exists to fail
+ * loudly (in the engine constructor) if a refactor breaks the
+ * contract, and for tests to probe hand-corrupted plans.
+ */
+PartitionVerdict verifyPartition(const Program &prog,
+                                 const RegionPlan &plan);
 
 } // namespace pipestitch::sim
 

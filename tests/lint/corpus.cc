@@ -475,6 +475,125 @@ placeCrossTileCongested(const Graph &g, fabric::Topology &topo,
     (void)g;
 }
 
+// ---- timing rules (PS-T01..T05): warnings, not errors -------------
+
+/** PS-T01: a carry recurrence through a nine-deep arith chain —
+ *  the loop-carried dependence serializes iterations well past the
+ *  default recurrence limit of 8 cycles. */
+Graph
+buildLongRecurrence()
+{
+    Graph g("t01_long_recurrence");
+    g.numLoops = 1;
+    g.loopParent = {-1};
+    g.loopThreaded = {false};
+    NodeId t = g.add(mk(NodeKind::Trigger, "t"));
+    Node c = mk(NodeKind::Carry, "acc");
+    c.loopId = 0;
+    c.inputs.resize(3);
+    c.inputs[pidx::CarryInit] = Operand::wire({t, 0});
+    NodeId carry = g.add(c);
+    dfg::Port prev{carry, 0};
+    for (int i = 0; i < 9; i++) {
+        Node a = mk(NodeKind::Arith, "step");
+        a.op = sir::Opcode::Add;
+        a.loopId = 0;
+        a.inputs = {Operand::wire(prev), Operand::imm_(1)};
+        prev = {g.add(a), 0};
+    }
+    g.connect(prev, carry, pidx::CarryCont);
+    g.connect(prev, carry, pidx::CarryDecider);
+    g.finalize();
+    return g;
+}
+
+/** PS-T02: reconvergent fan-out where one path is nine ariths deep
+ *  and the other is direct — the arrival skew at the join exceeds
+ *  the default buffer slack. */
+Graph
+buildImbalancedJoin()
+{
+    Graph g("t02_imbalanced_join");
+    NodeId t = g.add(mk(NodeKind::Trigger, "t"));
+    dfg::Port prev{t, 0};
+    for (int i = 0; i < 9; i++) {
+        Node a = mk(NodeKind::Arith, "deep");
+        a.op = sir::Opcode::Add;
+        a.inputs = {Operand::wire(prev), Operand::imm_(1)};
+        prev = {g.add(a), 0};
+    }
+    Node j = mk(NodeKind::Arith, "join");
+    j.op = sir::Opcode::Add;
+    j.inputs = {Operand::wire({t, 0}), Operand::wire(prev)};
+    g.add(j);
+    g.finalize();
+    return g;
+}
+
+/** PS-T03: two loads against a single analyzed memory bank. */
+Graph
+buildBankPressure()
+{
+    Graph g("t03_bank_pressure");
+    NodeId t = g.add(mk(NodeKind::Trigger, "t"));
+    for (int i = 0; i < 2; i++) {
+        Node l = mk(NodeKind::Load, "ld");
+        l.inputs.resize(1);
+        l.inputs[pidx::LoadAddr] = Operand::wire({t, 0});
+        g.add(l);
+    }
+    g.finalize();
+    return g;
+}
+
+/** Find a PE of class @p want inside tile @p tile. */
+int
+findPeInTile(const fabric::Fabric &fab, dfg::PeClass want, int tile)
+{
+    for (int pe = 0; pe < fab.numPes(); pe++) {
+        if (fab.classAt(pe) == want && fab.tileOfPe(pe) == tile)
+            return pe;
+    }
+    return -1;
+}
+
+/** PS-T04: the carry/steer recurrence of the P03 graph split across
+ *  the boundary of a 2×1 tiled fabric — each iteration now pays the
+ *  inter-tile hop. Boundary capacity is kept wide so the saturation
+ *  and congestion rules stay quiet. */
+void
+placeRecurrenceAcrossTiles(const Graph &g, fabric::Topology &topo,
+                           mapper::Mapping &m,
+                           analysis::PlacementLintOptions &)
+{
+    topo.tile.width = 2;
+    topo.tile.height = 2;
+    topo.tile.peMix = fabric::scaleMixFor(2, 2);
+    topo.tilesX = 2;
+    topo.tilesY = 1;
+    topo.interTileCapacity = 4;
+    fabric::Fabric fab(topo);
+    m.peOf[1] = findPeInTile(fab, dfg::PeClass::ControlFlow, 0);
+    m.peOf[2] = findPeInTile(fab, dfg::PeClass::ControlFlow, 1);
+    (void)g;
+}
+
+/** PS-T05: the P05 steer chain again, but with link capacity 2 —
+ *  every +x link along row 0 carries exactly two routes: saturated
+ *  to the last wire without being overloaded. */
+void
+placeSaturated(const Graph &g, fabric::Topology &topo,
+               mapper::Mapping &m,
+               analysis::PlacementLintOptions &)
+{
+    topo.tile.linkCapacity = 2;
+    fabric::Fabric fab(topo);
+    m.routerOf[1] = fab.peAt({0, 0});
+    m.routerOf[2] = fab.peAt({1, 0});
+    m.routerOf[3] = fab.peAt({2, 0});
+    (void)g;
+}
+
 analysis::AnalysisOptions
 structuralOnly()
 {
@@ -489,6 +608,25 @@ depth(int d)
 {
     analysis::AnalysisOptions o;
     o.bufferDepth = d;
+    return o;
+}
+
+/** Timing-pass isolation: structural must pass, the rate passes
+ *  stay out of the way, and the PS-T warnings do the talking. */
+analysis::AnalysisOptions
+timingOnly()
+{
+    analysis::AnalysisOptions o;
+    o.deadlock = false;
+    o.balance = false;
+    return o;
+}
+
+analysis::AnalysisOptions
+fewBanks()
+{
+    analysis::AnalysisOptions o = timingOnly();
+    o.memBanks = 1;
     return o;
 }
 
@@ -531,6 +669,15 @@ corpus()
          analysis::AnalysisOptions{}, placeCongested},
         {"PS-P06", "cross_tile_congestion", buildSteerChain,
          analysis::AnalysisOptions{}, placeCrossTileCongested},
+        {"PS-T01", "long_recurrence", buildLongRecurrence,
+         timingOnly()},
+        {"PS-T02", "imbalanced_join", buildImbalancedJoin,
+         timingOnly()},
+        {"PS-T03", "bank_pressure", buildBankPressure, fewBanks()},
+        {"PS-T04", "cross_tile_recurrence", buildCarrySteerLoop,
+         analysis::AnalysisOptions{}, placeRecurrenceAcrossTiles},
+        {"PS-T05", "saturated_links", buildSteerChain,
+         analysis::AnalysisOptions{}, placeSaturated},
     };
     return cases;
 }

@@ -22,8 +22,9 @@ namespace pipestitch::lint_corpus {
 
 struct CorpusCase
 {
-    /** Rule ID this graph must trip (and, after filtering to
-     *  errors, the only rule that does). */
+    /** Rule ID this graph must trip — and, after filtering to the
+     *  rule's own severity (PS-T* rules are warnings), the only
+     *  rule that does. */
     const char *rule;
     const char *name;
 

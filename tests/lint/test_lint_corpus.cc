@@ -10,7 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 
 #include "analysis/analyzer.hh"
@@ -57,6 +59,25 @@ TEST(LintCorpus, CoversEveryRule)
     EXPECT_EQ(covered.size(), analysis::ruleRegistry().size());
 }
 
+/** Registry/docs sync meta-lint: every rule in the registry must be
+ *  documented in docs/static-analysis.md (corpus coverage is
+ *  enforced by CoversEveryRule above). Adding a rule without a doc
+ *  row fails here, not in review. */
+TEST(LintCorpus, EveryRuleIsDocumented)
+{
+    std::ifstream in(DOCS_STATIC_ANALYSIS);
+    ASSERT_TRUE(in.good())
+        << "cannot open " << DOCS_STATIC_ANALYSIS;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string doc = ss.str();
+    for (const auto &info : analysis::ruleRegistry()) {
+        EXPECT_NE(doc.find(info.id), std::string::npos)
+            << info.id << " (" << info.title
+            << ") is in the registry but not in docs/static-analysis.md";
+    }
+}
+
 TEST(LintCorpus, EachCaseTripsExactlyItsRule)
 {
     for (const auto &c : lint_corpus::corpus()) {
@@ -64,9 +85,16 @@ TEST(LintCorpus, EachCaseTripsExactlyItsRule)
         dfg::Graph g = c.build();
         analysis::AnalysisReport report = runCase(c, g);
 
+        // Each case must trip exactly its rule at that rule's own
+        // severity: error rules are judged against the errors that
+        // fired, warning rules (PS-T*) against the warnings.
+        const analysis::RuleInfo *info = analysis::findRule(c.rule);
+        ASSERT_NE(info, nullptr);
+        const bool isWarning =
+            info->severity == analysis::Severity::Warning;
         std::set<std::string> fired;
         for (const auto &d : report.diags) {
-            if (d.isError())
+            if (d.isError() != isWarning)
                 fired.insert(d.rule);
         }
         EXPECT_TRUE(fired.count(c.rule))
@@ -75,7 +103,8 @@ TEST(LintCorpus, EachCaseTripsExactlyItsRule)
         EXPECT_EQ(fired.size(), 1u)
             << "case is not isolated to its rule:\n"
             << report.toString(g);
-        EXPECT_FALSE(report.ok());
+        // Warnings bound performance without demoting the verdict.
+        EXPECT_EQ(report.ok(), isWarning);
 
         // Rendering must stay well-formed for every diagnostic.
         EXPECT_FALSE(report.toString(g).empty());
@@ -110,6 +139,17 @@ TEST(LintCorpus, VerdictFlagsFollowRuleFamilies)
             EXPECT_TRUE(report.structureOk);
             EXPECT_TRUE(report.deadlockFree);
             EXPECT_FALSE(report.placementOk);
+            break;
+          case 'T':
+            // PS-T rules ship as warnings: the graph still runs,
+            // just no faster than the certified bound, so every
+            // verdict — timingOk included — stays green.
+            EXPECT_TRUE(report.structureOk);
+            EXPECT_TRUE(report.deadlockFree);
+            EXPECT_TRUE(report.placementOk);
+            EXPECT_TRUE(report.timingOk);
+            EXPECT_TRUE(report.ok());
+            EXPECT_GE(report.warningCount(), 1);
             break;
           default:
             FAIL() << "unknown rule family in " << c.rule;

@@ -20,6 +20,8 @@
 #include "core/system.hh"
 #include "mapper/mapper.hh"
 #include "runner/sweep.hh"
+#include "scalar/interpreter.hh"
+#include "sir/parser.hh"
 #include "workloads/kernels.hh"
 
 using namespace pipestitch;
@@ -53,7 +55,7 @@ analyzeKernel(const workloads::KernelInstance &kernel,
 TEST(Analysis, RuleRegistryIsWellFormed)
 {
     const auto &rules = analysis::ruleRegistry();
-    EXPECT_EQ(rules.size(), 17u);
+    EXPECT_EQ(rules.size(), 22u);
     for (const auto &info : rules) {
         EXPECT_EQ(analysis::findRule(info.id), &info);
         EXPECT_EQ(std::string(info.id).substr(0, 3), "PS-");
@@ -195,4 +197,135 @@ TEST(Analysis, TimeMultiplexedPlacementLintsClean)
     popts.shareGroups = groups;
     analysis::lintPlacement(res.graph, fab, mapping, report, popts);
     EXPECT_TRUE(report.ok()) << report.toString(res.graph);
+}
+
+namespace {
+
+/** Build a KernelInstance from inline SIR, binding live-ins in
+ *  declaration order and initialising one named array. */
+workloads::KernelInstance
+makeSirKernel(const char *src, std::vector<sir::Word> liveIns,
+              const std::string &arrayName,
+              const std::vector<sir::Word> &values)
+{
+    auto parsed = sir::parseSir(src, "<inline>");
+    workloads::KernelInstance kernel;
+    kernel.name = parsed.program.name;
+    kernel.prog = std::move(parsed.program);
+    kernel.liveIns = std::move(liveIns);
+    kernel.memory = scalar::makeMemory(kernel.prog);
+    const auto &arr =
+        kernel.prog.array(parsed.arrays.at(arrayName));
+    for (size_t i = 0; i < values.size(); i++)
+        kernel.memory[static_cast<size_t>(arr.base) + i] = values[i];
+    return kernel;
+}
+
+/** Serial loop-carried chain — kernels/loop_chain.sir, n=16. */
+workloads::KernelInstance
+makeChainKernel()
+{
+    static const char *kSrc = R"(
+program loop_chain
+array x 32
+array out 1
+livein n
+livein scale
+i = const 0
+acc = const 0
+while:
+  alive = lt i n
+cond alive
+do:
+  v = load x[i]
+  t1 = mul acc scale
+  t2 = add t1 v
+  t3 = xor t2 5
+  t4 = add t3 1
+  t5 = mul t4 3
+  acc = add t5 0
+  i = add i 1
+end
+store out[0] = acc
+)";
+    std::vector<sir::Word> x(16);
+    for (int i = 0; i < 16; i++)
+        x[static_cast<size_t>(i)] = i + 1;
+    return makeSirKernel(kSrc, {16, 3}, "x", x);
+}
+
+/** Data-dependent halving loops — kernels/prefix_count.sir, n=32.
+ *  At this trip count the pipeline term's fire counts dominate its
+ *  fill depth, so the bound converges on the simulated run. */
+workloads::KernelInstance
+makePrefixCountKernel()
+{
+    static const char *kSrc = R"(
+program prefix_count
+array seeds 32
+array steps 32
+livein n
+livein threshold
+foreach i = 0 .. n:
+  v = load seeds[i]
+  c = const 0
+  while:
+    big = gt v threshold
+  cond big
+  do:
+    half = shr v 1
+    v = add half 0
+    c = add c 1
+  end
+  store steps[i] = c
+end
+)";
+    std::vector<sir::Word> seeds(32);
+    for (int i = 0; i < 32; i++)
+        seeds[static_cast<size_t>(i)] = (i + 1) * 10;
+    return makeSirKernel(kSrc, {32, 50}, "seeds", seeds);
+}
+
+} // namespace
+
+/**
+ * Tightness calibration: the certified floor must stay within 10%
+ * of the simulated run on at least these two kernels — one
+ * recurrence-bound (the serial chain: the PS-T01 term IS the
+ * runtime) and one pipeline-bound (prefix_count at a trip count
+ * where fires dominate fill depth). A looser bound here means an
+ * analysis regression even though soundness still holds.
+ */
+TEST(Analysis, BoundIsTightOnCalibrationKernels)
+{
+    struct Case
+    {
+        workloads::KernelInstance kernel;
+        sim::BoundTerm::Kind binding;
+    };
+    Case cases[] = {
+        {makeChainKernel(), sim::BoundTerm::Kind::Recurrence},
+        {makePrefixCountKernel(), sim::BoundTerm::Kind::Pipeline},
+    };
+    for (const Case &c : cases) {
+        RunConfig cfg;
+        cfg.quiet = true;
+        FabricRun run = runOnFabric(c.kernel, cfg);
+        ASSERT_FALSE(run.sim.deadlocked) << c.kernel.name;
+        ASSERT_GT(run.boundCycles, 0) << c.kernel.name;
+        // Sound: certified floor never beats the simulator...
+        EXPECT_LE(run.boundCycles, run.cycles()) << c.kernel.name;
+        // ...and tight: within 10% of the simulated run.
+        EXPECT_GE(run.boundCycles * 10, run.cycles() * 9)
+            << c.kernel.name << ": bound " << run.boundCycles
+            << " vs simulated " << run.cycles();
+        // The documented binding constraint is the one that binds.
+        ASSERT_GE(run.boundEval.binding, 0) << c.kernel.name;
+        EXPECT_EQ(run.bound
+                      .terms[static_cast<size_t>(
+                          run.boundEval.binding)]
+                      .kind,
+                  c.binding)
+            << c.kernel.name;
+    }
 }

@@ -12,11 +12,13 @@
 #include <gtest/gtest.h>
 
 #include "analysis/analyzer.hh"
+#include "analysis/throughput.hh"
 #include "base/random.hh"
 #include "compiler/compile.hh"
 #include "compiler/timemux.hh"
 #include "dfg/dot.hh"
 #include "scalar/interpreter.hh"
+#include "sim/program.hh"
 #include "sim/simulator.hh"
 #include "sir/builder.hh"
 #include "sir/printer.hh"
@@ -268,6 +270,27 @@ expectCertified(const dfg::Graph &graph, uint64_t seed,
     ASSERT_TRUE(report.deadlockFree);
 }
 
+/** The throughput bound must be sound on every fuzz graph: no
+ *  completed run may finish in fewer cycles than the certified
+ *  floor its own fire counts instantiate. */
+void
+expectBoundHolds(const dfg::Graph &graph, const sim::SimConfig &cfg,
+                 const sim::SimResult &sim, uint64_t seed,
+                 const std::string &tag)
+{
+    if (sim.deadlocked || sim.watchdogExpired)
+        return; // the run stopped early; the completion floor says nothing
+    std::shared_ptr<const dfg::Graph> hold(
+        std::shared_ptr<const dfg::Graph>(), &graph);
+    sim::Program prog(hold, cfg);
+    sim::BoundReport::Evaluation ev =
+        analysis::computeBound(prog).evaluate(sim.stats);
+    EXPECT_TRUE(ev.holds(sim.stats.cycles))
+        << "seed " << seed << " " << tag << ": simulated "
+        << sim.stats.cycles << " cycles beats the certified bound of "
+        << ev.certifiedCycles;
+}
+
 } // namespace
 
 TEST_P(Fuzz, AllVariantsMatchGolden)
@@ -305,22 +328,35 @@ TEST_P(Fuzz, AllVariantsMatchGolden)
                 compiler::compileProgram(prog, liveIns, opts);
             for (int depth : {2, 4}) {
                 expectCertified(res.graph, seed, depth);
-                auto cfg = res.simConfig;
-                cfg.bufferDepth = depth;
-                cfg.maxCycles = 3'000'000;
-                scalar::MemImage mem = init;
-                auto sim = sim::simulate(res.graph, mem, cfg);
-                ASSERT_FALSE(sim.deadlocked)
-                    << "seed " << seed << " variant "
-                    << compiler::archVariantName(v) << " depth "
-                    << depth << "\n"
-                    << sim.diagnostic << "\n"
-                    << sir::print(prog);
-                ASSERT_EQ(golden, mem)
-                    << "seed " << seed << " variant "
-                    << compiler::archVariantName(v) << " depth "
-                    << depth << "\n"
-                    << sir::print(prog);
+                // Both schedulers: results are bit-identical by the
+                // engine contract, and the throughput bound must
+                // hold under each.
+                for (auto sched :
+                     {sim::SimConfig::Scheduler::ReadyList,
+                      sim::SimConfig::Scheduler::ParallelRegions}) {
+                    auto cfg = res.simConfig;
+                    cfg.bufferDepth = depth;
+                    cfg.maxCycles = 3'000'000;
+                    cfg.scheduler = sched;
+                    cfg.parallelJobs = 2;
+                    scalar::MemImage mem = init;
+                    auto sim = sim::simulate(res.graph, mem, cfg);
+                    std::string tag =
+                        std::string(compiler::archVariantName(v)) +
+                        " depth " + std::to_string(depth) +
+                        (sched == sim::SimConfig::Scheduler::
+                                      ParallelRegions
+                             ? " parallel"
+                             : " readylist");
+                    ASSERT_FALSE(sim.deadlocked)
+                        << "seed " << seed << " " << tag << "\n"
+                        << sim.diagnostic << "\n"
+                        << sir::print(prog);
+                    ASSERT_EQ(golden, mem)
+                        << "seed " << seed << " " << tag << "\n"
+                        << sir::print(prog);
+                    expectBoundHolds(res.graph, cfg, sim, seed, tag);
+                }
             }
         }
     }
@@ -367,6 +403,7 @@ TEST_P(Fuzz, TimeMultiplexingPreservesSemantics)
     ASSERT_FALSE(sim.deadlocked)
         << "seed " << seed << "\n" << sim.diagnostic;
     ASSERT_EQ(golden, mem) << "seed " << seed;
+    expectBoundHolds(res.graph, cfg, sim, seed, "timemux");
 }
 
 TEST_P(Fuzz, SpatialUnrollMatchesGolden)
@@ -403,5 +440,7 @@ TEST_P(Fuzz, SpatialUnrollMatchesGolden)
             << sim.diagnostic;
         ASSERT_EQ(golden, mem)
             << "seed " << seed << " unroll " << unroll;
+        expectBoundHolds(res.graph, cfg, sim, seed,
+                         "unroll " + std::to_string(unroll));
     }
 }

@@ -218,6 +218,16 @@ allKernels()
             "count_nonzeros.sir", {{"N", 8}},
             {{"map", map}, {"next", next}, {"val", val}}));
     }
+    {
+        // Serial loop-carried chain: the recurrence-bound corner
+        // (see kernels/loop_chain.sir and the PS-T calibration).
+        std::vector<Word> x(16);
+        for (int i = 0; i < 16; i++)
+            x[static_cast<size_t>(i)] = i + 1;
+        kernels.push_back(loadSirKernel(
+            "loop_chain.sir", {{"n", 16}, {"scale", 3}},
+            {{"x", x}}));
+    }
 
     for (auto &k : workloads::smallKernels(1))
         kernels.push_back(std::move(k));

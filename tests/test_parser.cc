@@ -130,6 +130,7 @@ TEST(Parser, ShippedKernelsParseCompileAndThread)
         {"count_nonzeros.sir", true},
         {"vector_scale.sir", false},
         {"prefix_count.sir", true},
+        {"loop_chain.sir", false},
     };
     for (const auto &f : files) {
         std::string path = std::string(KERNEL_DIR) + "/" + f.path;

@@ -25,7 +25,9 @@
 #include "runner/memo.hh"
 #include "runner/pool.hh"
 #include "runner/sweep.hh"
+#include "scalar/interpreter.hh"
 #include "sim/report.hh"
+#include "sir/parser.hh"
 #include "workloads/kernels.hh"
 
 using namespace pipestitch;
@@ -371,6 +373,122 @@ TEST(Sweep, ResultsIndependentOfCacheTemperature)
     ASSERT_EQ(cold.size(), 4u);
     EXPECT_EQ(cold, warmMem);
     EXPECT_EQ(cold, warmDisk);
+}
+
+namespace {
+
+/**
+ * A serial loop-carried dependence chain (kernels/loop_chain.sir):
+ * the recurrence bound is tight on it, which makes it the seed for
+ * bound-pruning tests — its certified floor really does exceed a
+ * faster design's runtime.
+ */
+runner::KernelPtr
+makeLoopChainKernel()
+{
+    static const char *kSrc = R"(
+program loop_chain
+array x 32
+array out 1
+livein n
+livein scale
+
+i = const 0
+acc = const 0
+while:
+  alive = lt i n
+cond alive
+do:
+  v = load x[i]
+  t1 = mul acc scale
+  t2 = add t1 v
+  t3 = xor t2 5
+  t4 = add t3 1
+  t5 = mul t4 3
+  acc = add t5 0
+  i = add i 1
+end
+store out[0] = acc
+)";
+    sir::ParseResult parsed = sir::parseSir(kSrc, "<loop_chain>");
+    workloads::KernelInstance kernel;
+    kernel.name = parsed.program.name;
+    kernel.prog = std::move(parsed.program);
+    kernel.liveIns = {16, 3}; // n, scale — declaration order
+    kernel.memory = scalar::makeMemory(kernel.prog);
+    const auto &x = kernel.prog.array(parsed.arrays.at("x"));
+    for (int i = 0; i < 16; i++)
+        kernel.memory[static_cast<size_t>(x.base) + i] = i + 1;
+    return runner::share(std::move(kernel));
+}
+
+} // namespace
+
+TEST(Sweep, RunPrunedSkipsCandidatesBelowTheCertifiedFloor)
+{
+    runner::RunnerOptions opts;
+    opts.jobs = 1;
+    runner::Runner runner(opts);
+    runner::Sweep sweep(runner);
+
+    auto chain = makeLoopChainKernel();
+    auto fast =
+        runner::share(workloads::makeSpmv(4, 0.8, figures::kSeed));
+    RunConfig base;
+
+    // Candidate 0 registers the chain graph's fire counts and an
+    // incumbent; candidate 1 beats it; candidate 2 recompiles the
+    // chain graph (memo hit), whose certified recurrence floor now
+    // exceeds the incumbent — it must be pruned without running.
+    sweep.addCandidate(chain, base);
+    sweep.addCandidate(fast, base);
+    RunConfig reseeded = base;
+    reseeded.mapperSeed = 7;
+    sweep.addCandidate(chain, reseeded);
+    ASSERT_EQ(sweep.candidateCount(), 3u);
+
+    std::vector<runner::PrunedRun> res = sweep.runPruned();
+    ASSERT_EQ(res.size(), 3u);
+
+    EXPECT_FALSE(res[0].pruned);
+    EXPECT_GT(res[0].run.cycles(), 0);
+    EXPECT_GT(res[0].boundCycles, 0);
+    EXPECT_FALSE(res[1].pruned);
+    EXPECT_LT(res[1].run.cycles(), res[0].run.cycles());
+
+    EXPECT_TRUE(res[2].pruned);
+    EXPECT_EQ(res[2].run.cycles(), 0) << "pruned points must not run";
+    // The floor that justified the prune meets or beats the
+    // incumbent, and the bound is sound: candidate 0 actually ran
+    // this graph and could not beat its own floor.
+    EXPECT_GE(res[2].boundCycles, res[1].run.cycles());
+    EXPECT_LE(res[2].boundCycles, res[0].run.cycles());
+}
+
+TEST(Sweep, RunPrunedMatchesUnprunedResults)
+{
+    // Pruning must never change what the surviving points compute:
+    // a candidate that runs returns the same run a plain sweep
+    // would (boundPruneCycles trims the mapper portfolio, which is
+    // result-bearing, so compare against a sweep with the same
+    // floor applied — and cycles, which placement cannot change on
+    // a single-tile fabric, against a default run).
+    auto chain = makeLoopChainKernel();
+    RunConfig base;
+    runner::RunnerOptions opts;
+    opts.jobs = 1;
+    runner::Runner runner(opts);
+
+    runner::Sweep sweep(runner);
+    sweep.addCandidate(chain, base);
+    std::vector<runner::PrunedRun> res = sweep.runPruned();
+    ASSERT_EQ(res.size(), 1u);
+    ASSERT_FALSE(res[0].pruned);
+
+    FabricRun direct = runOnFabric(*chain, base);
+    EXPECT_EQ(res[0].run.cycles(), direct.cycles());
+    EXPECT_EQ(res[0].boundCycles, direct.boundCycles);
+    EXPECT_EQ(res[0].run.memory, direct.memory);
 }
 
 TEST(Figures, SmokeRenderIndependentOfJobsAndCache)

@@ -21,6 +21,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "compiler/compile.hh"
@@ -293,4 +294,94 @@ TEST(ParallelRegions, PartitionCoversFabricAndKeepsGroupsWhole)
     sim::RegionPlan wide =
         sim::partitionRegions(*prog, res.graph.size() + 100);
     EXPECT_LE(wide.count, res.graph.size());
+}
+
+TEST(ParallelRegions, VerifyPartitionAcceptsPlannerOutput)
+{
+    setQuiet(true);
+    auto kernel = workloads::makeSpMSpMd(8, 0.8, 5);
+    compiler::CompileOptions opts;
+    auto res =
+        compiler::compileProgram(kernel.prog, kernel.liveIns, opts);
+    auto prog = std::make_shared<const sim::Program>(
+        std::shared_ptr<const dfg::Graph>(std::shared_ptr<void>{},
+                                          &res.graph),
+        res.simConfig);
+
+    for (int jobs : kJobSweep) {
+        sim::RegionPlan plan = sim::partitionRegions(*prog, jobs);
+        sim::PartitionVerdict v = sim::verifyPartition(*prog, plan);
+        EXPECT_TRUE(v.ok) << "jobs=" << jobs << "\n" << v.diagnostic;
+        EXPECT_TRUE(v.diagnostic.empty());
+        EXPECT_TRUE(v.violations.empty());
+    }
+}
+
+TEST(ParallelRegions, VerifyPartitionCatchesCorruptedPlans)
+{
+    setQuiet(true);
+    auto kernel = workloads::makeDither(16, 8, 3);
+    compiler::CompileOptions opts;
+    auto res =
+        compiler::compileProgram(kernel.prog, kernel.liveIns, opts);
+    auto prog = std::make_shared<const sim::Program>(
+        std::shared_ptr<const dfg::Graph>(std::shared_ptr<void>{},
+                                          &res.graph),
+        res.simConfig);
+    ASSERT_FALSE(prog->dispatchGroups.empty())
+        << "needs a threaded kernel to probe SyncPlane atomicity";
+    sim::RegionPlan plan = sim::partitionRegions(*prog, 4);
+    ASSERT_GT(plan.count, 1);
+
+    // Out-of-range region index.
+    {
+        sim::RegionPlan broken = plan;
+        broken.regionOf[0] = broken.count + 3;
+        sim::PartitionVerdict v = sim::verifyPartition(*prog, broken);
+        EXPECT_FALSE(v.ok);
+        EXPECT_NE(v.diagnostic.find("valid range"), std::string::npos);
+        ASSERT_FALSE(v.violations.empty());
+        EXPECT_EQ(v.violations[0], 0);
+    }
+
+    // Split a dispatch group across regions.
+    {
+        sim::RegionPlan broken = plan;
+        const std::vector<dfg::NodeId> *picked = nullptr;
+        for (const auto &g : prog->dispatchGroups) {
+            if (g.size() >= 2) {
+                picked = &g;
+                break;
+            }
+        }
+        ASSERT_NE(picked, nullptr);
+        const auto &group = *picked;
+        dfg::NodeId moved = group[1];
+        int home =
+            broken.regionOf[static_cast<size_t>(group[0])];
+        int other = (home + 1) % broken.count;
+        // Keep the node-list view consistent so only the atomicity
+        // invariant trips.
+        auto &from = broken.nodes[static_cast<size_t>(
+            broken.regionOf[static_cast<size_t>(moved)])];
+        from.erase(std::find(from.begin(), from.end(), moved));
+        auto &to = broken.nodes[static_cast<size_t>(other)];
+        to.insert(std::lower_bound(to.begin(), to.end(), moved),
+                  moved);
+        broken.regionOf[static_cast<size_t>(moved)] = other;
+        sim::PartitionVerdict v = sim::verifyPartition(*prog, broken);
+        EXPECT_FALSE(v.ok);
+        EXPECT_NE(v.diagnostic.find("dispatch group"),
+                  std::string::npos);
+        EXPECT_FALSE(v.violations.empty());
+    }
+
+    // Miscounted cut wires.
+    {
+        sim::RegionPlan broken = plan;
+        broken.cutWires += 5;
+        sim::PartitionVerdict v = sim::verifyPartition(*prog, broken);
+        EXPECT_FALSE(v.ok);
+        EXPECT_NE(v.diagnostic.find("recount"), std::string::npos);
+    }
 }

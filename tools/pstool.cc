@@ -23,7 +23,14 @@
  *                               (docs/static-analysis.md); with
  *                               --cross-check also simulates and
  *                               fails on analyzer/simulator
- *                               disagreement
+ *                               disagreement (deadlock verdict and
+ *                               the certified throughput bound)
+ *   pstool bound <file.sir>     certified static throughput bound
+ *                               (PS-T analysis) vs the simulated
+ *                               cycle count: every bound term, the
+ *                               binding constraint, and its fix
+ *                               hint; nonzero exit when the
+ *                               simulation beats the bound
  *   pstool map <file.sir>       run the portfolio mapper alone and
  *                               report placement quality (cost,
  *                               wirelength, congestion, winning
@@ -54,6 +61,7 @@
 #include <thread>
 
 #include "analysis/placement.hh"
+#include "analysis/throughput.hh"
 #include "base/logging.hh"
 #include "compiler/timemux.hh"
 #include "core/batch.hh"
@@ -126,6 +134,7 @@ int cmdScalar(const Options &, const ParseResult &);
 int cmdBenchSim(const Options &, const ParseResult &);
 int cmdTrace(const Options &, const ParseResult &);
 int cmdLint(const Options &, const ParseResult &);
+int cmdBound(const Options &, const ParseResult &);
 int cmdMap(const Options &, const ParseResult &);
 
 constexpr Command kCommands[] = {
@@ -157,6 +166,13 @@ constexpr Command kCommands[] = {
      "run the static analyzer (deadlock/balance/placement rules); "
      "nonzero exit on any error diagnostic",
      cmdLint},
+    {"bound",
+     "[--variant=V --depth=N --unroll=N --tm --fabric=S "
+     "--tiles=TXxTY]",
+     "report the certified static throughput bound against the "
+     "simulated run: every term, the binding constraint, and its "
+     "fix hint; nonzero exit if the simulation beats the bound",
+     cmdBound},
     {"map",
      "[--variant=V --unroll=N --tm --seeds=N --jobs=N --seed=N "
      "--iters=N --fabric=S --tiles=TXxTY]",
@@ -693,6 +709,23 @@ cmdBenchSim(const Options &opts, const ParseResult &parsed)
         fatal("parallel scheduler stats diverge from the "
               "ready-list oracle on %s", kernel.name.c_str());
 
+    // The certified static bound must hold on the reference run —
+    // the same gate executeOnFabric applies to mapped runs, here
+    // covering the unmapped bench configs (and, via bit-identity,
+    // every scheduler at once).
+    std::shared_ptr<const dfg::Graph> hold(
+        std::shared_ptr<const dfg::Graph>(), &res.graph);
+    sim::Program boundProg(hold, refCfg);
+    sim::BoundReport::Evaluation boundEval =
+        analysis::computeBound(boundProg).evaluate(ready.stats);
+    if (!ready.deadlocked && !boundEval.holds(ready.cycles))
+        fatal("%s: simulated %lld cycles beats the certified "
+              "static bound of %lld cycles — analyzer and "
+              "simulator disagree",
+              kernel.name.c_str(),
+              static_cast<long long>(ready.cycles),
+              static_cast<long long>(boundEval.certifiedCycles));
+
     // Historical orientation: the default report shows how much
     // faster ready-list is than dense-scan (speedup = dense/ready);
     // for an explicit contender the speedup is over the ready-list
@@ -712,6 +745,7 @@ cmdBenchSim(const Options &opts, const ParseResult &parsed)
             .add("kernel", kernel.name)
             .add("nodes", res.graph.size())
             .add("cycles", ready.cycles)
+            .add("bound_cycles", boundEval.certifiedCycles)
             .add("scheduler", sched);
         if (sched != "ready")
             r.add(conKey, con.ms);
@@ -903,6 +937,9 @@ cmdLint(const Options &opts, const ParseResult &parsed)
     bool simDeadlocked = false;
     bool simWatchdog = false;
     bool disagree = false;
+    int64_t boundCycles = 0;
+    int64_t simCycles = 0;
+    bool boundHolds = true;
     if (opts.crossCheck) {
         auto cfg = res.simConfig;
         cfg.bufferDepth = opts.depth;
@@ -925,6 +962,34 @@ cmdLint(const Options &opts, const ParseResult &parsed)
                          "deadlocked:\n%s\n",
                          r.diagnostic.c_str());
         }
+        // The certified throughput bound rides the same
+        // cross-check: a clean retire must never beat the static
+        // cycle floor. (A deadlocked or watchdogged run stopped
+        // before completion, so the completion bound says nothing
+        // about its cycle count.)
+        if (!r.deadlocked) {
+            std::shared_ptr<const dfg::Graph> hold(
+                std::shared_ptr<const dfg::Graph>(), &res.graph);
+            sim::Program boundProg(hold, cfg);
+            sim::BoundReport::Evaluation bev =
+                analysis::computeBound(boundProg)
+                    .evaluate(r.stats);
+            boundCycles = bev.certifiedCycles;
+            simCycles = r.stats.cycles;
+            boundHolds = bev.holds(r.stats.cycles);
+            if (!boundHolds) {
+                disagree = true;
+                if (!opts.json) {
+                    std::fprintf(
+                        stderr,
+                        "cross-check: simulated %lld cycles beats "
+                        "the certified static bound of %lld "
+                        "cycles\n",
+                        static_cast<long long>(r.stats.cycles),
+                        static_cast<long long>(boundCycles));
+                }
+            }
+        }
     }
 
     if (opts.json) {
@@ -932,7 +997,9 @@ cmdLint(const Options &opts, const ParseResult &parsed)
                     "\"kernel\":\"%s\",\"variant\":\"%s\","
                     "\"operators\":%d,\"crossChecked\":%s,"
                     "\"simDeadlocked\":%s,"
-                    "\"simWatchdogExpired\":%s,\"agree\":%s,"
+                    "\"simWatchdogExpired\":%s,"
+                    "\"boundCycles\":%lld,\"boundHolds\":%s,"
+                    "\"agree\":%s,"
                     "\"analysis\":%s}\n",
                     sim::kJsonSchemaVersion,
                     kernel.name.c_str(),
@@ -941,6 +1008,8 @@ cmdLint(const Options &opts, const ParseResult &parsed)
                     opts.crossCheck ? "true" : "false",
                     simDeadlocked ? "true" : "false",
                     simWatchdog ? "true" : "false",
+                    static_cast<long long>(boundCycles),
+                    boundHolds ? "true" : "false",
                     disagree ? "false" : "true",
                     report.toJson(res.graph).c_str());
     } else {
@@ -958,9 +1027,136 @@ cmdLint(const Options &opts, const ParseResult &parsed)
                                   : "retired cleanly",
                         disagree ? "DISAGREES with the analyzer"
                                  : "agrees with the analyzer");
+            if (!simDeadlocked && !simWatchdog) {
+                std::printf("cross-check: certified bound %lld <= "
+                            "simulated %lld cycles: %s\n",
+                            static_cast<long long>(boundCycles),
+                            static_cast<long long>(simCycles),
+                            boundHolds ? "holds" : "VIOLATED");
+            }
         }
     }
     return (report.ok() && !disagree) ? 0 : 1;
+}
+
+/**
+ * `pstool bound` — the static throughput-bound analysis (the PS-T
+ * rule family's quantitative half) as a standalone report. Runs the
+ * kernel through the standard prepare+execute pipeline, so the bound
+ * is built and evaluated exactly the way executeOnFabric
+ * cross-checks it on every analyzed run, then renders every bound
+ * term with its evaluated cycle floor and names the binding
+ * constraint plus the hint for lifting it. Tightness is
+ * bound/simulated: 1.0 means the bound explains every simulated
+ * cycle. Exit is nonzero when the run fails — including when the
+ * simulation beats the certified bound, which executeOnFabric
+ * reports as an analyzer/simulator disagreement.
+ */
+int
+cmdBound(const Options &opts, const ParseResult &parsed)
+{
+    auto kernel = buildKernel(opts, parsed);
+    RunConfig cfg;
+    cfg.variant = opts.variant;
+    cfg.sim.bufferDepth = opts.depth;
+    cfg.unrollFactor = opts.unroll;
+    cfg.allowTimeMultiplex = opts.timeMultiplex;
+    applyFabric(opts.topo, cfg);
+    std::string err;
+    FabricRun run = runOnFabric(kernel, cfg, &err);
+    if (!err.empty()) {
+        if (opts.json) {
+            sim::Report r;
+            r.add("schema_version", sim::kJsonSchemaVersion)
+                .add("kernel", kernel.name)
+                .add("status", "error")
+                .add("error", err);
+            std::printf("%s\n", r.toJson().c_str());
+        } else {
+            std::fprintf(stderr, "%s: %s\n", kernel.name.c_str(),
+                         err.c_str());
+        }
+        return 1;
+    }
+
+    const sim::BoundReport &bound = run.bound;
+    const sim::BoundReport::Evaluation &ev = run.boundEval;
+    const int64_t simCycles = run.cycles();
+    const double tightness =
+        simCycles > 0 ? static_cast<double>(ev.certifiedCycles) /
+                            static_cast<double>(simCycles)
+                      : 0.0;
+    const sim::BoundTerm *bind =
+        ev.binding >= 0
+            ? &bound.terms[static_cast<size_t>(ev.binding)]
+            : nullptr;
+
+    if (opts.json) {
+        std::ostringstream out;
+        trace::JsonWriter w(out);
+        w.beginObject();
+        w.key("schema_version").value(sim::kJsonSchemaVersion);
+        w.key("kernel").value(kernel.name);
+        w.key("variant")
+            .value(compiler::archVariantName(opts.variant));
+        w.key("bound_cycles").value(ev.certifiedCycles);
+        w.key("advisory_cycles").value(ev.advisoryCycles);
+        w.key("sim_cycles").value(simCycles);
+        w.key("tightness").value(tightness);
+        w.key("holds").value(ev.holds(simCycles));
+        if (bind) {
+            w.key("binding");
+            w.beginObject();
+            w.key("kind").value(sim::boundTermKindName(bind->kind));
+            w.key("node").value(
+                ev.perTerm[static_cast<size_t>(ev.binding)].node);
+            w.key("detail").value(bind->detail);
+            w.key("hint").value(bind->hint);
+            w.endObject();
+        }
+        w.key("terms");
+        w.beginArray();
+        for (size_t i = 0; i < bound.terms.size(); i++) {
+            const sim::BoundTerm &t = bound.terms[i];
+            w.beginObject();
+            w.key("kind").value(sim::boundTermKindName(t.kind));
+            w.key("certified").value(t.certified);
+            w.key("cycles").value(ev.perTerm[i].cycles);
+            w.key("node").value(ev.perTerm[i].node);
+            w.key("binding")
+                .value(static_cast<int>(i) == ev.binding);
+            w.key("detail").value(t.detail);
+            w.key("hint").value(t.hint);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        std::printf("%s\n", out.str().c_str());
+    } else {
+        std::printf("%s on %s: certified bound %lld cycles, "
+                    "simulated %lld (tightness %.0f%%)\n",
+                    kernel.name.c_str(),
+                    compiler::archVariantName(opts.variant),
+                    static_cast<long long>(ev.certifiedCycles),
+                    static_cast<long long>(simCycles),
+                    tightness * 100);
+        if (bind) {
+            std::printf("binding constraint (%s): %s\n  hint: %s\n",
+                        sim::boundTermKindName(bind->kind),
+                        bind->detail.c_str(), bind->hint.c_str());
+        }
+        for (size_t i = 0; i < bound.terms.size(); i++) {
+            const sim::BoundTerm &t = bound.terms[i];
+            std::printf("  %c %-11s %8lld%s  %s\n",
+                        static_cast<int>(i) == ev.binding ? '*'
+                                                          : ' ',
+                        sim::boundTermKindName(t.kind),
+                        static_cast<long long>(ev.perTerm[i].cycles),
+                        t.certified ? "" : " (advisory)",
+                        t.detail.c_str());
+        }
+    }
+    return 0;
 }
 
 /**
